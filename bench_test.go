@@ -1,0 +1,360 @@
+// Package pj2k's root benchmark harness: one bench per table/figure of the
+// paper (see DESIGN.md's per-experiment index) plus the ablations DESIGN.md
+// calls out and microbenchmarks of the substrates.
+//
+// Run everything with: go test -bench=. -benchmem
+package pj2k
+
+import (
+	"runtime"
+	"testing"
+
+	"pj2k/internal/cachesim"
+	"pj2k/internal/core"
+	"pj2k/internal/dwt"
+	"pj2k/internal/experiments"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/jpegbase"
+	"pj2k/internal/mq"
+	"pj2k/internal/quant"
+	"pj2k/internal/raster"
+	"pj2k/internal/smp"
+	"pj2k/internal/spiht"
+	"pj2k/internal/t1"
+)
+
+// benchKpix keeps the host-measured benches affordable; the experiments
+// binary sweeps the full size axis.
+const benchKpix = 256
+
+func benchImage() *raster.Image { return raster.KPixelImage(benchKpix, 1) }
+
+// --- Fig. 2: compression timings per codec.
+
+func BenchmarkFig2_JPEG(b *testing.B) {
+	im := benchImage()
+	b.SetBytes(int64(im.Width * im.Height))
+	for i := 0; i < b.N; i++ {
+		jpegbase.Encode(im, 75)
+	}
+}
+
+func BenchmarkFig2_SPIHT(b *testing.B) {
+	im := benchImage()
+	b.SetBytes(int64(im.Width * im.Height))
+	for i := 0; i < b.N; i++ {
+		if _, err := spiht.Encode(im, 5, im.Width*im.Height/8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_JPEG2000(b *testing.B) {
+	im := benchImage()
+	b.SetBytes(int64(im.Width * im.Height))
+	opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: 1}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jp2k.Encode(im, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 3: serial stage analysis (the full pipeline, naive filtering).
+
+func BenchmarkFig3_Stages(b *testing.B) {
+	im := benchImage()
+	opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: 1, VertMode: dwt.VertNaive}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jp2k.Encode(im, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figs. 4/5: tiling quality experiments (encode+decode round trip).
+
+func BenchmarkFig4_Tiling(b *testing.B) {
+	im := raster.Synthetic(512, 512, 4242)
+	opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{0.125}, TileW: 128, TileH: 128}
+	for i := 0; i < b.N; i++ {
+		cs, _, err := jp2k.Encode(im, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := jp2k.Decode(cs, jp2k.DecodeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_RD(b *testing.B) {
+	im := raster.Synthetic(512, 512, 4242)
+	for i := 0; i < b.N; i++ {
+		for _, bpp := range []float64{0.0625, 0.25, 1.0} {
+			if _, _, err := jp2k.Encode(im, jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{bpp}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figs. 6-13 and Sec. 3.3/3.4: the machine-model tables.
+
+func BenchmarkFig6_Parallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6([]int{benchKpix})
+	}
+}
+
+func BenchmarkFig7_Filtering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(1024)
+	}
+}
+
+func BenchmarkFig8_FilterSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(1024)
+	}
+}
+
+func BenchmarkFig9_Improved4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9([]int{benchKpix})
+	}
+}
+
+func BenchmarkFig10_SGIFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10()
+	}
+}
+
+func BenchmarkFig11_SGIFilterSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11()
+	}
+}
+
+func BenchmarkFig12_TotalSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12(16384)
+	}
+}
+
+func BenchmarkFig13_ClassicSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig13(16384)
+	}
+}
+
+func BenchmarkQuant_Parallel(b *testing.B) {
+	// Real parallel quantization on the host (the Sec. 3.3 stage).
+	const n = 2048
+	src := make([]float64, n*n)
+	for i := range src {
+		src[i] = float64(i%4093)*0.31 - 600
+	}
+	dst := make([]int32, n*n)
+	band := dwt.Subband{X0: 0, Y0: 0, X1: n, Y1: n}
+	b.SetBytes(int64(n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.Forward(src, n, band, 1.0/512, dst, n, runtime.GOMAXPROCS(0))
+	}
+}
+
+func BenchmarkAmdahl_Table(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Amdahl(benchKpix)
+	}
+}
+
+// --- Ablations (DESIGN.md Sec. 5).
+
+// BenchmarkAblation_BlockWidth sweeps the improved filter's column-block
+// width on the host.
+func BenchmarkAblation_BlockWidth(b *testing.B) {
+	for _, bw := range []int{8, 16, 32, 64, 128} {
+		b.Run(byName("bw", bw), func(b *testing.B) {
+			im := raster.Synthetic(1024, 1024, 3)
+			st := dwt.Strategy{VertMode: dwt.VertBlocked, BlockWidth: bw, Workers: 1}
+			b.SetBytes(int64(im.Width * im.Height * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work := im.Clone()
+				dwt.Forward53(work, 5, st)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PadVsBlocked compares the paper's two cache fixes in the
+// cache model: width padding (keep the naive filter, change the stride)
+// versus the blocked filter.
+func BenchmarkAblation_PadVsBlocked(b *testing.B) {
+	cfg := cachesim.NewPentiumII()
+	m := smp.PentiumIIXeon(4)
+	variants := []struct {
+		name string
+		spec smp.FilterSpec
+	}{
+		{"naive-pow2", smp.FilterSpec{W: 2048, H: 2048, Stride: 2048, Levels: 5, Kernel: dwt.Irr97, Mode: dwt.VertNaive}},
+		{"naive-padded", smp.FilterSpec{W: 2048, H: 2048, Stride: 2048 + 8, Levels: 5, Kernel: dwt.Irr97, Mode: dwt.VertNaive}},
+		{"blocked-pow2", smp.FilterSpec{W: 2048, H: 2048, Stride: 2048, Levels: 5, Kernel: dwt.Irr97, Mode: dwt.VertBlocked}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				last = m.SerialTime(smp.VerticalWork(cfg, v.spec))
+			}
+			b.ReportMetric(last*1e3, "model-ms")
+		})
+	}
+}
+
+// BenchmarkAblation_Scheduling compares the paper's staggered round-robin
+// code-block assignment against contiguous chunking on a cost ramp.
+func BenchmarkAblation_Scheduling(b *testing.B) {
+	const n, p = 1024, 4
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = 1 + float64(i)/64 // spatially correlated block costs
+	}
+	contig := make([][]int, p)
+	for w := 0; w < p; w++ {
+		for k := w * n / p; k < (w+1)*n/p; k++ {
+			contig[w] = append(contig[w], k)
+		}
+	}
+	b.Run("contiguous", func(b *testing.B) {
+		var mk float64
+		for i := 0; i < b.N; i++ {
+			mk = smp.Makespan(times, contig)
+		}
+		b.ReportMetric(mk, "makespan")
+	})
+	b.Run("staggered", func(b *testing.B) {
+		var mk float64
+		sched := core.StaggeredRoundRobin(n, p)
+		for i := 0; i < b.N; i++ {
+			mk = smp.Makespan(times, sched)
+		}
+		b.ReportMetric(mk, "makespan")
+	})
+}
+
+// --- Real-goroutine parallel encode (bit-identical by construction; on a
+// multi-core host this shows true wall-clock scaling).
+
+func BenchmarkEncodeWorkers(b *testing.B) {
+	im := benchImage()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(byName("w", w), func(b *testing.B) {
+			opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: w, VertMode: dwt.VertBlocked}
+			b.SetBytes(int64(im.Width * im.Height))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := jp2k.Encode(im, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	im := benchImage()
+	cs, _, err := jp2k.Encode(im, jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(im.Width * im.Height))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jp2k.Decode(cs, jp2k.DecodeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate microbenchmarks.
+
+func BenchmarkMQEncode(b *testing.B) {
+	decisions := make([]int, 1<<16)
+	for i := range decisions {
+		decisions[i] = (i * 2654435761) >> 13 & 1
+	}
+	b.SetBytes(int64(len(decisions)) / 8)
+	enc := mq.NewEncoder()
+	for i := 0; i < b.N; i++ {
+		enc.Init()
+		var cx mq.Context
+		for _, d := range decisions {
+			enc.Encode(d, &cx)
+		}
+		enc.Flush()
+	}
+}
+
+func BenchmarkDWT53(b *testing.B) {
+	for _, mode := range []dwt.VertMode{dwt.VertNaive, dwt.VertBlocked} {
+		b.Run(mode.String(), func(b *testing.B) {
+			im := raster.Synthetic(1024, 1024, 1)
+			st := dwt.Strategy{VertMode: mode, Workers: 1}
+			b.SetBytes(int64(im.Width * im.Height * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work := im.Clone()
+				dwt.Forward53(work, 5, st)
+			}
+		})
+	}
+}
+
+func BenchmarkT1Block(b *testing.B) {
+	data := make([]int32, 64*64)
+	for i := range data {
+		v := int32((i * 2654435761) % 512)
+		if i%3 == 0 {
+			v = -v
+		}
+		if i%5 != 0 {
+			v = 0
+		}
+		data[i] = v
+	}
+	b.SetBytes(64 * 64 * 4)
+	for i := 0; i < b.N; i++ {
+		t1.Encode(data, 64, 64, 64, dwt.HH)
+	}
+}
+
+func BenchmarkCacheSim(b *testing.B) {
+	c := cachesim.New(cachesim.NewPentiumII())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64) & 0xFFFFF)
+	}
+}
+
+// helpers
+
+func byName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,56 @@
+// Command pj2kdec decompresses a JPEG2000 codestream produced by pj2kenc
+// back into a PGM image.
+//
+//	pj2kdec -in image.j2k -out image.pgm [-layers 0] [-workers 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+)
+
+func main() {
+	in := flag.String("in", "", "input codestream file")
+	out := flag.String("out", "", "output PGM file")
+	layers := flag.Int("layers", 0, "decode only the first N quality layers (0 = all)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	depth := flag.Int("depth", 8, "output bit depth (8 or 12/16 for medical imagery)")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := jp2k.Decode(data, jp2k.DecodeOptions{
+		MaxLayers: *layers,
+		Workers:   *workers,
+		VertMode:  dwt.VertBlocked,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxval := 255
+	if *depth > 8 {
+		maxval = 1<<uint(*depth) - 1
+	} else {
+		im.ClampTo8()
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := raster.WritePGM(f, im, maxval); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %dx%d decoded\n", *out, im.Width, im.Height)
+}

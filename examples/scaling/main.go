@@ -1,0 +1,57 @@
+// Scaling example: the paper's experiment on your own machine. Encodes the
+// same image with 1..NumCPU workers using real goroutines (verifying the
+// stream is bit-identical every time), then prints the simulated-SMP speedup
+// for the paper's 4-CPU Intel testbed for comparison.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pj2k/internal/cachesim"
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+	"pj2k/internal/smp"
+)
+
+func main() {
+	im := raster.Synthetic(1024, 1024, 99)
+	opts := jp2k.Options{
+		Kernel:   dwt.Irr97,
+		LayerBPP: []float64{1.0},
+		VertMode: dwt.VertBlocked,
+	}
+
+	fmt.Printf("host: %d CPU(s)\n\nreal goroutines (1024x1024 @ 1.0 bpp):\n", runtime.NumCPU())
+	var ref []byte
+	var serial time.Duration
+	for w := 1; w <= runtime.NumCPU(); w *= 2 {
+		opts.Workers = w
+		t0 := time.Now()
+		cs, _, err := jp2k.Encode(im, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(t0)
+		if w == 1 {
+			ref, serial = cs, el
+		} else if !bytes.Equal(cs, ref) {
+			log.Fatal("parallel encoding changed the codestream!")
+		}
+		fmt.Printf("  workers=%-2d  %8v  speedup %.2f\n", w, el.Round(time.Millisecond),
+			serial.Seconds()/el.Seconds())
+	}
+
+	fmt.Println("\nsimulated 4-CPU Pentium II Xeon SMP (the paper's testbed):")
+	m := smp.PentiumIIXeon(4)
+	spec := smp.FilterSpec{W: 1024, H: 1024, Stride: 1024, Levels: 5, Kernel: dwt.Irr97, Mode: dwt.VertBlocked}
+	work := smp.VerticalWork(cachesim.NewPentiumII(), spec)
+	base := m.ParallelTime(work, 1, 5)
+	for p := 1; p <= 4; p++ {
+		fmt.Printf("  CPUs=%d  vertical filtering speedup %.2f\n", p, base/m.ParallelTime(work, p, 5))
+	}
+}

@@ -1,0 +1,118 @@
+// Package core implements the paper's parallelization strategy as a reusable
+// library: static contiguous partitioning for the deterministic-workload
+// wavelet transform (Sec. 3.2: "the deterministic workload allows a static
+// load allocation"), a staggered round-robin scheduler for code-blocks (the
+// load-balance fix for tier-1 coding), and a worker pool.
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count request: w <= 0 selects GOMAXPROCS.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// ParallelFor splits the index range [0, n) into at most p contiguous chunks
+// and runs fn(lo, hi) for each chunk, using p-1 extra goroutines. It returns
+// after all chunks complete (a barrier, as required between the vertical and
+// horizontal filtering of each DWT level). With p == 1 or tiny n it runs
+// inline with zero goroutine overhead.
+func ParallelFor(p, n int, fn func(lo, hi int)) {
+	p = Workers(p)
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := n / p
+	rem := n % p
+	lo := 0
+	for i := 0; i < p; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// StaggeredRoundRobin assigns n tasks to p workers the way the paper assigns
+// code-blocks to its thread pool: worker w receives tasks w, w+p, w+2p, ...
+// Adjacent code-blocks have correlated cost (they cover neighbouring image
+// regions), so striding by p spreads expensive regions across workers instead
+// of giving one worker a contiguous run of hard blocks.
+// The returned slice maps worker index to its task indices.
+func StaggeredRoundRobin(n, p int) [][]int {
+	p = Workers(p)
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	out := make([][]int, p)
+	for w := 0; w < p; w++ {
+		for t := w; t < n; t += p {
+			out[w] = append(out[w], t)
+		}
+	}
+	return out
+}
+
+// BlockRanges splits [0, n) into blocks of the given width; used by the
+// improved (blocked) vertical filtering to hand each worker whole column
+// blocks. The final block may be short.
+func BlockRanges(n, width int) [][2]int {
+	if width <= 0 {
+		width = n
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += width {
+		hi := lo + width
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// RunTasks executes tasks under a staggered round-robin assignment on p
+// workers. Each worker runs its tasks in sequence; workers run concurrently.
+func RunTasks(n, p int, task func(i int)) {
+	assign := StaggeredRoundRobin(n, p)
+	if len(assign) <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ts := range assign {
+		wg.Add(1)
+		go func(ts []int) {
+			defer wg.Done()
+			for _, i := range ts {
+				task(i)
+			}
+		}(ts)
+	}
+	wg.Wait()
+}

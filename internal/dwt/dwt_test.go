@@ -1,0 +1,322 @@
+package dwt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pj2k/internal/raster"
+)
+
+func randomImage(w, h int, seed int64) *raster.Image {
+	im := raster.New(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range im.Pix {
+		im.Pix[i] = int32(rng.Intn(256)) - 128
+	}
+	return im
+}
+
+var testStrategies = []Strategy{
+	{VertMode: VertNaive, Workers: 1},
+	{VertMode: VertBlocked, BlockWidth: 8, Workers: 1},
+	{VertMode: VertBlocked, BlockWidth: 32, Workers: 1},
+	{VertMode: VertNaive, Workers: 4},
+	{VertMode: VertBlocked, BlockWidth: 16, Workers: 4},
+}
+
+func TestForward53PerfectReconstruction(t *testing.T) {
+	sizes := [][2]int{{1, 1}, {1, 7}, {7, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 9}, {16, 16}, {17, 31}, {64, 64}, {33, 65}, {128, 96}}
+	for _, sz := range sizes {
+		for levels := 0; levels <= 5; levels++ {
+			for si, st := range testStrategies {
+				im := randomImage(sz[0], sz[1], int64(levels*100+si))
+				orig := im.Clone()
+				Forward53(im, levels, st)
+				Inverse53(im, levels, st)
+				if !raster.Equal(im, orig) {
+					t.Fatalf("5/3 PR failed: size %v levels %d strategy %d (%v)", sz, levels, si, st)
+				}
+			}
+		}
+	}
+}
+
+func TestForward53StrategiesBitIdentical(t *testing.T) {
+	// All vertical modes and worker counts must produce the same transform,
+	// or the paper's "parallelize without changing the output" claim breaks.
+	im0 := randomImage(67, 43, 1)
+	ref := im0.Clone()
+	Forward53(ref, 3, testStrategies[0])
+	for si, st := range testStrategies[1:] {
+		im := im0.Clone()
+		Forward53(im, 3, st)
+		if !raster.Equal(im, ref) {
+			t.Fatalf("strategy %d (%v) output differs from naive serial", si+1, st)
+		}
+	}
+}
+
+func TestForward53OnPaddedStride(t *testing.T) {
+	// The width-padding cache fix must not change the transform.
+	w, h := 64, 48
+	src := randomImage(w, h, 2)
+	ref := src.Clone()
+	Forward53(ref, 3, Serial)
+
+	pad := raster.NewPadded(w, h, w+24)
+	for y := 0; y < h; y++ {
+		copy(pad.Pix[y*pad.Stride:y*pad.Stride+w], src.Row(y))
+	}
+	Forward53(pad, 3, Serial)
+	if !raster.Equal(pad.Clone(), ref) {
+		t.Fatal("padded-stride transform differs from dense transform")
+	}
+}
+
+func TestForward97PerfectReconstruction(t *testing.T) {
+	sizes := [][2]int{{1, 1}, {2, 2}, {5, 9}, {16, 16}, {17, 31}, {64, 64}, {128, 96}}
+	for _, sz := range sizes {
+		for levels := 0; levels <= 5; levels++ {
+			for si, st := range testStrategies {
+				im := randomImage(sz[0], sz[1], int64(levels*100+si+7))
+				p := FromImage(im)
+				orig := append([]float64(nil), p.Data...)
+				Forward97(p, levels, st)
+				Inverse97(p, levels, st)
+				for i := range p.Data {
+					if math.Abs(p.Data[i]-orig[i]) > 1e-6 {
+						t.Fatalf("9/7 PR failed at %d: got %g want %g (size %v levels %d strategy %d)",
+							i, p.Data[i], orig[i], sz, levels, si)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForward97StrategiesMatch(t *testing.T) {
+	im := randomImage(67, 43, 3)
+	ref := FromImage(im)
+	Forward97(ref, 3, testStrategies[0])
+	for si, st := range testStrategies[1:] {
+		p := FromImage(im)
+		Forward97(p, 3, st)
+		for i := range p.Data {
+			if math.Abs(p.Data[i]-ref.Data[i]) > 1e-9 {
+				t.Fatalf("strategy %d (%v) differs from naive serial at %d: %g vs %g",
+					si+1, st, i, p.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestDWT53EnergyCompaction(t *testing.T) {
+	// On a smooth natural image most energy must land in the LL band.
+	im := raster.Synthetic(128, 128, 9)
+	// Remove the mean so energy compares fairly.
+	var mean int64
+	for _, v := range im.Pix {
+		mean += int64(v)
+	}
+	m := int32(mean / int64(len(im.Pix)))
+	for i := range im.Pix {
+		im.Pix[i] -= m
+	}
+	total := float64(0)
+	for _, v := range im.Pix {
+		total += float64(v) * float64(v)
+	}
+	Forward53(im, 3, Serial)
+	// The transform is not orthonormal (lowpass DC gain 1), so weight each
+	// band's energy by its synthesis norm to compare in the image domain.
+	var llE, all float64
+	for _, b := range Subbands(128, 128, 3) {
+		w := BandNorm(Rev53, 3, b)
+		var e float64
+		for y := b.Y0; y < b.Y1; y++ {
+			for x := b.X0; x < b.X1; x++ {
+				v := float64(im.At(x, y))
+				e += v * v
+			}
+		}
+		e *= w * w
+		all += e
+		if b.Type == LL {
+			llE = e
+		}
+	}
+	// Weighted total should approximate the image energy. The 5/3 pair is
+	// biorthogonal rather than orthogonal, so allow a generous band.
+	if all < 0.3*total || all > 3*total {
+		t.Fatalf("weighted transform energy %.0f vs image energy %.0f; norms inconsistent", all, total)
+	}
+	// The LL band holds 1/64 of the samples; energy compaction should put
+	// well over half the energy there for a natural image.
+	if llE < 0.5*all {
+		t.Fatalf("LL energy fraction %.3f too small; DWT not compacting", llE/all)
+	}
+}
+
+func TestDWT97DCGain(t *testing.T) {
+	// A constant image must transform to (almost) pure LL with unit DC gain
+	// per level in the JPEG2000 normalization.
+	p := NewFPlane(64, 64)
+	for i := range p.Data {
+		p.Data[i] = 100
+	}
+	Forward97(p, 3, Serial)
+	bands := Subbands(64, 64, 3)
+	ll := bands[0]
+	for y := ll.Y0 + 1; y < ll.Y1-1; y++ {
+		for x := ll.X0 + 1; x < ll.X1-1; x++ {
+			if math.Abs(p.Data[y*p.Stride+x]-100) > 1e-6 {
+				t.Fatalf("LL interior sample %g, want 100 (DC gain 1)", p.Data[y*p.Stride+x])
+			}
+		}
+	}
+	for _, b := range bands[1:] {
+		for y := b.Y0; y < b.Y1; y++ {
+			for x := b.X0; x < b.X1; x++ {
+				if math.Abs(p.Data[y*p.Stride+x]) > 1e-6 {
+					t.Fatalf("%v sample %g, want 0 for constant input", b.Type, p.Data[y*p.Stride+x])
+				}
+			}
+		}
+	}
+}
+
+func TestSubbandsGeometry(t *testing.T) {
+	bands := Subbands(64, 48, 3)
+	if len(bands) != 10 {
+		t.Fatalf("got %d bands", len(bands))
+	}
+	if bands[0].Type != LL || bands[0].X1 != 8 || bands[0].Y1 != 6 {
+		t.Fatalf("LL band wrong: %+v", bands[0])
+	}
+	// Bands must tile the image exactly: total area matches, no overlap.
+	area := 0
+	covered := make([]bool, 64*48)
+	for _, b := range bands {
+		area += b.Width() * b.Height()
+		for y := b.Y0; y < b.Y1; y++ {
+			for x := b.X0; x < b.X1; x++ {
+				if covered[y*64+x] {
+					t.Fatalf("band overlap at (%d,%d) in %+v", x, y, b)
+				}
+				covered[y*64+x] = true
+			}
+		}
+	}
+	if area != 64*48 {
+		t.Fatalf("bands cover %d of %d samples", area, 64*48)
+	}
+}
+
+func TestSubbandsOddSizes(t *testing.T) {
+	// Odd dimensions: lowpass gets the extra sample at every level.
+	bands := Subbands(5, 7, 2)
+	ll := bands[0]
+	if ll.X1 != 2 || ll.Y1 != 2 {
+		t.Fatalf("LL of 5x7 @2 levels = %dx%d, want 2x2", ll.X1, ll.Y1)
+	}
+	area := 0
+	for _, b := range bands {
+		if b.Width() < 0 || b.Height() < 0 {
+			t.Fatalf("negative band %+v", b)
+		}
+		area += b.Width() * b.Height()
+	}
+	if area != 35 {
+		t.Fatalf("area %d != 35", area)
+	}
+}
+
+func TestBandsOfResolution(t *testing.T) {
+	levels := 3
+	if got := BandsOfResolution(levels, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("r0: %v", got)
+	}
+	bands := Subbands(64, 64, levels)
+	for r := 1; r <= levels; r++ {
+		idx := BandsOfResolution(levels, r)
+		wantLevel := levels - r + 1
+		for _, i := range idx {
+			if bands[i].Level != wantLevel {
+				t.Fatalf("resolution %d includes band level %d, want %d", r, bands[i].Level, wantLevel)
+			}
+		}
+	}
+}
+
+func TestBandNorms(t *testing.T) {
+	for _, k := range []Kernel{Rev53, Irr97} {
+		levels := 3
+		bands := Subbands(64, 64, levels)
+		var prevLL float64
+		for _, b := range bands {
+			n := BandNorm(k, levels, b)
+			if n <= 0 || math.IsNaN(n) {
+				t.Fatalf("%v %v norm = %g", k, b.Type, n)
+			}
+			if b.Type == LL {
+				prevLL = n
+			}
+		}
+		// Deeper lowpass synthesis vectors have larger norms: LL norm must
+		// exceed the shallowest HH norm.
+		hh1 := bands[len(bands)-1]
+		if BandNorm(k, levels, hh1) >= prevLL {
+			t.Fatalf("%v: HH1 norm %g >= LL norm %g", k, BandNorm(k, levels, hh1), prevLL)
+		}
+	}
+}
+
+func TestBandNorm97LLValue(t *testing.T) {
+	// For the normalized 9/7, the 1-level LL synthesis norm is known to be
+	// close to 1.9659 (the standard's energy-weight tables).
+	b := Subbands(32, 32, 1)[0]
+	n := BandNorm(Irr97, 1, b)
+	if math.Abs(n-1.9659) > 0.05 {
+		t.Fatalf("LL1 norm %g, want ~1.9659", n)
+	}
+}
+
+func TestQuick53RoundTrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64, lv uint8) bool {
+		w, h := 1+int(w8%70), 1+int(h8%70)
+		levels := int(lv % 6)
+		im := randomImage(w, h, seed)
+		orig := im.Clone()
+		st := testStrategies[int(uint8(seed))%len(testStrategies)]
+		Forward53(im, levels, st)
+		Inverse53(im, levels, st)
+		return raster.Equal(im, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuick97RoundTrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64, lv uint8) bool {
+		w, h := 1+int(w8%70), 1+int(h8%70)
+		levels := int(lv % 6)
+		im := randomImage(w, h, seed)
+		p := FromImage(im)
+		orig := append([]float64(nil), p.Data...)
+		st := testStrategies[int(uint8(seed))%len(testStrategies)]
+		Forward97(p, levels, st)
+		Inverse97(p, levels, st)
+		for i := range p.Data {
+			if math.Abs(p.Data[i]-orig[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package dwt implements the JPEG2000 wavelet transforms: the reversible 5/3
+// integer lifting (lossless path) and the irreversible 9/7 float lifting
+// (lossy path), over multiple decomposition levels, with the three vertical
+// filtering strategies the paper studies: the original column-at-a-time
+// filter, width padding, and the improved blocked filter that processes
+// several adjacent columns concurrently inside one processor.
+package dwt
+
+// 9/7 lifting constants (ISO/IEC 15444-1, Table F.4 conventions).
+const (
+	alpha97 = -1.586134342059924
+	beta97  = -0.052980118572961
+	gamma97 = 0.882911075530934
+	delta97 = 0.443506852043971
+	k97     = 1.230174104914001
+)
+
+// sExt clamps a lowpass index for symmetric extension: for the 5/3 and 9/7
+// lifting steps, mirroring the signal at even boundaries is equivalent to
+// clamping neighbour indices into the valid range.
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// lift53Fwd applies the forward 5/3 lifting to an interleaved contiguous
+// signal buf (even samples = lowpass positions). len(buf) >= 2.
+func lift53Fwd(buf []int32) {
+	n := len(buf)
+	if n < 2 {
+		return
+	}
+	sn := (n + 1) / 2 // lowpass count (even origin)
+	dn := n / 2       // highpass count
+	// Predict: d(i) -= (s(i) + s(i+1)) >> 1
+	for i := 0; i < dn; i++ {
+		s1 := buf[2*clamp(i+1, sn)]
+		buf[2*i+1] -= (buf[2*i] + s1) >> 1
+	}
+	// Update: s(i) += (d(i-1) + d(i) + 2) >> 2
+	for i := 0; i < sn; i++ {
+		d0 := buf[2*clamp(i-1, dn)+1]
+		d1 := buf[2*clamp(i, dn)+1]
+		buf[2*i] += (d0 + d1 + 2) >> 2
+	}
+}
+
+// lift53Inv inverts lift53Fwd.
+func lift53Inv(buf []int32) {
+	n := len(buf)
+	if n < 2 {
+		return
+	}
+	sn := (n + 1) / 2
+	dn := n / 2
+	for i := 0; i < sn; i++ {
+		d0 := buf[2*clamp(i-1, dn)+1]
+		d1 := buf[2*clamp(i, dn)+1]
+		buf[2*i] -= (d0 + d1 + 2) >> 2
+	}
+	for i := 0; i < dn; i++ {
+		s1 := buf[2*clamp(i+1, sn)]
+		buf[2*i+1] += (buf[2*i] + s1) >> 1
+	}
+}
+
+// lift97Fwd applies the forward 9/7 lifting (four steps plus scaling) to an
+// interleaved contiguous signal.
+func lift97Fwd(buf []float64) {
+	n := len(buf)
+	sn := (n + 1) / 2
+	dn := n / 2
+	if dn == 0 {
+		return // single lowpass sample passes through
+	}
+	for i := 0; i < dn; i++ {
+		buf[2*i+1] += alpha97 * (buf[2*i] + buf[2*clamp(i+1, sn)])
+	}
+	for i := 0; i < sn; i++ {
+		buf[2*i] += beta97 * (buf[2*clamp(i-1, dn)+1] + buf[2*clamp(i, dn)+1])
+	}
+	for i := 0; i < dn; i++ {
+		buf[2*i+1] += gamma97 * (buf[2*i] + buf[2*clamp(i+1, sn)])
+	}
+	for i := 0; i < sn; i++ {
+		buf[2*i] += delta97 * (buf[2*clamp(i-1, dn)+1] + buf[2*clamp(i, dn)+1])
+	}
+	for i := 0; i < sn; i++ {
+		buf[2*i] *= 1 / k97
+	}
+	for i := 0; i < dn; i++ {
+		buf[2*i+1] *= k97
+	}
+}
+
+// lift97Inv inverts lift97Fwd.
+func lift97Inv(buf []float64) {
+	n := len(buf)
+	sn := (n + 1) / 2
+	dn := n / 2
+	if dn == 0 {
+		return
+	}
+	for i := 0; i < sn; i++ {
+		buf[2*i] *= k97
+	}
+	for i := 0; i < dn; i++ {
+		buf[2*i+1] *= 1 / k97
+	}
+	for i := 0; i < sn; i++ {
+		buf[2*i] -= delta97 * (buf[2*clamp(i-1, dn)+1] + buf[2*clamp(i, dn)+1])
+	}
+	for i := 0; i < dn; i++ {
+		buf[2*i+1] -= gamma97 * (buf[2*i] + buf[2*clamp(i+1, sn)])
+	}
+	for i := 0; i < sn; i++ {
+		buf[2*i] -= beta97 * (buf[2*clamp(i-1, dn)+1] + buf[2*clamp(i, dn)+1])
+	}
+	for i := 0; i < dn; i++ {
+		buf[2*i+1] -= alpha97 * (buf[2*i] + buf[2*clamp(i+1, sn)])
+	}
+}
+
+// deinterleave53 scatters an interleaved lifted buffer into low|high halves.
+func deinterleave53(src, dst []int32) {
+	n := len(src)
+	sn := (n + 1) / 2
+	for i := 0; i < sn; i++ {
+		dst[i] = src[2*i]
+	}
+	for i := 0; i < n/2; i++ {
+		dst[sn+i] = src[2*i+1]
+	}
+}
+
+// interleave53 is the inverse of deinterleave53.
+func interleave53(src, dst []int32) {
+	n := len(src)
+	sn := (n + 1) / 2
+	for i := 0; i < sn; i++ {
+		dst[2*i] = src[i]
+	}
+	for i := 0; i < n/2; i++ {
+		dst[2*i+1] = src[sn+i]
+	}
+}
+
+func deinterleave97(src, dst []float64) {
+	n := len(src)
+	sn := (n + 1) / 2
+	for i := 0; i < sn; i++ {
+		dst[i] = src[2*i]
+	}
+	for i := 0; i < n/2; i++ {
+		dst[sn+i] = src[2*i+1]
+	}
+}
+
+func interleave97(src, dst []float64) {
+	n := len(src)
+	sn := (n + 1) / 2
+	for i := 0; i < sn; i++ {
+		dst[2*i] = src[i]
+	}
+	for i := 0; i < n/2; i++ {
+		dst[2*i+1] = src[sn+i]
+	}
+}

@@ -1,0 +1,131 @@
+package dwt
+
+import (
+	"math"
+	"sync"
+)
+
+// Kernel selects the wavelet filter pair.
+type Kernel int
+
+const (
+	Rev53 Kernel = iota // reversible 5/3 integer lifting (lossless)
+	Irr97               // irreversible 9/7 float lifting (lossy)
+)
+
+func (k Kernel) String() string {
+	if k == Rev53 {
+		return "5/3"
+	}
+	return "9/7"
+}
+
+// BandNorm returns the L2 norm of the synthesis basis vectors of the given
+// subband: the factor by which unit quantization error in that band inflates
+// image-domain MSE. Rather than hard-coding tables, the norms are measured
+// numerically by synthesizing a centered impulse per band, which keeps them
+// consistent with this implementation's exact filter conventions. Results
+// are cached per (kernel, levels).
+func BandNorm(k Kernel, levels int, b Subband) float64 {
+	norms := bandNorms(k, levels)
+	if b.Type == LL {
+		return norms[0]
+	}
+	// Bands are stored LL, then (HL,LH,HH) per level from deepest (levels)
+	// to shallowest (1).
+	base := 1 + 3*(levels-b.Level)
+	return norms[base+int(b.Type-HL)]
+}
+
+type normKey struct {
+	k      Kernel
+	levels int
+}
+
+var (
+	normMu    sync.Mutex
+	normCache = map[normKey][]float64{}
+)
+
+func bandNorms(k Kernel, levels int) []float64 {
+	normMu.Lock()
+	defer normMu.Unlock()
+	if v, ok := normCache[normKey{k, levels}]; ok {
+		return v
+	}
+	// A plane large enough that the deepest band is at least 8x8, so the
+	// centered impulse's synthesis footprint avoids the borders.
+	n := 8 << uint(levels)
+	bands := Subbands(n, n, levels)
+	norms := make([]float64, len(bands))
+	for i, b := range bands {
+		p := NewFPlane(n, n)
+		cx := (b.X0 + b.X1) / 2
+		cy := (b.Y0 + b.Y1) / 2
+		p.Data[cy*p.Stride+cx] = 1
+		inverseFloat(p, levels, k)
+		var sum2 float64
+		for _, v := range p.Data {
+			sum2 += v * v
+		}
+		norms[i] = math.Sqrt(sum2)
+	}
+	normCache[normKey{k, levels}] = norms
+	return norms
+}
+
+// inverseFloat runs the float inverse transform with the selected kernel;
+// for Rev53 it uses the exact (unrounded) 5/3 synthesis, which is what the
+// norm of the underlying linear operator requires.
+func inverseFloat(p *FPlane, levels int, k Kernel) {
+	if k == Irr97 {
+		Inverse97(p, levels, Strategy{VertMode: VertNaive, Workers: 1})
+		return
+	}
+	for l := levels - 1; l >= 0; l-- {
+		cw, ch := levelDims(p.Width, p.Height, l)
+		// Vertical then horizontal, mirroring Inverse53.
+		if ch >= 2 {
+			col := make([]float64, ch)
+			buf := make([]float64, ch)
+			for x := 0; x < cw; x++ {
+				for y := 0; y < ch; y++ {
+					col[y] = p.Data[y*p.Stride+x]
+				}
+				interleave97(col, buf)
+				lift53InvFloat(buf)
+				for y := 0; y < ch; y++ {
+					p.Data[y*p.Stride+x] = buf[y]
+				}
+			}
+		}
+		if cw >= 2 {
+			tmp := make([]float64, cw)
+			for y := 0; y < ch; y++ {
+				row := p.Data[y*p.Stride : y*p.Stride+cw]
+				interleave97(row, tmp)
+				copy(row, tmp)
+				lift53InvFloat(row)
+			}
+		}
+	}
+}
+
+// lift53InvFloat is the linearized 5/3 synthesis (no floor rounding).
+func lift53InvFloat(buf []float64) {
+	n := len(buf)
+	if n < 2 {
+		return
+	}
+	sn := (n + 1) / 2
+	dn := n / 2
+	for i := 0; i < sn; i++ {
+		d0 := buf[2*clamp(i-1, dn)+1]
+		d1 := buf[2*clamp(i, dn)+1]
+		buf[2*i] -= (d0 + d1) / 4
+	}
+	for i := 0; i < dn; i++ {
+		s1 := buf[2*clamp(i+1, sn)]
+		buf[2*i+1] += (buf[2*i] + s1) / 2
+	}
+}

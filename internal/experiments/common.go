@@ -1,0 +1,210 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Measured quantities come
+// from this repository's codec running on the host; speedup curves for the
+// paper's 4-CPU Intel SMP and 16-CPU SGI come from the internal/smp machine
+// model driven by cache simulation (the substitution DESIGN.md documents —
+// this reproduction may run on hosts with a single core).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"pj2k/internal/cachesim"
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+	"pj2k/internal/smp"
+)
+
+// Table is a simple printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%d", d.Milliseconds()) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// measureStages encodes a synthetic image of the given Kpixel size and
+// returns the encoder's stage timings.
+func measureStages(kpix int, kernel dwt.Kernel, mode dwt.VertMode, bpp float64) (jp2k.StageTimings, int) {
+	im := raster.KPixelImage(kpix, uint64(kpix))
+	opts := jp2k.Options{
+		Kernel:   kernel,
+		Workers:  1,
+		VertMode: mode,
+	}
+	if bpp > 0 {
+		opts.LayerBPP = []float64{bpp}
+	}
+	_, stats, err := jp2k.Encode(im, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: encode failed: %v", err))
+	}
+	return stats.Timings, stats.Bytes
+}
+
+// filterWorks returns the model work of each filtering variant for a square
+// image of the given side, on the paper's default 5-level 9/7 pyramid, under
+// the given cache (Pentium-II 4-way for the Intel figures, direct-mapped
+// IP25 for the SGI figures).
+func filterWorks(cfg cachesim.Config, side int) (vertNaive, vertBlocked, horiz smp.Work) {
+	spec := smp.FilterSpec{W: side, H: side, Stride: side, Levels: 5, Kernel: dwt.Irr97}
+	spec.Mode = dwt.VertNaive
+	vertNaive = smp.VerticalWork(cfg, spec)
+	spec.Mode = dwt.VertBlocked
+	vertBlocked = smp.VerticalWork(cfg, spec)
+	horiz = smp.HorizontalWork(cfg, spec)
+	return
+}
+
+// paperShares is the stage profile of the ORIGINAL serial coder taken from
+// the paper's Fig. 3 measurements (Jasper/JJ2000). The wavelet transform's
+// share grows with image size (its cache misses hurt superlinearly), which
+// is what makes the filtering fix dominate on large images; the intrinsic
+// serial share (image I/O, setup, rate allocation, tier-2, bitstream I/O)
+// shrinks with size. Our own Go pipeline has a different profile (Fig. 3
+// table, host-measured) — these shares anchor the *paper's* system.
+type shares struct {
+	serial float64 // image I/O + setup + R/D + tier-2 + bitstream I/O
+	dwt    float64
+	quant  float64
+	t1     float64
+}
+
+func paperShares(kpix int) shares {
+	var s shares
+	switch {
+	case kpix <= 256:
+		s = shares{serial: 0.40, dwt: 0.35, quant: 0.03}
+	case kpix <= 1024:
+		s = shares{serial: 0.35, dwt: 0.42, quant: 0.03}
+	case kpix <= 4096:
+		s = shares{serial: 0.30, dwt: 0.50, quant: 0.03}
+	default:
+		s = shares{serial: 0.18, dwt: 0.65, quant: 0.03}
+	}
+	s.t1 = 1 - s.serial - s.dwt - s.quant
+	return s
+}
+
+// paperTotalSec is the original serial coding time of the paper's testbeds:
+// ~2.7 ms/Kpixel on the 500 MHz Intel box (Fig. 3) and roughly four times
+// that on the SGI ("very poor computation times when compared with the fast
+// Intel processors").
+func paperTotalSec(m smp.Machine, kpix int) float64 {
+	perKpix := 2.7e-3
+	if m.ClockHz < 300e6 {
+		perKpix = 11e-3
+	}
+	return perKpix * float64(kpix)
+}
+
+// modelStages is the model-domain stage profile of the paper's encoder for
+// one image size on one machine: pure-ops work for the non-transform stages
+// (sized by the Fig. 3 shares) and cache-simulated work for the filtering
+// variants (scaled so the naive transform matches its Fig. 3 share).
+type modelStages struct {
+	imageIO, setup, quant, t1, ra, t2, io smp.Work
+	vert, horiz                           smp.Work
+	levels                                int
+}
+
+// buildModelPair builds the original- and improved-filtering profiles for an
+// image of kpix Kpixels on machine m with per-CPU cache cfg.
+func buildModelPair(m smp.Machine, cfg cachesim.Config, kpix int) (orig, impr modelStages) {
+	sh := paperShares(kpix)
+	total := paperTotalSec(m, kpix)
+	side := raster.KPixelImage(kpix, 1).Width
+	vn, vb, hz := filterWorks(cfg, side)
+
+	opsFor := func(frac float64) smp.Work {
+		return smp.Work{Ops: frac * total * m.ClockHz * m.OpsPerCycle}
+	}
+	base := modelStages{
+		// Serial split within the serial share: image I/O 35%, setup 15%,
+		// R/D allocation 20%, tier-2 20%, bitstream I/O 10%.
+		imageIO: opsFor(sh.serial * 0.35),
+		setup:   opsFor(sh.serial * 0.15),
+		ra:      opsFor(sh.serial * 0.20),
+		t2:      opsFor(sh.serial * 0.20),
+		io:      opsFor(sh.serial * 0.10),
+		quant:   opsFor(sh.quant),
+		t1:      opsFor(sh.t1),
+		levels:  5,
+	}
+	// Scale the cache-simulated filtering works so the NAIVE transform's
+	// serial time equals its Fig. 3 share; the improvement ratio and the
+	// bus traffic then follow from the cache simulation.
+	naiveSerial := m.SerialTime(smp.Work{Ops: vn.Ops + hz.Ops, Misses: vn.Misses + hz.Misses})
+	scale := sh.dwt * total / naiveSerial
+	mul := func(w smp.Work) smp.Work {
+		return smp.Work{Ops: w.Ops * scale, Misses: w.Misses * scale}
+	}
+	orig, impr = base, base
+	orig.vert, impr.vert = mul(vn), mul(vb)
+	orig.horiz, impr.horiz = mul(hz), mul(hz)
+	return orig, impr
+}
+
+// totalTime evaluates the full pipeline on machine m with p CPUs: DWT, quant
+// and tier-1 run in parallel; image I/O, setup, rate allocation, tier-2 and
+// bitstream I/O remain sequential (the paper's intrinsically sequential
+// parts).
+func (st modelStages) totalTime(m smp.Machine, p int) float64 {
+	t := m.SerialTime(st.imageIO) + m.SerialTime(st.setup)
+	t += m.ParallelTime(st.vert, p, st.levels) + m.ParallelTime(st.horiz, p, st.levels)
+	t += m.ParallelTime(st.quant, p, 1)
+	t += m.ParallelTime(st.t1, p, 1)
+	t += m.SerialTime(st.ra) + m.SerialTime(st.t2) + m.SerialTime(st.io)
+	return t
+}
+
+// profile returns the Amdahl split of the pipeline on machine m.
+func (st modelStages) profile(m smp.Machine) (seq, par float64) {
+	seq = m.SerialTime(st.imageIO) + m.SerialTime(st.setup) +
+		m.SerialTime(st.ra) + m.SerialTime(st.t2) + m.SerialTime(st.io)
+	par = m.SerialTime(st.vert) + m.SerialTime(st.horiz) + m.SerialTime(st.quant) + m.SerialTime(st.t1)
+	return
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pj2k/internal/amdahl"
+	"pj2k/internal/cachesim"
+	"pj2k/internal/smp"
+)
+
+// Fig6 reproduces the parallel runtime analysis of the naive-filter encoder
+// on the 4-CPU Intel SMP (paper Fig. 6): per-stage model times with the
+// transform and code-block stages parallelized.
+func Fig6(sizes []int) *Table {
+	m := smp.PentiumIIXeon(4)
+	t := &Table{
+		Title:   "Fig. 6 — Parallel runtime analysis, 4 CPUs, original filtering (model ms)",
+		Columns: []string{"Kpixels", "setup", "DWT", "quant", "tier-1", "seq-rest", "total", "speedup-vs-serial"},
+		Notes: []string{
+			"paper shape: overall speedup only ~1.75-1.85 on 4 CPUs; the",
+			"DWT barely improves because the naive vertical filter congests",
+			"the bus with cache misses.",
+		},
+	}
+	for _, kp := range sizes {
+		st, _ := buildModelPair(m, cachesim.NewPentiumII(), kp)
+		serial := st.totalTime(m, 1)
+		dwtT := m.ParallelTime(st.vert, 4, st.levels) + m.ParallelTime(st.horiz, 4, st.levels)
+		qT := m.ParallelTime(st.quant, 4, 1)
+		t1T := m.ParallelTime(st.t1, 4, 1)
+		seqRest := m.SerialTime(st.setup) + m.SerialTime(st.ra) + m.SerialTime(st.t2) + m.SerialTime(st.io)
+		total := st.totalTime(m, 4)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", kp),
+			fmt.Sprintf("%.0f", m.SerialTime(st.setup)*1e3),
+			fmt.Sprintf("%.0f", dwtT*1e3),
+			fmt.Sprintf("%.0f", qT*1e3),
+			fmt.Sprintf("%.0f", t1T*1e3),
+			fmt.Sprintf("%.0f", seqRest*1e3),
+			fmt.Sprintf("%.0f", total*1e3),
+			f2(serial / total),
+		})
+	}
+	return t
+}
+
+// Fig9 is Fig6 with the improved (blocked) vertical filtering — paper
+// Fig. 9, where the overall gain versus the ORIGINAL serial code becomes
+// superlinear (~2.7x on 4 CPUs) because the filter fix compounds with the
+// parallelism.
+func Fig9(sizes []int) *Table {
+	m := smp.PentiumIIXeon(4)
+	t := &Table{
+		Title:   "Fig. 9 — Parallel runtime analysis, 4 CPUs, improved filtering (model ms)",
+		Columns: []string{"Kpixels", "DWT", "tier-1", "seq-rest", "total", "speedup-vs-original-serial"},
+		Notes: []string{
+			"paper shape: ~2.7x vs the original serial implementation;",
+			"superlinearity comes from the cache fix, not the CPUs.",
+		},
+	}
+	for _, kp := range sizes {
+		orig, impr := buildModelPair(m, cachesim.NewPentiumII(), kp)
+		origSerial := orig.totalTime(m, 1)
+		dwtT := m.ParallelTime(impr.vert, 4, impr.levels) + m.ParallelTime(impr.horiz, 4, impr.levels)
+		t1T := m.ParallelTime(impr.t1, 4, 1)
+		seqRest := m.SerialTime(impr.setup) + m.SerialTime(impr.ra) + m.SerialTime(impr.t2) + m.SerialTime(impr.io)
+		total := impr.totalTime(m, 4)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", kp),
+			fmt.Sprintf("%.0f", dwtT*1e3),
+			fmt.Sprintf("%.0f", t1T*1e3),
+			fmt.Sprintf("%.0f", seqRest*1e3),
+			fmt.Sprintf("%.0f", total*1e3),
+			f2(origSerial / total),
+		})
+	}
+	return t
+}
+
+// Fig7 reproduces the original-vs-improved filtering runtimes on 1-4 CPUs of
+// the Intel SMP (paper Fig. 7), fully in the model domain.
+func Fig7(side int) *Table {
+	vn, vb, hz := filterWorks(cachesim.NewPentiumII(), side)
+	m := smp.PentiumIIXeon(4)
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 7 — Filtering runtimes, %dx%d, Intel SMP (model ms)", side, side),
+		Columns: []string{"CPUs", "vertical", "vert-improved", "horizontal"},
+		Notes: []string{
+			"paper shape: original vertical filtering several times slower",
+			"than horizontal; the improved filter closes the gap.",
+		},
+	}
+	for p := 1; p <= 4; p++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.0f", m.ParallelTime(vn, p, 5)*1e3),
+			fmt.Sprintf("%.0f", m.ParallelTime(vb, p, 5)*1e3),
+			fmt.Sprintf("%.0f", m.ParallelTime(hz, p, 5)*1e3),
+		})
+	}
+	return t
+}
+
+// Fig8 converts Fig7 into speedup curves (paper Fig. 8).
+func Fig8(side int) *Table {
+	vn, vb, hz := filterWorks(cachesim.NewPentiumII(), side)
+	m := smp.PentiumIIXeon(4)
+	t := &Table{
+		Title:   "Fig. 8 — Filtering speedup vs 1 CPU (Intel SMP, model)",
+		Columns: []string{"CPUs", "linear", "vertical", "vert-improved", "horizontal"},
+		Notes: []string{
+			"paper shape: original vertical saturates well below linear",
+			"(bus congestion from cache misses); improved matches horizontal.",
+		},
+	}
+	base := map[string]float64{
+		"vn": m.ParallelTime(vn, 1, 5),
+		"vb": m.ParallelTime(vb, 1, 5),
+		"hz": m.ParallelTime(hz, 1, 5),
+	}
+	for p := 1; p <= 4; p++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", p),
+			f2(base["vn"] / m.ParallelTime(vn, p, 5)),
+			f2(base["vb"] / m.ParallelTime(vb, p, 5)),
+			f2(base["hz"] / m.ParallelTime(hz, p, 5)),
+		})
+	}
+	return t
+}
+
+// Fig10 reproduces the SGI filtering runtimes for the 16384-Kpixel image
+// (paper Fig. 10): original vs modified vertical filtering, 1-16 CPUs.
+func Fig10() *Table {
+	const side = 4096
+	vn, vb, hz := filterWorks(cachesim.NewSGIIP25(), side)
+	t := &Table{
+		Title:   "Fig. 10 — Vertical filtering runtimes, 16384 Kpixels, SGI (model ms)",
+		Columns: []string{"CPUs", "original-vertical", "modified-vertical", "original-horizontal"},
+		Notes: []string{
+			"paper shape: a big gap between original vertical and horizontal",
+			"filtering; the modified filter closes it at every CPU count.",
+		},
+	}
+	for _, p := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
+		m := smp.SGIPowerChallenge(16)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.0f", m.ParallelTime(vn, p, 5)*1e3),
+			fmt.Sprintf("%.0f", m.ParallelTime(vb, p, 5)*1e3),
+			fmt.Sprintf("%.0f", m.ParallelTime(hz, p, 5)*1e3),
+		})
+	}
+	return t
+}
+
+// Fig11 reproduces the SGI vertical-filtering speedup relative to the
+// ORIGINAL serial vertical filter (paper Fig. 11, which peaks around 80x).
+func Fig11() *Table {
+	const side = 4096
+	vn, vb, _ := filterWorks(cachesim.NewSGIIP25(), side)
+	m := smp.SGIPowerChallenge(16)
+	origSerial := m.ParallelTime(vn, 1, 5)
+	t := &Table{
+		Title:   "Fig. 11 — Vertical filtering speedup vs ORIGINAL serial (SGI, model)",
+		Columns: []string{"CPUs", "original", "modified"},
+		Notes: []string{
+			"paper shape: modified filtering reaches ~80x vs the original",
+			"serial routine at 16 CPUs (cache gain times CPU count);",
+			"the original saturates.",
+		},
+	}
+	for _, p := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			f2(origSerial / m.ParallelTime(vn, p, 5)),
+			f2(origSerial / m.ParallelTime(vb, p, 5)),
+		})
+	}
+	return t
+}
+
+// Fig12 reproduces the total-coding-time speedup vs the original serial
+// Jasper (paper Fig. 12: ~5x with 10 CPUs).
+func Fig12(kpix int) *Table {
+	m := smp.SGIPowerChallenge(16)
+	orig, impr := buildModelPair(m, cachesim.NewSGIIP25(), kpix)
+	origSerial := orig.totalTime(m, 1)
+	t := &Table{
+		Title:   "Fig. 12 — Total coding speedup vs ORIGINAL serial (SGI, model)",
+		Columns: []string{"CPUs", "parallel-only", "parallel+modified-filtering"},
+		Notes: []string{
+			"paper shape: parallelism plus the filter fix reach ~5x vs the",
+			"original serial coder around 10-16 CPUs; superlinear because",
+			"the baseline is the unoptimized code.",
+		},
+	}
+	for _, p := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			f2(origSerial / orig.totalTime(m, p)),
+			f2(origSerial / impr.totalTime(m, p)),
+		})
+	}
+	return t
+}
+
+// Fig13 is the classical speedup: the same parallel runs measured against
+// the best serial code (improved filtering), paper Fig. 13 (~2x).
+func Fig13(kpix int) *Table {
+	m := smp.SGIPowerChallenge(16)
+	_, impr := buildModelPair(m, cachesim.NewSGIIP25(), kpix)
+	bestSerial := impr.totalTime(m, 1)
+	t := &Table{
+		Title:   "Fig. 13 — Classical speedup vs best serial (SGI, model)",
+		Columns: []string{"CPUs", "speedup"},
+		Notes: []string{
+			"paper shape: little more than 2x — the intrinsically",
+			"sequential stages now dominate (Amdahl).",
+		},
+	}
+	for _, p := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			f2(bestSerial / impr.totalTime(m, p)),
+		})
+	}
+	return t
+}
+
+// QuantSpeedup reproduces the parallel-quantization aside of Sec. 3.3
+// (~3.2x on 4 CPUs for the quantization slice alone).
+func QuantSpeedup(kpix int) *Table {
+	m := smp.PentiumIIXeon(4)
+	_, st := buildModelPair(m, cachesim.NewPentiumII(), kpix)
+	base := m.ParallelTime(st.quant, 1, 1)
+	t := &Table{
+		Title:   "Sec. 3.3 — Parallel quantization speedup (Intel SMP, model)",
+		Columns: []string{"CPUs", "speedup"},
+		Notes: []string{
+			"paper: ~3.2x at 4 CPUs, but the stage is too small to move",
+			"the end-to-end number.",
+		},
+	}
+	for p := 1; p <= 4; p++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			f2(base / m.ParallelTime(st.quant, p, 1)),
+		})
+	}
+	return t
+}
+
+// Amdahl reproduces the Sec. 3.4 table: theoretical vs model-practical
+// speedup on 4 CPUs, before and after the filtering optimization.
+func Amdahl(kpix int) *Table {
+	m := smp.PentiumIIXeon(4)
+	t := &Table{
+		Title:   "Sec. 3.4 — Theoretical (Amdahl) vs practical speedup, 4 CPUs",
+		Columns: []string{"configuration", "parallel-fraction", "theoretical", "model-practical"},
+		Notes: []string{
+			"paper: theoretical ~2.1 vs measured 1.85 (Jasper-like);",
+			"after the filter fix the parallel fraction — and with it the",
+			"bound — drops toward ~2.4 overall.",
+		},
+	}
+	orig, impr := buildModelPair(m, cachesim.NewPentiumII(), kpix)
+	for _, cfg := range []struct {
+		name string
+		st   modelStages
+	}{
+		{"original filtering", orig},
+		{"improved filtering", impr},
+	} {
+		st := cfg.st
+		seq, par := st.profile(m)
+		pr := amdahl.Profile{Sequential: seq, Parallel: par}
+		practical := st.totalTime(m, 1) / st.totalTime(m, 4)
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			f2(pr.ParallelFraction()),
+			f2(pr.Speedup(4)),
+			f2(practical),
+		})
+	}
+	return t
+}

@@ -1,0 +1,204 @@
+package jp2k
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/mct"
+	"pj2k/internal/raster"
+	"pj2k/internal/t2"
+)
+
+// colorMagic heads the three-component container: the three component
+// codestreams (Y, Cb, Cr after the inter-component transform) are stored
+// back to back with a small directory. The inter-component transform and
+// per-component coding follow the standard; the container framing is this
+// library's own (a standard single-codestream multi-component layout is
+// future work, documented in DESIGN.md).
+var colorMagic = [4]byte{'P', 'J', '2', 'C'}
+
+// chromaShare is the fraction of the byte budget given to each chroma
+// component under lossy color coding; luma carries most of the perceptual
+// weight.
+const chromaShare = 0.15
+
+// EncodeColor compresses an RGB image (three equally sized planes). With
+// Kernel Rev53 the reversible color transform is used and the result is
+// lossless; with Irr97 the YCbCr rotation is applied and LayerBPP gives the
+// total bitrate across components.
+func EncodeColor(r, g, b *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
+	o := opts.withDefaults()
+	if r.Width != g.Width || r.Width != b.Width || r.Height != g.Height || r.Height != b.Height {
+		return nil, nil, fmt.Errorf("jp2k: component size mismatch")
+	}
+	shift := int32(1) << uint(o.BitDepth-1)
+	comps := [3]*raster.Image{r.Clone(), g.Clone(), b.Clone()}
+	for _, c := range comps {
+		for i := range c.Pix {
+			c.Pix[i] -= shift
+		}
+	}
+	if o.Kernel == dwt.Rev53 {
+		if err := mct.ForwardRCT(comps[0], comps[1], comps[2], o.Workers); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		fr := planeToFloat(comps[0])
+		fg := planeToFloat(comps[1])
+		fb := planeToFloat(comps[2])
+		mct.ForwardICT(fr, fg, fb, o.Workers)
+		floatToPlane(fr, comps[0])
+		floatToPlane(fg, comps[1])
+		floatToPlane(fb, comps[2])
+	}
+	// Re-apply the level shift so the per-component encoder (which shifts
+	// unsigned input) sees what it expects; chroma simply rides along with
+	// a wider effective range, which the transform and tier-1 handle.
+	for _, c := range comps {
+		for i := range c.Pix {
+			c.Pix[i] += shift
+		}
+	}
+
+	perComp := o
+	var budgets [3][]float64
+	if len(o.LayerBPP) > 0 {
+		for li, bpp := range o.LayerBPP {
+			_ = li
+			budgets[0] = append(budgets[0], bpp*(1-2*chromaShare))
+			budgets[1] = append(budgets[1], bpp*chromaShare)
+			budgets[2] = append(budgets[2], bpp*chromaShare)
+		}
+	}
+
+	total := &EncodeStats{}
+	var streams [3][]byte
+	for ci, c := range comps {
+		if len(o.LayerBPP) > 0 {
+			perComp.LayerBPP = budgets[ci]
+		}
+		cs, st, err := Encode(c, perComp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jp2k: component %d: %w", ci, err)
+		}
+		streams[ci] = cs
+		total.CodeBlocks += st.CodeBlocks
+		total.Timings.Setup += st.Timings.Setup
+		total.Timings.IntraComp += st.Timings.IntraComp
+		total.Timings.Quant += st.Timings.Quant
+		total.Timings.Tier1 += st.Timings.Tier1
+		total.Timings.RateAlloc += st.Timings.RateAlloc
+		total.Timings.Tier2 += st.Timings.Tier2
+		total.Timings.StreamIO += st.Timings.StreamIO
+	}
+	out := make([]byte, 0, 16+len(streams[0])+len(streams[1])+len(streams[2]))
+	out = append(out, colorMagic[:]...)
+	for _, s := range streams {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		out = append(out, l[:]...)
+	}
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	total.Bytes = len(out)
+	total.BPP = float64(len(out)) * 8 / float64(r.Width*r.Height)
+	return out, total, nil
+}
+
+// DecodeColor reconstructs the three RGB planes from an EncodeColor stream.
+func DecodeColor(data []byte, opts DecodeOptions) (r, g, b *raster.Image, err error) {
+	if len(data) < 16 || [4]byte(data[:4]) != colorMagic {
+		return nil, nil, nil, fmt.Errorf("jp2k: not a color container")
+	}
+	var lens [3]int
+	pos := 4
+	totalLen := 16
+	for i := range lens {
+		lens[i] = int(binary.BigEndian.Uint32(data[pos:]))
+		totalLen += lens[i]
+		pos += 4
+	}
+	if totalLen > len(data) {
+		return nil, nil, nil, fmt.Errorf("jp2k: color container truncated")
+	}
+	var comps [3]*raster.Image
+	var kernel dwt.Kernel
+	var depth int
+	for i := range comps {
+		var err error
+		comps[i], err = Decode(data[pos:pos+lens[i]], opts)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("jp2k: component %d: %w", i, err)
+		}
+		if i == 0 {
+			k, d, perr := peekParams(data[pos : pos+lens[i]])
+			if perr != nil {
+				return nil, nil, nil, perr
+			}
+			kernel, depth = k, d
+		}
+		pos += lens[i]
+	}
+	shift := int32(1) << uint(depth-1)
+	for _, c := range comps {
+		for i := range c.Pix {
+			c.Pix[i] -= shift
+		}
+	}
+	if kernel == dwt.Rev53 {
+		if err := mct.InverseRCT(comps[0], comps[1], comps[2], opts.Workers); err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		fy := planeToFloat(comps[0])
+		fcb := planeToFloat(comps[1])
+		fcr := planeToFloat(comps[2])
+		mct.InverseICT(fy, fcb, fcr, opts.Workers)
+		floatToPlane(fy, comps[0])
+		floatToPlane(fcb, comps[1])
+		floatToPlane(fcr, comps[2])
+	}
+	for _, c := range comps {
+		for i := range c.Pix {
+			c.Pix[i] += shift
+		}
+	}
+	return comps[0], comps[1], comps[2], nil
+}
+
+func planeToFloat(im *raster.Image) []float64 {
+	out := make([]float64, im.Width*im.Height)
+	for y := 0; y < im.Height; y++ {
+		row := im.Row(y)
+		for x, v := range row {
+			out[y*im.Width+x] = float64(v)
+		}
+	}
+	return out
+}
+
+func floatToPlane(src []float64, im *raster.Image) {
+	for y := 0; y < im.Height; y++ {
+		row := im.Row(y)
+		for x := range row {
+			v := src[y*im.Width+x]
+			if v >= 0 {
+				row[x] = int32(v + 0.5)
+			} else {
+				row[x] = int32(v - 0.5)
+			}
+		}
+	}
+}
+
+// peekParams extracts the kernel and bit depth from a component codestream
+// header without tier-1-decoding it.
+func peekParams(cs []byte) (dwt.Kernel, int, error) {
+	p, _, err := t2.ReadCodestream(cs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.Kernel, p.BitDepth, nil
+}

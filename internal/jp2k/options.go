@@ -1,0 +1,126 @@
+// Package jp2k is the top-level JPEG2000 codec: it chains the coding pipeline
+// of the paper's Fig. 1 — setup, (inter-/intra-component) transform,
+// quantization, tier-1 entropy coding of independent code-blocks, rate
+// allocation, tier-2 packet assembly and bitstream I/O — over the substrate
+// packages, with the paper's parallelization applied to the transform,
+// quantization and tier-1 stages.
+package jp2k
+
+import (
+	"time"
+
+	"pj2k/internal/dwt"
+)
+
+// Options configures the encoder.
+type Options struct {
+	// Kernel selects reversible 5/3 (lossless unless Layers truncate) or
+	// irreversible 9/7 coding. Default Rev53.
+	Kernel dwt.Kernel
+	// Levels is the decomposition depth; default 5 (the JPEG2000 default the
+	// paper cites).
+	Levels int
+	// LayerBPP lists cumulative target bitrates (bits per pixel) for the
+	// quality layers, ascending. Empty means a single layer carrying all
+	// coded data (lossless for Rev53).
+	LayerBPP []float64
+	// TileW, TileH enable image tiling when positive (the Fig. 4/5 mode);
+	// zero encodes the whole image as a single tile.
+	TileW, TileH int
+	// CBW, CBH are the code-block dimensions (powers of two, at most 64).
+	// Default 64x64, the JPEG2000 maximum the paper cites.
+	CBW, CBH int
+	// BaseStep is the 9/7 base quantizer step before per-band norm scaling.
+	// Smaller steps mean more bit-planes for PCRD to choose from. Default
+	// 1.0/512.
+	BaseStep float64
+	// BitDepth of the input samples; default 8.
+	BitDepth int
+	// Workers bounds the parallelism of the transform, quantization and
+	// tier-1 stages; <= 0 selects GOMAXPROCS, 1 is fully serial.
+	Workers int
+	// VertMode and VertBlockWidth select the vertical filtering strategy
+	// (the paper's original vs. improved filter).
+	VertMode       dwt.VertMode
+	VertBlockWidth int
+	// ROI selects a region of interest coded with the MAXSHIFT method (the
+	// "ROI scaling" stage of the paper's Fig. 1 pipeline): coefficients
+	// whose spatial footprint intersects the rectangle are up-shifted past
+	// every background bit-plane, so they decode first at any truncation
+	// point. Nil disables ROI coding.
+	ROI *ROIRect
+}
+
+// ROIRect is a region of interest in image coordinates ([X0,X1) x [Y0,Y1)).
+type ROIRect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Levels == 0 {
+		o.Levels = 5
+	}
+	if o.CBW == 0 {
+		o.CBW = 64
+	}
+	if o.CBH == 0 {
+		o.CBH = 64
+	}
+	if o.BaseStep == 0 {
+		o.BaseStep = 1.0 / 512
+	}
+	if o.BitDepth == 0 {
+		o.BitDepth = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+func (o Options) strategy() dwt.Strategy {
+	return dwt.Strategy{VertMode: o.VertMode, BlockWidth: o.VertBlockWidth, Workers: o.Workers}
+}
+
+// StageTimings records where encoding time went, mirroring the stage
+// decomposition of the paper's Figs. 3, 6 and 9.
+type StageTimings struct {
+	Setup     time.Duration // pipeline setup: buffers, level shift, tiling
+	IntraComp time.Duration // wavelet transform (intra-component transform)
+	DWTDetail dwt.Timings   // horizontal/vertical split of IntraComp
+	Quant     time.Duration // quantization (lossy path only)
+	Tier1     time.Duration // code-block entropy coding
+	RateAlloc time.Duration // PCRD truncation-point search
+	Tier2     time.Duration // packet headers + assembly
+	StreamIO  time.Duration // marker segments, final byte stream
+}
+
+// Total sums all stages.
+func (s StageTimings) Total() time.Duration {
+	return s.Setup + s.IntraComp + s.Quant + s.Tier1 + s.RateAlloc + s.Tier2 + s.StreamIO
+}
+
+// EncodeStats is returned alongside the codestream.
+type EncodeStats struct {
+	Timings    StageTimings
+	Bytes      int
+	BPP        float64
+	CodeBlocks int
+}
+
+// DecodeOptions configures the decoder.
+type DecodeOptions struct {
+	// MaxLayers decodes only the first n quality layers when positive.
+	MaxLayers int
+	// DiscardLevels drops the n highest resolution levels, reconstructing
+	// the image at 1/2^n scale per axis — the resolution-scalable decode
+	// JPEG2000's packet structure exists for. Code-blocks of discarded
+	// resolutions are parsed but never entropy-decoded.
+	DiscardLevels int
+	// Workers bounds tier-1 and transform parallelism; <= 0 is GOMAXPROCS.
+	Workers int
+	// VertMode selects the inverse vertical filtering strategy.
+	VertMode       dwt.VertMode
+	VertBlockWidth int
+}

@@ -1,0 +1,131 @@
+package jp2k
+
+import (
+	"pj2k/internal/dwt"
+)
+
+// applyROI implements the MAXSHIFT region-of-interest method: every
+// coefficient whose spatial footprint intersects the ROI rectangle is
+// scaled up by s bit-planes, where 2^s exceeds every background magnitude.
+// The decoder then recognizes ROI coefficients purely by magnitude — no
+// mask is transmitted, only s (in the RGN marker). Returns the shift used
+// (0 if ROI coding is not possible within the integer headroom).
+//
+// tiles hold the already-transformed (and, for 9/7, quantized) coefficients;
+// origins are the tile top-left corners in image coordinates.
+func applyROI(tiles []*tileEnc, origins [][2]int, roi ROIRect, o Options) int {
+	// Background maximum magnitude across all tiles and bands.
+	var maxMag int32
+	forEachBand(tiles, o, func(te *tileEnc, bi int, b dwt.Subband, data []int32, stride int) {
+		for y := 0; y < b.Height(); y++ {
+			row := data[y*stride : y*stride+b.Width()]
+			for _, v := range row {
+				if v < 0 {
+					v = -v
+				}
+				if v > maxMag {
+					maxMag = v
+				}
+			}
+		}
+	})
+	if maxMag == 0 {
+		return 0
+	}
+	nbp := 0
+	for m := maxMag; m > 0; m >>= 1 {
+		nbp++
+	}
+	s := nbp
+	if nbp+s > 30 {
+		s = 30 - nbp
+	}
+	if s <= 0 {
+		return 0
+	}
+	for ti, te := range tiles {
+		ox, oy := origins[ti][0], origins[ti][1]
+		// ROI in tile coordinates.
+		rx0, ry0 := roi.X0-ox, roi.Y0-oy
+		rx1, ry1 := roi.X1-ox, roi.Y1-oy
+		if rx1 <= 0 || ry1 <= 0 || rx0 >= te.w || ry0 >= te.h {
+			continue
+		}
+		forEachBandOf(te, o, func(bi int, b dwt.Subband, data []int32, stride int) {
+			l := b.Level
+			if b.Type == dwt.LL {
+				l = o.Levels
+			}
+			// Footprint of the ROI in band coordinates, expanded by the
+			// filter support.
+			const margin = 3
+			fx0 := clampi((rx0>>uint(l))-margin, 0, b.Width())
+			fy0 := clampi((ry0>>uint(l))-margin, 0, b.Height())
+			fx1 := clampi(((rx1-1)>>uint(l))+margin+1, 0, b.Width())
+			fy1 := clampi(((ry1-1)>>uint(l))+margin+1, 0, b.Height())
+			for y := fy0; y < fy1; y++ {
+				row := data[y*stride : y*stride+b.Width()]
+				for x := fx0; x < fx1; x++ {
+					row[x] <<= uint(s)
+				}
+			}
+		})
+	}
+	return s
+}
+
+// unscaleROI reverses MAXSHIFT on decoded block values: magnitudes at or
+// above 2^s belong to the ROI and are shifted back down.
+func unscaleROI(vals []int32, s int) {
+	thr := int32(1) << uint(s)
+	for i, v := range vals {
+		m := v
+		if m < 0 {
+			m = -m
+		}
+		if m >= thr {
+			m >>= uint(s)
+			if v < 0 {
+				m = -m
+			}
+			vals[i] = m
+		}
+	}
+}
+
+// forEachBand visits every band's coefficient plane of every tile.
+func forEachBand(tiles []*tileEnc, o Options, fn func(te *tileEnc, bi int, b dwt.Subband, data []int32, stride int)) {
+	for _, te := range tiles {
+		forEachBandOf(te, o, func(bi int, b dwt.Subband, data []int32, stride int) {
+			fn(te, bi, b, data, stride)
+		})
+	}
+}
+
+// forEachBandOf visits one tile's bands, handing out the coefficient
+// storage for each (the Mallat plane for 5/3, the dense per-band buffers
+// for 9/7).
+func forEachBandOf(te *tileEnc, o Options, fn func(bi int, b dwt.Subband, data []int32, stride int)) {
+	bands := dwt.Subbands(te.w, te.h, o.Levels)
+	for bi, b := range bands {
+		if b.Empty() {
+			continue
+		}
+		if o.Kernel == dwt.Rev53 {
+			off := b.Y0*te.intPlane.Stride + b.X0
+			fn(bi, b, te.intPlane.Pix[off:], te.intPlane.Stride)
+		} else {
+			fn(bi, b, te.bandInts[bi], b.Width())
+		}
+	}
+}
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

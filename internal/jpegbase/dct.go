@@ -1,0 +1,76 @@
+// Package jpegbase implements a baseline DCT JPEG encoder and decoder
+// (grayscale, 8-bit) as the fast comparator of the paper's Fig. 2: 8x8 FDCT,
+// quality-scaled quantization of the Annex K luminance table, zigzag ordering
+// and Huffman entropy coding with the standard tables.
+package jpegbase
+
+import "math"
+
+// cosTable[u][x] = cos((2x+1) u pi / 16) * c(u) terms folded in at use sites.
+var cosTable [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func cu(u int) float64 {
+	if u == 0 {
+		return math.Sqrt2 / 2
+	}
+	return 1
+}
+
+// fdct8x8 computes the forward 8x8 DCT of the level-shifted block (row-major)
+// into out.
+func fdct8x8(in *[64]float64, out *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += in[y*8+x] * cosTable[u][x]
+			}
+			tmp[y*8+u] = s * cu(u) / 2
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * cosTable[v][y]
+			}
+			out[v*8+u] = s * cu(v) / 2
+		}
+	}
+}
+
+// idct8x8 inverts fdct8x8.
+func idct8x8(in *[64]float64, out *[64]float64) {
+	var tmp [64]float64
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += cu(v) * in[v*8+u] * cosTable[v][y]
+			}
+			tmp[y*8+u] = s / 2
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += cu(u) * tmp[y*8+u] * cosTable[u][x]
+			}
+			out[y*8+x] = s / 2
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package jpegbase
+
+import (
+	"fmt"
+
+	"pj2k/internal/raster"
+)
+
+// bitWriter emits MSB-first bits with JPEG byte stuffing (0xFF -> 0xFF 0x00).
+type bitWriter struct {
+	buf  []byte
+	acc  uint32
+	nacc uint
+}
+
+func (w *bitWriter) write(code uint32, n int) {
+	w.acc = w.acc<<uint(n) | code
+	w.nacc += uint(n)
+	for w.nacc >= 8 {
+		b := byte(w.acc >> (w.nacc - 8))
+		w.buf = append(w.buf, b)
+		if b == 0xFF {
+			w.buf = append(w.buf, 0x00)
+		}
+		w.nacc -= 8
+	}
+}
+
+func (w *bitWriter) flush() {
+	for w.nacc%8 != 0 {
+		w.write(1, 1) // pad with 1-bits per the standard
+	}
+}
+
+// Encode compresses a grayscale image at the given IJG quality (1..100).
+func Encode(im *raster.Image, quality int) []byte {
+	q := scaledQuant(quality)
+	var out []byte
+	app := func(b ...byte) { out = append(out, b...) }
+	// SOI
+	app(0xFF, 0xD8)
+	// DQT
+	app(0xFF, 0xDB, 0x00, 0x43, 0x00)
+	for i := 0; i < 64; i++ {
+		app(byte(q[zigzag[i]]))
+	}
+	// SOF0: baseline, 8-bit, 1 component.
+	app(0xFF, 0xC0, 0x00, 0x0B, 0x08,
+		byte(im.Height>>8), byte(im.Height),
+		byte(im.Width>>8), byte(im.Width),
+		0x01, 0x01, 0x11, 0x00)
+	// DHT for DC and AC luminance tables.
+	writeDHT := func(class int, bits [17]int, vals []int) {
+		length := 2 + 1 + 16 + len(vals)
+		app(0xFF, 0xC4, byte(length>>8), byte(length), byte(class<<4))
+		for l := 1; l <= 16; l++ {
+			app(byte(bits[l]))
+		}
+		for _, v := range vals {
+			app(byte(v))
+		}
+	}
+	writeDHT(0, dcLumBits, dcLumVals)
+	writeDHT(1, acLumBits, acLumVals)
+	// SOS
+	app(0xFF, 0xDA, 0x00, 0x08, 0x01, 0x01, 0x00, 0x00, 0x3F, 0x00)
+
+	w := &bitWriter{}
+	prevDC := 0
+	var block, coef [64]float64
+	var qz [64]int
+	for by := 0; by < im.Height; by += 8 {
+		for bx := 0; bx < im.Width; bx += 8 {
+			// Load block with edge replication and level shift.
+			for y := 0; y < 8; y++ {
+				sy := by + y
+				if sy >= im.Height {
+					sy = im.Height - 1
+				}
+				row := im.Row(sy)
+				for x := 0; x < 8; x++ {
+					sx := bx + x
+					if sx >= im.Width {
+						sx = im.Width - 1
+					}
+					block[y*8+x] = float64(row[sx]) - 128
+				}
+			}
+			fdct8x8(&block, &coef)
+			for i := 0; i < 64; i++ {
+				v := coef[zigzag[i]] / float64(q[zigzag[i]])
+				if v >= 0 {
+					qz[i] = int(v + 0.5)
+				} else {
+					qz[i] = int(v - 0.5)
+				}
+			}
+			// DC difference.
+			diff := qz[0] - prevDC
+			prevDC = qz[0]
+			cat := category(diff)
+			w.write(dcTable.codes[cat], dcTable.lengths[cat])
+			if cat > 0 {
+				v := diff
+				if v < 0 {
+					v += (1 << cat) - 1
+				}
+				w.write(uint32(v)&((1<<cat)-1), cat)
+			}
+			// AC run-length coding.
+			run := 0
+			for i := 1; i < 64; i++ {
+				if qz[i] == 0 {
+					run++
+					continue
+				}
+				for run >= 16 {
+					w.write(acTable.codes[0xF0], acTable.lengths[0xF0]) // ZRL
+					run -= 16
+				}
+				cat := category(qz[i])
+				sym := run<<4 | cat
+				w.write(acTable.codes[sym], acTable.lengths[sym])
+				v := qz[i]
+				if v < 0 {
+					v += (1 << cat) - 1
+				}
+				w.write(uint32(v)&((1<<cat)-1), cat)
+				run = 0
+			}
+			if run > 0 {
+				w.write(acTable.codes[0x00], acTable.lengths[0x00]) // EOB
+			}
+		}
+	}
+	w.flush()
+	out = append(out, w.buf...)
+	// EOI
+	out = append(out, 0xFF, 0xD9)
+	return out
+}
+
+// bitReader consumes entropy-coded bits with byte unstuffing.
+type bitReader struct {
+	data []byte
+	pos  int
+	acc  uint32
+	nacc uint
+}
+
+func (r *bitReader) bit() (int, error) {
+	if r.nacc == 0 {
+		if r.pos >= len(r.data) {
+			return 0, fmt.Errorf("jpegbase: out of entropy data")
+		}
+		b := r.data[r.pos]
+		r.pos++
+		if b == 0xFF {
+			if r.pos >= len(r.data) {
+				return 0, fmt.Errorf("jpegbase: dangling 0xFF")
+			}
+			if r.data[r.pos] == 0x00 {
+				r.pos++ // stuffed byte
+			} else {
+				// A marker terminates the scan; synthesize 1-bits.
+				r.pos--
+				return 1, nil
+			}
+		}
+		r.acc = uint32(b)
+		r.nacc = 8
+	}
+	r.nacc--
+	return int(r.acc >> r.nacc & 1), nil
+}
+
+func (r *bitReader) bits(n int) (int, error) {
+	v := 0
+	for i := 0; i < n; i++ {
+		b, err := r.bit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// decodeHuff reads one Huffman symbol (Annex F procedure).
+func (r *bitReader) decodeHuff(t *huffTable) (int, error) {
+	code := 0
+	for l := 1; l <= 16; l++ {
+		b, err := r.bit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if t.maxCode[l] >= 0 && code <= t.maxCode[l] {
+			return t.vals[t.valPtr[l]+code-t.minCode[l]], nil
+		}
+	}
+	return 0, fmt.Errorf("jpegbase: invalid Huffman code")
+}
+
+// extend converts the raw magnitude bits to a signed value (F.2.2.1).
+func extend(v, cat int) int {
+	if cat == 0 {
+		return 0
+	}
+	if v < 1<<(cat-1) {
+		return v - (1 << cat) + 1
+	}
+	return v
+}
+
+// Decode reconstructs a grayscale image from an Encode stream.
+func Decode(data []byte) (*raster.Image, error) {
+	pos := 0
+	u16 := func() int {
+		v := int(data[pos])<<8 | int(data[pos+1])
+		pos += 2
+		return v
+	}
+	if len(data) < 4 || data[0] != 0xFF || data[1] != 0xD8 {
+		return nil, fmt.Errorf("jpegbase: missing SOI")
+	}
+	pos = 2
+	var q [64]int
+	var width, height int
+	for {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("jpegbase: truncated header")
+		}
+		if data[pos] != 0xFF {
+			return nil, fmt.Errorf("jpegbase: bad marker alignment at %d", pos)
+		}
+		marker := data[pos+1]
+		pos += 2
+		switch marker {
+		case 0xDB: // DQT
+			l := u16()
+			if data[pos] != 0 {
+				return nil, fmt.Errorf("jpegbase: only 8-bit table 0 supported")
+			}
+			for i := 0; i < 64; i++ {
+				q[zigzag[i]] = int(data[pos+1+i])
+			}
+			pos += l - 2
+		case 0xC0: // SOF0
+			l := u16()
+			height = int(data[pos+1])<<8 | int(data[pos+2])
+			width = int(data[pos+3])<<8 | int(data[pos+4])
+			if data[pos+5] != 1 {
+				return nil, fmt.Errorf("jpegbase: only grayscale supported")
+			}
+			pos += l - 2
+		case 0xC4: // DHT: we use the standard tables; skip contents.
+			l := u16()
+			pos += l - 2
+		case 0xDA: // SOS
+			l := u16()
+			pos += l - 2
+			goto scan
+		default:
+			return nil, fmt.Errorf("jpegbase: unsupported marker FF%02X", marker)
+		}
+	}
+scan:
+	if width == 0 || height == 0 {
+		return nil, fmt.Errorf("jpegbase: missing SOF")
+	}
+	im := raster.New(width, height)
+	r := &bitReader{data: data[:len(data)-2], pos: pos} // strip EOI
+	prevDC := 0
+	var qz [64]int
+	var coef, px [64]float64
+	for by := 0; by < height; by += 8 {
+		for bx := 0; bx < width; bx += 8 {
+			for i := range qz {
+				qz[i] = 0
+			}
+			cat, err := r.decodeHuff(dcTable)
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.bits(cat)
+			if err != nil {
+				return nil, err
+			}
+			prevDC += extend(v, cat)
+			qz[0] = prevDC
+			for i := 1; i < 64; {
+				sym, err := r.decodeHuff(acTable)
+				if err != nil {
+					return nil, err
+				}
+				if sym == 0x00 { // EOB
+					break
+				}
+				if sym == 0xF0 { // ZRL
+					i += 16
+					continue
+				}
+				run, cat := sym>>4, sym&0xF
+				i += run
+				if i > 63 {
+					return nil, fmt.Errorf("jpegbase: AC run overflow")
+				}
+				v, err := r.bits(cat)
+				if err != nil {
+					return nil, err
+				}
+				qz[i] = extend(v, cat)
+				i++
+			}
+			for i := 0; i < 64; i++ {
+				coef[zigzag[i]] = float64(qz[i] * q[zigzag[i]])
+			}
+			idct8x8(&coef, &px)
+			for y := 0; y < 8 && by+y < height; y++ {
+				row := im.Row(by + y)
+				for x := 0; x < 8 && bx+x < width; x++ {
+					v := px[y*8+x] + 128
+					iv := int32(v + 0.5)
+					if v < 0 {
+						iv = 0
+					} else if iv > 255 {
+						iv = 255
+					}
+					row[bx+x] = iv
+				}
+			}
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,131 @@
+package jpegbase
+
+// stdLuminanceQuant is the Annex K luminance quantization table.
+var stdLuminanceQuant = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// scaledQuant applies the IJG quality scaling (quality 1..100).
+func scaledQuant(quality int) [64]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	scale := 5000 / quality
+	if quality >= 50 {
+		scale = 200 - 2*quality
+	}
+	var q [64]int
+	for i, v := range stdLuminanceQuant {
+		s := (v*scale + 50) / 100
+		if s < 1 {
+			s = 1
+		}
+		if s > 255 {
+			s = 255
+		}
+		q[i] = s
+	}
+	return q
+}
+
+// zigzag maps scan position to row-major block index.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Standard luminance Huffman specifications (Annex K): BITS then HUFFVAL.
+var dcLumBits = [17]int{0, 0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0}
+var dcLumVals = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+
+var acLumBits = [17]int{0, 0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D}
+var acLumVals = []int{
+	0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+	0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+	0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+	0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+	0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+	0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+	0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+	0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+	0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+	0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+	0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+	0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+	0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+	0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+	0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+	0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+	0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+	0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+	0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+	0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+	0xF9, 0xFA,
+}
+
+// huffTable holds encode (code/length per symbol) and decode structures.
+type huffTable struct {
+	codes   [256]uint32
+	lengths [256]int
+	// decode: mincode/maxcode/valptr per length, Annex F.
+	minCode [17]int
+	maxCode [17]int
+	valPtr  [17]int
+	vals    []int
+}
+
+// buildHuff constructs the canonical table from BITS/HUFFVAL.
+func buildHuff(bits [17]int, vals []int) *huffTable {
+	t := &huffTable{vals: vals}
+	code := 0
+	k := 0
+	for l := 1; l <= 16; l++ {
+		t.valPtr[l] = k
+		t.minCode[l] = code
+		for i := 0; i < bits[l]; i++ {
+			sym := vals[k]
+			t.codes[sym] = uint32(code)
+			t.lengths[sym] = l
+			code++
+			k++
+		}
+		t.maxCode[l] = code - 1
+		if bits[l] == 0 {
+			t.maxCode[l] = -1
+		}
+		code <<= 1
+	}
+	return t
+}
+
+var dcTable = buildHuff(dcLumBits, dcLumVals)
+var acTable = buildHuff(acLumBits, acLumVals)
+
+// category returns the JPEG magnitude category (number of bits) of v.
+func category(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

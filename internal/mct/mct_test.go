@@ -1,0 +1,117 @@
+package mct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pj2k/internal/raster"
+)
+
+func randPlane(w, h int, seed int64) *raster.Image {
+	im := raster.New(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range im.Pix {
+		im.Pix[i] = int32(rng.Intn(256)) - 128 // level-shifted 8-bit
+	}
+	return im
+}
+
+func TestRCTPerfectReconstruction(t *testing.T) {
+	r := randPlane(37, 21, 1)
+	g := randPlane(37, 21, 2)
+	b := randPlane(37, 21, 3)
+	r0, g0, b0 := r.Clone(), g.Clone(), b.Clone()
+	if err := ForwardRCT(r, g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := InverseRCT(r, g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(r, r0) || !raster.Equal(g, g0) || !raster.Equal(b, b0) {
+		t.Fatal("RCT round trip not exact")
+	}
+}
+
+func TestRCTDecorrelatesGray(t *testing.T) {
+	// For a gray image (R=G=B) the chroma planes must be exactly zero.
+	g := randPlane(16, 16, 4)
+	r, b := g.Clone(), g.Clone()
+	if err := ForwardRCT(r, g, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Pix {
+		if g.Pix[i] != 0 || b.Pix[i] != 0 {
+			t.Fatal("gray input must give zero chroma")
+		}
+	}
+}
+
+func TestRCTSizeMismatch(t *testing.T) {
+	if err := ForwardRCT(raster.New(4, 4), raster.New(5, 4), raster.New(4, 4), 1); err == nil {
+		t.Fatal("want size-mismatch error")
+	}
+}
+
+func TestRCTParallelMatchesSerial(t *testing.T) {
+	mk := func() (*raster.Image, *raster.Image, *raster.Image) {
+		return randPlane(64, 48, 7), randPlane(64, 48, 8), randPlane(64, 48, 9)
+	}
+	r1, g1, b1 := mk()
+	r2, g2, b2 := mk()
+	ForwardRCT(r1, g1, b1, 1)
+	ForwardRCT(r2, g2, b2, 8)
+	if !raster.Equal(r1, r2) || !raster.Equal(g1, g2) || !raster.Equal(b1, b2) {
+		t.Fatal("parallel RCT differs from serial")
+	}
+}
+
+func TestICTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	r := make([]float64, n)
+	g := make([]float64, n)
+	b := make([]float64, n)
+	r0 := make([]float64, n)
+	g0 := make([]float64, n)
+	b0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = rng.Float64()*255 - 128
+		g[i] = rng.Float64()*255 - 128
+		b[i] = rng.Float64()*255 - 128
+		r0[i], g0[i], b0[i] = r[i], g[i], b[i]
+	}
+	ForwardICT(r, g, b, 1)
+	InverseICT(r, g, b, 1)
+	for i := 0; i < n; i++ {
+		if math.Abs(r[i]-r0[i]) > 1e-3 || math.Abs(g[i]-g0[i]) > 1e-3 || math.Abs(b[i]-b0[i]) > 1e-3 {
+			t.Fatalf("ICT round trip error at %d: (%g,%g,%g) vs (%g,%g,%g)",
+				i, r[i], g[i], b[i], r0[i], g0[i], b0[i])
+		}
+	}
+}
+
+func TestICTLumaWeights(t *testing.T) {
+	// White input must give Y = level, zero chroma.
+	r := []float64{100}
+	g := []float64{100}
+	b := []float64{100}
+	ForwardICT(r, g, b, 1)
+	if math.Abs(r[0]-100) > 1e-9 || math.Abs(g[0]) > 1e-9 || math.Abs(b[0]) > 1e-9 {
+		t.Fatalf("white pixel: Y=%g Cb=%g Cr=%g", r[0], g[0], b[0])
+	}
+}
+
+func TestQuickRCTRoundTrip(t *testing.T) {
+	f := func(R, G, B int16) bool {
+		r, g, b := raster.New(1, 1), raster.New(1, 1), raster.New(1, 1)
+		r.Pix[0], g.Pix[0], b.Pix[0] = int32(R), int32(G), int32(B)
+		ForwardRCT(r, g, b, 1)
+		InverseRCT(r, g, b, 1)
+		return r.Pix[0] == int32(R) && g.Pix[0] == int32(G) && b.Pix[0] == int32(B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package quant implements the scalar deadzone quantizer of JPEG2000 for the
+// irreversible (9/7) path, step-size marshalling in the standard's
+// exponent/mantissa format, and the chunk-parallel quantization stage the
+// paper reports a ~3.2x speedup for on 4 CPUs.
+package quant
+
+import (
+	"math"
+
+	"pj2k/internal/core"
+	"pj2k/internal/dwt"
+)
+
+// Step describes one subband's quantizer step size in the QCD marker format:
+// step = (1 + mantissa/2^11) * 2^(-exponent), relative to unit nominal range.
+type Step struct {
+	Exponent int // 0..31
+	Mantissa int // 0..2047
+}
+
+// Value returns the step size the marker encodes.
+func (s Step) Value() float64 {
+	return (1 + float64(s.Mantissa)/2048) * math.Pow(2, -float64(s.Exponent))
+}
+
+// StepFor quantizes a real-valued step into marker form (round to nearest
+// representable), clamping into the representable range.
+func StepFor(step float64) Step {
+	if step <= 0 {
+		return Step{Exponent: 31}
+	}
+	e := 0
+	for step < 1 && e < 31 {
+		step *= 2
+		e++
+	}
+	// step in [1, 2) now (unless clamped).
+	m := int(math.Round((step - 1) * 2048))
+	if m > 2047 {
+		m = 2047
+	}
+	if m < 0 {
+		m = 0
+	}
+	return Step{Exponent: e, Mantissa: m}
+}
+
+// BandSteps derives per-band steps for the given kernel, decomposition level
+// count and base step. The base step is divided by the band synthesis norm so
+// quantization error is (approximately) equalized in the image domain — the
+// standard practice the QCD default tables encode.
+func BandSteps(k dwt.Kernel, w, h, levels int, base float64) []Step {
+	bands := dwt.Subbands(w, h, levels)
+	steps := make([]Step, len(bands))
+	for i, b := range bands {
+		steps[i] = StepFor(base / dwt.BandNorm(k, levels, b))
+	}
+	return steps
+}
+
+// Forward quantizes the float coefficients of one band region into signed
+// integers: q = sign(v) * floor(|v|/step). workers > 1 splits the rows as the
+// paper's parallel quantization stage does ("every processor may have a chunk
+// of coefficients").
+func Forward(src []float64, stride int, b dwt.Subband, step float64, dst []int32, dstStride, workers int) {
+	inv := 1 / step
+	core.ParallelFor(workers, b.Height(), func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			srow := src[(b.Y0+y)*stride+b.X0:]
+			drow := dst[y*dstStride:]
+			for x := 0; x < b.Width(); x++ {
+				v := srow[x]
+				if v >= 0 {
+					drow[x] = int32(v * inv)
+				} else {
+					drow[x] = -int32(-v * inv)
+				}
+			}
+		}
+	})
+}
+
+// Inverse dequantizes integers back into float coefficients with the
+// standard half-step midpoint bias for nonzero values (bit-plane truncation
+// offsets at coarser granularity are already applied by the tier-1 decoder).
+func Inverse(src []int32, srcStride int, b dwt.Subband, step float64, dst []float64, stride, workers int) {
+	core.ParallelFor(workers, b.Height(), func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			srow := src[y*srcStride:]
+			drow := dst[(b.Y0+y)*stride+b.X0:]
+			for x := 0; x < b.Width(); x++ {
+				switch v := srow[x]; {
+				case v > 0:
+					drow[x] = (float64(v) + 0.5) * step
+				case v < 0:
+					drow[x] = (float64(v) - 0.5) * step
+				default:
+					drow[x] = 0
+				}
+			}
+		}
+	})
+}

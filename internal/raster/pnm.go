@@ -1,0 +1,119 @@
+package raster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM writes the image as a binary PGM (P5). maxval selects 8- or 16-bit
+// output; samples are clamped into [0, maxval].
+func WritePGM(w io.Writer, im *Image, maxval int) error {
+	if maxval <= 0 || maxval > 65535 {
+		return fmt.Errorf("raster: invalid PGM maxval %d", maxval)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n%d\n", im.Width, im.Height, maxval)
+	wide := maxval > 255
+	for y := 0; y < im.Height; y++ {
+		for _, v := range im.Row(y) {
+			if v < 0 {
+				v = 0
+			} else if v > int32(maxval) {
+				v = int32(maxval)
+			}
+			if wide {
+				bw.WriteByte(byte(v >> 8))
+			}
+			bw.WriteByte(byte(v))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM reads a binary PGM (P5). It returns the image and the maxval
+// declared in the header.
+func ReadPGM(r io.Reader) (*Image, int, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, 0, fmt.Errorf("raster: reading PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, 0, fmt.Errorf("raster: unsupported PNM magic %q", magic)
+	}
+	width, err := readPNMInt(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	height, err := readPNMInt(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxval, err := readPNMInt(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	if width <= 0 || height <= 0 || maxval <= 0 || maxval > 65535 {
+		return nil, 0, fmt.Errorf("raster: bad PGM header %dx%d maxval %d", width, height, maxval)
+	}
+	// Header ends with exactly one whitespace byte, already consumed by
+	// readPNMInt.
+	im := New(width, height)
+	wide := maxval > 255
+	buf := make([]byte, width*(1+b2i(wide)))
+	for y := 0; y < height; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, 0, fmt.Errorf("raster: reading PGM row %d: %w", y, err)
+		}
+		row := im.Row(y)
+		if wide {
+			for x := 0; x < width; x++ {
+				row[x] = int32(buf[2*x])<<8 | int32(buf[2*x+1])
+			}
+		} else {
+			for x := 0; x < width; x++ {
+				row[x] = int32(buf[x])
+			}
+		}
+	}
+	return im, maxval, nil
+}
+
+// readPNMInt reads the next decimal integer, skipping whitespace and
+// '#'-comments, consuming exactly one trailing whitespace byte.
+func readPNMInt(br *bufio.Reader) (int, error) {
+	n := 0
+	seen := false
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("raster: PGM header: %w", err)
+		}
+		switch {
+		case c == '#' && !seen:
+			if _, err := br.ReadString('\n'); err != nil {
+				return 0, err
+			}
+		case c >= '0' && c <= '9':
+			seen = true
+			n = n*10 + int(c-'0')
+			if n > 1<<30 {
+				return 0, fmt.Errorf("raster: PGM header value overflow")
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if seen {
+				return n, nil
+			}
+		default:
+			return 0, fmt.Errorf("raster: unexpected byte %q in PGM header", c)
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

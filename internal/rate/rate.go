@@ -1,0 +1,128 @@
+// Package rate implements the PCRD-opt rate allocation of EBCOT/JPEG2000:
+// each code-block's coding passes form rate-distortion points; the allocator
+// keeps each block's convex hull and fills the byte budget globally in order
+// of decreasing distortion-rate slope, which is the paper's "sophisticated
+// optimization strategy for optimal rate/distortion performance". This stage
+// is one of the intrinsically sequential parts of the pipeline (Fig. 3's
+// "R/D allocation").
+package rate
+
+import (
+	"math"
+	"sort"
+)
+
+// BlockPasses summarizes one code-block for the allocator.
+type BlockPasses struct {
+	Rates []int     // cumulative segment bytes through each pass
+	Dist  []float64 // distortion reduction of each pass (image-domain MSE units)
+}
+
+// segment is one convex-hull edge of a block's R-D curve.
+type segment struct {
+	block  int
+	passes int // cumulative passes once this segment is included
+	bytes  int // rate delta of this segment
+	slope  float64
+}
+
+type rdPoint struct {
+	passes int
+	rate   int
+	dist   float64
+}
+
+// slopeBetween returns the distortion-rate slope from a to b (+Inf for free
+// improvements).
+func slopeBetween(a, b rdPoint) float64 {
+	dr := b.rate - a.rate
+	if dr <= 0 {
+		return math.Inf(1)
+	}
+	return (b.dist - a.dist) / float64(dr)
+}
+
+// hull returns the convex-hull segments for one block, slopes strictly
+// decreasing. Individual pass distortion deltas may be negative (magnitude
+// refinement can transiently worsen the midpoint reconstruction), so points
+// that do not improve on the current hull top are skipped.
+func hull(b BlockPasses, blockIdx int) []segment {
+	pts := make([]rdPoint, 0, len(b.Rates)+1)
+	pts = append(pts, rdPoint{0, 0, 0})
+	cum := 0.0
+	for k := range b.Rates {
+		cum += b.Dist[k]
+		pts = append(pts, rdPoint{k + 1, b.Rates[k], cum})
+	}
+	st := []rdPoint{pts[0]}
+	for _, p := range pts[1:] {
+		if p.dist <= st[len(st)-1].dist {
+			continue // no distortion improvement: never a truncation point
+		}
+		for len(st) >= 2 && slopeBetween(st[len(st)-1], p) >= slopeBetween(st[len(st)-2], st[len(st)-1]) {
+			st = st[:len(st)-1]
+		}
+		st = append(st, p)
+	}
+	segs := make([]segment, 0, len(st)-1)
+	for i := 1; i < len(st); i++ {
+		segs = append(segs, segment{
+			block:  blockIdx,
+			passes: st[i].passes,
+			bytes:  st[i].rate - st[i-1].rate,
+			slope:  slopeBetween(st[i-1], st[i]),
+		})
+	}
+	return segs
+}
+
+// Allocation maps layers to cumulative pass counts per block.
+type Allocation struct {
+	// NPasses[layer][block] is the number of coding passes of block included
+	// through that layer (cumulative).
+	NPasses [][]int
+	// BodyBytes[layer] is the cumulative body size through that layer.
+	BodyBytes []int
+}
+
+// Allocate fills the cumulative layer budgets (body bytes) with hull segments
+// in globally decreasing slope order. Budgets beyond the total available data
+// simply include everything.
+func Allocate(blocks []BlockPasses, layerBudgets []int) Allocation {
+	var segs []segment
+	for i, b := range blocks {
+		segs = append(segs, hull(b, i)...)
+	}
+	// Stable sort by decreasing slope keeps each block's segments in pass
+	// order (their slopes decrease strictly within a block).
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].slope > segs[j].slope })
+
+	alloc := Allocation{
+		NPasses:   make([][]int, len(layerBudgets)),
+		BodyBytes: make([]int, len(layerBudgets)),
+	}
+	cur := make([]int, len(blocks))
+	bytes := 0
+	si := 0
+	for li, budget := range layerBudgets {
+		for si < len(segs) && bytes+segs[si].bytes <= budget {
+			cur[segs[si].block] = segs[si].passes
+			bytes += segs[si].bytes
+			si++
+		}
+		alloc.NPasses[li] = append([]int(nil), cur...)
+		alloc.BodyBytes[li] = bytes
+	}
+	return alloc
+}
+
+// TotalBytes returns the body size if every pass of every block is included.
+func TotalBytes(blocks []BlockPasses) int {
+	total := 0
+	for _, b := range blocks {
+		if n := len(b.Rates); n > 0 {
+			total += b.Rates[n-1]
+		}
+	}
+	return total
+}

@@ -1,0 +1,169 @@
+package smp
+
+import (
+	"testing"
+
+	"pj2k/internal/cachesim"
+	"pj2k/internal/core"
+	"pj2k/internal/dwt"
+)
+
+func specFor(mode dwt.VertMode, stride int) FilterSpec {
+	return FilterSpec{W: 2048, H: 2048, Stride: stride, Levels: 3, Kernel: dwt.Irr97, Mode: mode}
+}
+
+func TestNaiveVerticalThrashesOnPow2Width(t *testing.T) {
+	cfg := cachesim.NewPentiumII()
+	naive := VerticalWork(cfg, specFor(dwt.VertNaive, 2048))
+	horiz := HorizontalWork(cfg, specFor(dwt.VertNaive, 2048))
+	// The paper: vertical filtering needs far more time than horizontal on
+	// power-of-two widths; the ratio is driven by misses.
+	if naive.Misses < 5*horiz.Misses {
+		t.Fatalf("naive vertical misses %.0f not >> horizontal %.0f", naive.Misses, horiz.Misses)
+	}
+}
+
+func TestPaddingReducesMisses(t *testing.T) {
+	cfg := cachesim.NewPentiumII()
+	pow2 := VerticalWork(cfg, specFor(dwt.VertNaive, 2048))
+	padded := VerticalWork(cfg, specFor(dwt.VertNaive, 2048+8))
+	if padded.Misses > pow2.Misses/2 {
+		t.Fatalf("padding: misses %.0f vs pow2 %.0f; fix ineffective", padded.Misses, pow2.Misses)
+	}
+}
+
+func TestBlockedFilterMatchesHorizontal(t *testing.T) {
+	cfg := cachesim.NewPentiumII()
+	blocked := VerticalWork(cfg, specFor(dwt.VertBlocked, 2048))
+	horiz := HorizontalWork(cfg, specFor(dwt.VertBlocked, 2048))
+	// "horizontal and vertical filtering are now almost identical with
+	// respect to runtime": the improved filter's misses are line-limited
+	// like horizontal's, within the factor the 4 lifting sweeps cost
+	// (horizontal rows stay cached across sweeps; tall column blocks do
+	// not).
+	ratio := blocked.Misses / horiz.Misses
+	if ratio > 5 || ratio < 1.0/5 {
+		t.Fatalf("blocked/horizontal miss ratio %.2f, want within ~4x", ratio)
+	}
+	naive := VerticalWork(cfg, specFor(dwt.VertNaive, 2048))
+	if naive.Misses < 4*blocked.Misses {
+		t.Fatalf("improved filter misses %.0f not far below naive %.0f", blocked.Misses, naive.Misses)
+	}
+}
+
+func TestSerialTimeComposition(t *testing.T) {
+	m := PentiumIIXeon(4)
+	w := Work{Ops: 500e6} // 1s of pure compute at 500MHz, 1 op/cycle
+	if got := m.SerialTime(w); got < 0.99 || got > 1.01 {
+		t.Fatalf("SerialTime = %v, want 1s", got)
+	}
+	w2 := Work{Misses: 1e6}
+	want := 1e6 * m.MissPenaltyCyc / m.ClockHz
+	if got := m.SerialTime(w2); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("miss time %v, want %v", got, want)
+	}
+}
+
+func TestParallelTimeScalesComputeBoundWork(t *testing.T) {
+	m := PentiumIIXeon(4)
+	w := Work{Ops: 500e6}
+	t1 := m.ParallelTime(w, 1, 0)
+	t4 := m.ParallelTime(w, 4, 0)
+	if sp := t1 / t4; sp < 3.9 || sp > 4.1 {
+		t.Fatalf("compute-bound speedup %.2f, want ~4", sp)
+	}
+}
+
+func TestBusSaturationCapsSpeedup(t *testing.T) {
+	// Miss-heavy work (the original vertical filter) must stop scaling when
+	// the bus is saturated — the paper's explanation for Fig. 8.
+	m := PentiumIIXeon(4)
+	w := Work{Ops: 100e6, Misses: 50e6}
+	t1 := m.ParallelTime(w, 1, 0)
+	t4 := m.ParallelTime(w, 4, 0)
+	if sp := t1 / t4; sp > 2.5 {
+		t.Fatalf("miss-bound speedup %.2f; bus model not binding", sp)
+	}
+	// The same ops with few misses scale fine.
+	light := Work{Ops: 100e6, Misses: 0.1e6}
+	if sp := m.ParallelTime(light, 1, 0) / m.ParallelTime(light, 4, 0); sp < 3.5 {
+		t.Fatalf("light work speedup %.2f, want ~4", sp)
+	}
+}
+
+func TestParallelTimeClampsToMachineCPUs(t *testing.T) {
+	m := PentiumIIXeon(4)
+	w := Work{Ops: 1e9}
+	if m.ParallelTime(w, 16, 0) != m.ParallelTime(w, 4, 0) {
+		t.Fatal("requesting more CPUs than the machine has must clamp")
+	}
+}
+
+func TestBarrierCost(t *testing.T) {
+	m := PentiumIIXeon(4)
+	w := Work{Ops: 1e6}
+	base := m.ParallelTime(w, 4, 0)
+	with := m.ParallelTime(w, 4, 10)
+	if with <= base {
+		t.Fatal("barriers must add time")
+	}
+	if diff := with - base; diff < 9*m.BarrierCostSec || diff > 11*m.BarrierCostSec {
+		t.Fatalf("barrier cost off: %v", diff)
+	}
+}
+
+func TestMakespanStaggeredBeatsContiguousOnRamps(t *testing.T) {
+	// Code-block costs correlate with image position (detail concentrates);
+	// a cost ramp makes contiguous chunking imbalanced while staggered
+	// round-robin stays even — the paper's scheduling choice.
+	n, p := 64, 4
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = float64(i)
+	}
+	contig := make([][]int, p)
+	per := n / p
+	for w := 0; w < p; w++ {
+		for k := 0; k < per; k++ {
+			contig[w] = append(contig[w], w*per+k)
+		}
+	}
+	staggered := core.StaggeredRoundRobin(n, p)
+	mc := Makespan(times, contig)
+	ms := Makespan(times, staggered)
+	if ms >= mc {
+		t.Fatalf("staggered makespan %.0f not below contiguous %.0f", ms, mc)
+	}
+	// Staggered should be within a few percent of the ideal balance.
+	ideal := 0.0
+	for _, v := range times {
+		ideal += v
+	}
+	ideal /= float64(p)
+	if ms > ideal*1.1 {
+		t.Fatalf("staggered makespan %.0f vs ideal %.0f", ms, ideal)
+	}
+}
+
+func TestSGIMachineProfile(t *testing.T) {
+	m := SGIPowerChallenge(16)
+	if m.CPUs != 16 || m.ClockHz >= PentiumIIXeon(4).ClockHz {
+		t.Fatalf("SGI profile wrong: %+v", m)
+	}
+	// Slower CPUs: the same work takes longer serially than on the Xeon —
+	// "very poor computation times when compared with the fast Intel
+	// processors".
+	w := Work{Ops: 1e9}
+	if m.SerialTime(w) <= PentiumIIXeon(4).SerialTime(w) {
+		t.Fatal("SGI must be slower per CPU")
+	}
+}
+
+func TestVerticalWorkOpsIndependentOfMode(t *testing.T) {
+	cfg := cachesim.NewPentiumII()
+	a := VerticalWork(cfg, specFor(dwt.VertNaive, 2048))
+	b := VerticalWork(cfg, specFor(dwt.VertBlocked, 2048))
+	if a.Ops != b.Ops {
+		t.Fatalf("ops must not depend on strategy: %.0f vs %.0f", a.Ops, b.Ops)
+	}
+}

@@ -1,0 +1,97 @@
+package t1
+
+import (
+	"fmt"
+
+	"pj2k/internal/mq"
+)
+
+// decoder carries the decode-side state threaded through the shared pass
+// routines.
+type decoder struct {
+	mq        *mq.Decoder
+	lastPlane []uint8 // per bordered sample: (last updated plane)+1, 0 = never
+}
+
+// Decode reconstructs a code-block from the first npasses coding passes of
+// eb. For truncated decodes (npasses < len(eb.Passes)) the remaining
+// uncertainty interval is compensated with a midpoint offset, the standard
+// dequantization convention. With all passes decoded the result is exactly
+// the encoder's input. The result has stride eb.W.
+func Decode(eb *EncodedBlock, npasses int) ([]int32, error) {
+	if npasses < 0 || npasses > len(eb.Passes) {
+		return nil, fmt.Errorf("t1: npasses %d out of range [0,%d]", npasses, len(eb.Passes))
+	}
+	out := make([]int32, eb.W*eb.H)
+	if eb.NumBitplanes == 0 || npasses == 0 {
+		return out, nil
+	}
+	c := &coder{w: eb.W, h: eb.H, bw: eb.W + 2, band: eb.Band}
+	c.mag = make([]int32, (eb.W+2)*(eb.H+2))
+	c.flags = make([]uint8, (eb.W+2)*(eb.H+2))
+	c.resetContexts()
+
+	data := eb.Data
+	if r := eb.Passes[npasses-1].Rate; r < len(data) {
+		data = data[:r]
+	}
+	dec := &decoder{
+		mq:        mq.NewDecoder(data),
+		lastPlane: make([]uint8, (eb.W+2)*(eb.H+2)),
+	}
+
+	pass := 0
+	nbp := eb.NumBitplanes
+planes:
+	for p := nbp - 1; p >= 0; p-- {
+		plane := uint(p)
+		if p != nbp-1 {
+			if pass == npasses {
+				break planes
+			}
+			c.sigPropPass(nil, plane, dec)
+			pass++
+			if pass == npasses {
+				break planes
+			}
+			c.refinePass(nil, plane, dec)
+			pass++
+		}
+		if pass == npasses {
+			break planes
+		}
+		c.cleanupPass(nil, plane, dec)
+		pass++
+		for i := range c.flags {
+			c.flags[i] &^= fVisited
+		}
+	}
+
+	for y := 0; y < eb.H; y++ {
+		for x := 0; x < eb.W; x++ {
+			i := c.idx(x, y)
+			if c.flags[i]&fSig == 0 {
+				continue
+			}
+			v := c.mag[i]
+			if lp := dec.lastPlane[i]; lp >= 2 {
+				v += 1 << (lp - 2) // midpoint of the undecoded interval
+			}
+			if c.flags[i]&fNeg != 0 {
+				v = -v
+			}
+			out[y*eb.W+x] = v
+		}
+	}
+	return out, nil
+}
+
+// TotalPasses returns the number of coding passes for a block with the given
+// number of bit-planes (3 per plane, minus the two skipped passes of the
+// most significant plane).
+func TotalPasses(numBitplanes int) int {
+	if numBitplanes <= 0 {
+		return 0
+	}
+	return 3*numBitplanes - 2
+}

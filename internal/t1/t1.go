@@ -1,0 +1,480 @@
+// Package t1 implements the EBCOT tier-1 code-block coder of JPEG2000
+// (ISO/IEC 15444-1 Annex D): bit-plane coding of quantized wavelet
+// coefficients in three passes per plane (significance propagation, magnitude
+// refinement, cleanup) driven by the MQ arithmetic coder, with per-pass rate
+// and distortion tracking for the PCRD rate allocator.
+//
+// Code-blocks are strictly independent — the property the paper's parallel
+// encoding stage exploits: "no synchronization is necessary due to the
+// processing of independent code-blocks."
+package t1
+
+import (
+	"pj2k/internal/dwt"
+	"pj2k/internal/mq"
+)
+
+// Context indices (Annex D conventions): 0-8 zero coding, 9-13 sign coding,
+// 14-16 magnitude refinement, 17 run-length, 18 uniform.
+const (
+	ctxZC0 = 0
+	ctxSC0 = 9
+	ctxMR0 = 14
+	ctxRL  = 17
+	ctxUNI = 18
+	nctx   = 19
+)
+
+// rateMargin is the number of bytes added to the MQ coder's emitted count at
+// each pass boundary so that truncating the final segment at a pass's rate
+// always yields a decodable prefix (covers the C register and flush bytes).
+const rateMargin = 5
+
+// Pass records one coding pass's cumulative rate and its distortion
+// reduction in quantized-magnitude units squared; the caller scales by
+// (step * band synthesis norm)^2 to get image-domain MSE reduction.
+type Pass struct {
+	Rate      int     // bytes of Data sufficient to decode through this pass
+	DistDelta float64 // MSE reduction contributed by this pass
+}
+
+// EncodedBlock is the output of Encode for one code-block.
+type EncodedBlock struct {
+	W, H         int
+	Band         dwt.BandType
+	NumBitplanes int
+	Passes       []Pass
+	Data         []byte
+}
+
+// flags per sample, stored in a bordered (w+2)x(h+2) array.
+const (
+	fSig     uint8 = 1 << iota // became significant
+	fVisited                   // coded in the current plane's sig-prop pass
+	fRefined                   // has been refined at least once
+	fNeg                       // sign bit (negative)
+)
+
+type coder struct {
+	w, h  int
+	bw    int // bordered width
+	mag   []int32
+	flags []uint8
+	cx    [nctx]mq.Context
+	band  dwt.BandType
+}
+
+func (c *coder) idx(x, y int) int { return (y+1)*c.bw + (x + 1) }
+
+func (c *coder) resetContexts() {
+	for i := range c.cx {
+		c.cx[i].Reset(0, 0)
+	}
+	c.cx[ctxZC0].Reset(4, 0)
+	c.cx[ctxRL].Reset(3, 0)
+	c.cx[ctxUNI].Reset(46, 0)
+}
+
+// zcContext returns the zero-coding context from the neighbour significance
+// counts, per the band-orientation tables of Annex D.
+func (c *coder) zcContext(i int) int {
+	f := c.flags
+	bw := c.bw
+	h := int(f[i-1]&fSig) + int(f[i+1]&fSig)
+	v := int(f[i-bw]&fSig) + int(f[i+bw]&fSig)
+	d := int(f[i-bw-1]&fSig) + int(f[i-bw+1]&fSig) + int(f[i+bw-1]&fSig) + int(f[i+bw+1]&fSig)
+	if c.band == dwt.HL {
+		h, v = v, h
+	}
+	switch c.band {
+	case dwt.HH:
+		switch {
+		case d >= 3:
+			return 8
+		case d == 2:
+			if h+v >= 1 {
+				return 7
+			}
+			return 6
+		case d == 1:
+			switch {
+			case h+v >= 2:
+				return 5
+			case h+v == 1:
+				return 4
+			default:
+				return 3
+			}
+		default:
+			switch {
+			case h+v >= 2:
+				return 2
+			case h+v == 1:
+				return 1
+			default:
+				return 0
+			}
+		}
+	default: // LL, LH (and HL after the swap above)
+		switch {
+		case h == 2:
+			return 8
+		case h == 1:
+			switch {
+			case v >= 1:
+				return 7
+			case d >= 1:
+				return 6
+			default:
+				return 5
+			}
+		default:
+			switch {
+			case v == 2:
+				return 4
+			case v == 1:
+				return 3
+			case d >= 2:
+				return 2
+			case d == 1:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+}
+
+// scContext returns the sign-coding context and XOR bit from the signs of
+// the significant horizontal/vertical neighbours.
+func (c *coder) scContext(i int) (ctx int, xorbit int) {
+	f := c.flags
+	bw := c.bw
+	contrib := func(j int) int {
+		if f[j]&fSig == 0 {
+			return 0
+		}
+		if f[j]&fNeg != 0 {
+			return -1
+		}
+		return 1
+	}
+	h := contrib(i-1) + contrib(i+1)
+	if h > 1 {
+		h = 1
+	} else if h < -1 {
+		h = -1
+	}
+	v := contrib(i-bw) + contrib(i+bw)
+	if v > 1 {
+		v = 1
+	} else if v < -1 {
+		v = -1
+	}
+	// Table D.3.
+	switch {
+	case h == 1:
+		switch v {
+		case 1:
+			return 13, 0
+		case 0:
+			return 12, 0
+		default:
+			return 11, 0
+		}
+	case h == 0:
+		switch v {
+		case 1:
+			return 10, 0
+		case 0:
+			return 9, 0
+		default:
+			return 10, 1
+		}
+	default: // h == -1
+		switch v {
+		case 1:
+			return 11, 1
+		case 0:
+			return 12, 1
+		default:
+			return 13, 1
+		}
+	}
+}
+
+// mrContext returns the magnitude-refinement context.
+func (c *coder) mrContext(i int) int {
+	if c.flags[i]&fRefined != 0 {
+		return 16
+	}
+	f := c.flags
+	bw := c.bw
+	any := f[i-1] | f[i+1] | f[i-bw] | f[i+bw] | f[i-bw-1] | f[i-bw+1] | f[i+bw-1] | f[i+bw+1]
+	if any&fSig != 0 {
+		return 15
+	}
+	return 14
+}
+
+// hasSigNeighbor reports whether any 8-neighbour is significant.
+func (c *coder) hasSigNeighbor(i int) bool {
+	f := c.flags
+	bw := c.bw
+	any := f[i-1] | f[i+1] | f[i-bw] | f[i+bw] | f[i-bw-1] | f[i-bw+1] | f[i+bw-1] | f[i+bw+1]
+	return any&fSig != 0
+}
+
+// recon is the decoder's reconstruction of magnitude v after its last update
+// at plane p: the decoded bits plus a midpoint offset for the undecoded
+// interval (none at plane 0, where decoding is exact).
+func recon(v int32, p uint) float64 {
+	r := float64(int32(v>>p) << p)
+	if p > 0 {
+		r += 0.5 * float64(int32(1)<<p)
+	}
+	return r
+}
+
+// distSig is the distortion reduction when magnitude v becomes significant
+// at plane p (reconstruction moves from 0 to the plane-p midpoint).
+func distSig(v int32, p uint) float64 {
+	vf := float64(v)
+	e1 := vf - recon(v, p)
+	return vf*vf - e1*e1
+}
+
+// distRef is the distortion reduction when a significant magnitude v is
+// refined at plane p.
+func distRef(v int32, p uint) float64 {
+	vf := float64(v)
+	e0 := vf - recon(v, p+1)
+	e1 := vf - recon(v, p)
+	return e0*e0 - e1*e1
+}
+
+// Encode codes one code-block. data holds signed quantized coefficients for
+// a w x h block with the given row stride; band selects the context tables.
+func Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
+	c := &coder{w: w, h: h, bw: w + 2, band: band}
+	c.mag = make([]int32, (w+2)*(h+2))
+	c.flags = make([]uint8, (w+2)*(h+2))
+	var maxMag int32
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := data[y*stride+x]
+			i := c.idx(x, y)
+			if v < 0 {
+				c.flags[i] |= fNeg
+				v = -v
+			}
+			c.mag[i] = v
+			if v > maxMag {
+				maxMag = v
+			}
+		}
+	}
+	eb := &EncodedBlock{W: w, H: h, Band: band}
+	if maxMag == 0 {
+		return eb
+	}
+	nbp := 0
+	for m := maxMag; m > 0; m >>= 1 {
+		nbp++
+	}
+	eb.NumBitplanes = nbp
+	c.resetContexts()
+	enc := mq.NewEncoder()
+
+	for p := nbp - 1; p >= 0; p-- {
+		plane := uint(p)
+		if p != nbp-1 {
+			d := c.sigPropPass(enc, plane, nil)
+			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
+			d = c.refinePass(enc, plane, nil)
+			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
+		}
+		d := c.cleanupPass(enc, plane, nil)
+		eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
+		// Clear per-plane visited flags.
+		for i := range c.flags {
+			c.flags[i] &^= fVisited
+		}
+	}
+	eb.Data = enc.Flush()
+	// Clamp pass rates: non-decreasing and within the final segment.
+	for k := range eb.Passes {
+		if eb.Passes[k].Rate > len(eb.Data) {
+			eb.Passes[k].Rate = len(eb.Data)
+		}
+		if k > 0 && eb.Passes[k].Rate < eb.Passes[k-1].Rate {
+			eb.Passes[k].Rate = eb.Passes[k-1].Rate
+		}
+	}
+	if n := len(eb.Passes); n > 0 {
+		eb.Passes[n-1].Rate = len(eb.Data)
+	}
+	return eb
+}
+
+// sigPropPass runs the significance-propagation pass at the given plane.
+// When dec is nil it encodes using c.enc conventions via the closure below;
+// the decode path passes a decoder. Returns the distortion reduction.
+func (c *coder) sigPropPass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
+	var dist float64
+	c.forEachStripeSample(func(x, y, i int) {
+		if c.flags[i]&fSig != 0 || !c.hasSigNeighbor(i) {
+			return
+		}
+		ctx := c.zcContext(i)
+		var bit int
+		if dec == nil {
+			bit = int(c.mag[i] >> plane & 1)
+			enc.Encode(bit, &c.cx[ctx])
+		} else {
+			bit = dec.mq.Decode(&c.cx[ctx])
+		}
+		if bit == 1 {
+			dist += c.codeSign(enc, dec, i, plane)
+		}
+		c.flags[i] |= fVisited
+	})
+	return dist
+}
+
+// codeSign codes/decodes the sign of sample i which just became significant
+// at plane, marks it significant, and returns the significance distortion.
+func (c *coder) codeSign(enc *mq.Encoder, dec *decoder, i int, plane uint) float64 {
+	ctx, xorbit := c.scContext(i)
+	if dec == nil {
+		s := 0
+		if c.flags[i]&fNeg != 0 {
+			s = 1
+		}
+		enc.Encode(s^xorbit, &c.cx[ctx])
+		c.flags[i] |= fSig
+		return distSig(c.mag[i], plane)
+	}
+	bit := dec.mq.Decode(&c.cx[ctx])
+	if bit^xorbit == 1 {
+		c.flags[i] |= fNeg
+	}
+	c.flags[i] |= fSig
+	c.mag[i] |= 1 << plane
+	dec.lastPlane[i] = uint8(plane) + 1 // store plane+1 (0 = untouched)
+	return 0
+}
+
+// refinePass runs the magnitude-refinement pass.
+func (c *coder) refinePass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
+	var dist float64
+	c.forEachStripeSample(func(x, y, i int) {
+		if c.flags[i]&fSig == 0 || c.flags[i]&fVisited != 0 {
+			return
+		}
+		ctx := c.mrContext(i)
+		if dec == nil {
+			bit := int(c.mag[i] >> plane & 1)
+			enc.Encode(bit, &c.cx[ctx])
+			dist += distRef(c.mag[i], plane)
+		} else {
+			bit := dec.mq.Decode(&c.cx[ctx])
+			if bit == 1 {
+				c.mag[i] |= 1 << plane
+			}
+			dec.lastPlane[i] = uint8(plane) + 1
+		}
+		c.flags[i] |= fRefined
+	})
+	return dist
+}
+
+// cleanupPass runs the cleanup pass with run-length coding.
+func (c *coder) cleanupPass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
+	var dist float64
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		for x := 0; x < c.w; x++ {
+			y := 0
+			// Run-length mode: full column of four, all insignificant,
+			// unvisited, with no significant neighbours.
+			if rows == 4 && c.rlEligible(x, y0) {
+				var first int
+				if dec == nil {
+					first = 4 // position of first 1-bit, 4 = none
+					for k := 0; k < 4; k++ {
+						if c.mag[c.idx(x, y0+k)]>>plane&1 == 1 {
+							first = k
+							break
+						}
+					}
+					if first == 4 {
+						enc.Encode(0, &c.cx[ctxRL])
+						continue
+					}
+					enc.Encode(1, &c.cx[ctxRL])
+					enc.Encode(first>>1&1, &c.cx[ctxUNI])
+					enc.Encode(first&1, &c.cx[ctxUNI])
+				} else {
+					if dec.mq.Decode(&c.cx[ctxRL]) == 0 {
+						continue
+					}
+					first = dec.mq.Decode(&c.cx[ctxUNI])<<1 | dec.mq.Decode(&c.cx[ctxUNI])
+				}
+				// The sample at `first` is significant: code its sign.
+				dist += c.codeSign(enc, dec, c.idx(x, y0+first), plane)
+				y = first + 1
+			}
+			for ; y < rows; y++ {
+				i := c.idx(x, y0+y)
+				if c.flags[i]&(fSig|fVisited) != 0 {
+					continue
+				}
+				ctx := c.zcContext(i)
+				var bit int
+				if dec == nil {
+					bit = int(c.mag[i] >> plane & 1)
+					enc.Encode(bit, &c.cx[ctx])
+				} else {
+					bit = dec.mq.Decode(&c.cx[ctx])
+				}
+				if bit == 1 {
+					dist += c.codeSign(enc, dec, i, plane)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// rlEligible reports whether the 4-sample column at (x, y0) qualifies for
+// run-length mode.
+func (c *coder) rlEligible(x, y0 int) bool {
+	for k := 0; k < 4; k++ {
+		i := c.idx(x, y0+k)
+		if c.flags[i]&(fSig|fVisited) != 0 || c.hasSigNeighbor(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachStripeSample visits samples in the standard scan order: stripes of
+// four rows, column by column, top to bottom within the column.
+func (c *coder) forEachStripeSample(fn func(x, y, i int)) {
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		for x := 0; x < c.w; x++ {
+			for k := 0; k < rows; k++ {
+				y := y0 + k
+				fn(x, y, c.idx(x, y))
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package t2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/quant"
+)
+
+// Marker codes (ISO/IEC 15444-1 Annex A).
+const (
+	mSOC = 0xFF4F
+	mSIZ = 0xFF51
+	mCOD = 0xFF52
+	mRGN = 0xFF5E
+	mQCD = 0xFF5C
+	mSOT = 0xFF90
+	mSOD = 0xFF93
+	mEOC = 0xFFD9
+)
+
+// Params is the codestream-level configuration carried by the SIZ/COD/QCD
+// markers. Deviations from the standard's field semantics (documented in
+// DESIGN.md): the QCD step exponents are absolute rather than relative to the
+// band's nominal dynamic range, and per-band maximum bit-plane counts are
+// carried explicitly alongside the steps.
+type Params struct {
+	Width, Height int
+	TileW, TileH  int // tile grid; equal to image size for single-tile
+	BitDepth      int
+	Levels        int
+	Layers        int
+	CBW, CBH      int // code-block size (powers of two, <= 64)
+	Kernel        dwt.Kernel
+	GuardBits     int
+	Steps         []quant.Step // per band, empty for Rev53
+	Mb            []int        // per band nominal max bit-planes
+	ROIShift      int          // MAXSHIFT ROI scaling value (RGN marker); 0 = no ROI
+}
+
+// NumTiles returns the tile grid dimensions.
+func (p Params) NumTiles() (int, int) {
+	tx := (p.Width + p.TileW - 1) / p.TileW
+	ty := (p.Height + p.TileH - 1) / p.TileH
+	return tx, ty
+}
+
+func put16(b []byte, v int) []byte { return append(b, byte(v>>8), byte(v)) }
+func put32(b []byte, v int) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// WriteCodestream serializes the full codestream: main header, one tile-part
+// per tile (in raster order), EOC.
+func WriteCodestream(p Params, tiles [][]byte) []byte {
+	var out []byte
+	out = put16(out, mSOC)
+
+	// SIZ
+	out = put16(out, mSIZ)
+	out = put16(out, 38+3) // Lsiz for 1 component
+	out = put16(out, 0)    // Rsiz
+	out = put32(out, p.Width)
+	out = put32(out, p.Height)
+	out = put32(out, 0) // XOsiz
+	out = put32(out, 0) // YOsiz
+	out = put32(out, p.TileW)
+	out = put32(out, p.TileH)
+	out = put32(out, 0) // XTOsiz
+	out = put32(out, 0) // YTOsiz
+	out = put16(out, 1) // Csiz
+	out = append(out, byte(p.BitDepth-1), 1, 1)
+
+	// COD
+	out = put16(out, mCOD)
+	out = put16(out, 12)
+	out = append(out, 0)       // Scod: default precincts, no SOP/EPH
+	out = append(out, 0)       // progression: LRCP
+	out = put16(out, p.Layers) // number of layers
+	out = append(out, 0)       // MCT: none
+	out = append(out, byte(p.Levels))
+	out = append(out, byte(log2i(p.CBW)-2), byte(log2i(p.CBH)-2))
+	out = append(out, 0) // code-block style: default
+	if p.Kernel == dwt.Rev53 {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+
+	// QCD: guard bits + per-band (Mb byte [+ step halfword for 9/7]).
+	out = put16(out, mQCD)
+	perBand := 1
+	style := byte(0)
+	if p.Kernel == dwt.Irr97 {
+		perBand = 3
+		style = 2
+	}
+	out = put16(out, 3+perBand*len(p.Mb))
+	out = append(out, byte(p.GuardBits)<<5|style)
+	for i, mb := range p.Mb {
+		out = append(out, byte(mb))
+		if p.Kernel == dwt.Irr97 {
+			s := p.Steps[i]
+			out = put16(out, s.Exponent<<11|s.Mantissa)
+		}
+	}
+
+	// RGN: MAXSHIFT region of interest.
+	if p.ROIShift > 0 {
+		out = put16(out, mRGN)
+		out = put16(out, 5)
+		out = append(out, 0, 1, byte(p.ROIShift)) // Crgn, Srgn=maxshift, SPrgn
+	}
+
+	// Tile-parts.
+	for i, td := range tiles {
+		out = put16(out, mSOT)
+		out = put16(out, 10)
+		out = put16(out, i)
+		out = put32(out, 12+2+len(td)) // Psot: SOT..end of data
+		out = append(out, 0, 1)        // TPsot, TNsot
+		out = put16(out, mSOD)
+		out = append(out, td...)
+	}
+	out = put16(out, mEOC)
+	return out
+}
+
+func log2i(v int) int {
+	k := 0
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) u16() (int, error) {
+	if r.pos+2 > len(r.data) {
+		return 0, fmt.Errorf("t2: truncated codestream at %d", r.pos)
+	}
+	v := int(binary.BigEndian.Uint16(r.data[r.pos:]))
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (int, error) {
+	if r.pos+4 > len(r.data) {
+		return 0, fmt.Errorf("t2: truncated codestream at %d", r.pos)
+	}
+	v := int(binary.BigEndian.Uint32(r.data[r.pos:]))
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) u8() (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("t2: truncated codestream at %d", r.pos)
+	}
+	v := int(r.data[r.pos])
+	r.pos++
+	return v, nil
+}
+
+// ReadCodestream parses a codestream produced by WriteCodestream, returning
+// the parameters and the per-tile packet data.
+func ReadCodestream(data []byte) (Params, [][]byte, error) {
+	var p Params
+	r := &reader{data: data}
+	if m, err := r.u16(); err != nil || m != mSOC {
+		return p, nil, fmt.Errorf("t2: missing SOC (got %#x, %v)", m, err)
+	}
+	var tiles [][]byte
+	for {
+		m, err := r.u16()
+		if err != nil {
+			return p, nil, err
+		}
+		switch m {
+		case mSIZ:
+			if _, err = r.u16(); err != nil { // Lsiz
+				return p, nil, err
+			}
+			if _, err = r.u16(); err != nil { // Rsiz
+				return p, nil, err
+			}
+			if p.Width, err = r.u32(); err != nil {
+				return p, nil, err
+			}
+			if p.Height, err = r.u32(); err != nil {
+				return p, nil, err
+			}
+			for i := 0; i < 2; i++ { // XOsiz YOsiz
+				if _, err = r.u32(); err != nil {
+					return p, nil, err
+				}
+			}
+			if p.TileW, err = r.u32(); err != nil {
+				return p, nil, err
+			}
+			if p.TileH, err = r.u32(); err != nil {
+				return p, nil, err
+			}
+			for i := 0; i < 2; i++ { // XTOsiz YTOsiz
+				if _, err = r.u32(); err != nil {
+					return p, nil, err
+				}
+			}
+			ncomp, err := r.u16()
+			if err != nil {
+				return p, nil, err
+			}
+			if ncomp != 1 {
+				return p, nil, fmt.Errorf("t2: %d components unsupported", ncomp)
+			}
+			ssiz, err := r.u8()
+			if err != nil {
+				return p, nil, err
+			}
+			p.BitDepth = ssiz&0x7F + 1
+			if _, err = r.u8(); err != nil { // XRsiz
+				return p, nil, err
+			}
+			if _, err = r.u8(); err != nil { // YRsiz
+				return p, nil, err
+			}
+			// Sanity limits so corrupted headers cannot demand absurd
+			// allocations downstream.
+			if p.Width <= 0 || p.Height <= 0 || p.Width > 1<<20 || p.Height > 1<<20 ||
+				p.Width*p.Height > 1<<28 {
+				return p, nil, fmt.Errorf("t2: implausible image size %dx%d", p.Width, p.Height)
+			}
+			if p.TileW <= 0 || p.TileH <= 0 || p.TileW > p.Width+64 || p.TileH > p.Height+64 {
+				return p, nil, fmt.Errorf("t2: implausible tile size %dx%d", p.TileW, p.TileH)
+			}
+			if p.BitDepth < 1 || p.BitDepth > 16 {
+				return p, nil, fmt.Errorf("t2: unsupported bit depth %d", p.BitDepth)
+			}
+		case mCOD:
+			if _, err = r.u16(); err != nil { // Lcod
+				return p, nil, err
+			}
+			if _, err = r.u8(); err != nil { // Scod
+				return p, nil, err
+			}
+			if _, err = r.u8(); err != nil { // progression
+				return p, nil, err
+			}
+			if p.Layers, err = r.u16(); err != nil {
+				return p, nil, err
+			}
+			if _, err = r.u8(); err != nil { // MCT
+				return p, nil, err
+			}
+			if p.Levels, err = r.u8(); err != nil {
+				return p, nil, err
+			}
+			xcb, err := r.u8()
+			if err != nil {
+				return p, nil, err
+			}
+			ycb, err := r.u8()
+			if err != nil {
+				return p, nil, err
+			}
+			p.CBW, p.CBH = 1<<(xcb+2), 1<<(ycb+2)
+			if _, err = r.u8(); err != nil { // cb style
+				return p, nil, err
+			}
+			tr, err := r.u8()
+			if err != nil {
+				return p, nil, err
+			}
+			if tr == 1 {
+				p.Kernel = dwt.Rev53
+			} else {
+				p.Kernel = dwt.Irr97
+			}
+			if p.Levels < 0 || p.Levels > 32 || p.Layers < 1 || p.CBW < 4 || p.CBW > 64 || p.CBH < 4 || p.CBH > 64 {
+				return p, nil, fmt.Errorf("t2: implausible COD (levels %d, layers %d, cb %dx%d)",
+					p.Levels, p.Layers, p.CBW, p.CBH)
+			}
+		case mQCD:
+			lqcd, err := r.u16()
+			if err != nil {
+				return p, nil, err
+			}
+			sq, err := r.u8()
+			if err != nil {
+				return p, nil, err
+			}
+			p.GuardBits = sq >> 5
+			style := sq & 0x1F
+			perBand := 1
+			if style == 2 {
+				perBand = 3
+			}
+			nb := (lqcd - 3) / perBand
+			p.Mb = make([]int, nb)
+			if style == 2 {
+				p.Steps = make([]quant.Step, nb)
+			}
+			for i := 0; i < nb; i++ {
+				mb, err := r.u8()
+				if err != nil {
+					return p, nil, err
+				}
+				p.Mb[i] = mb
+				if style == 2 {
+					v, err := r.u16()
+					if err != nil {
+						return p, nil, err
+					}
+					p.Steps[i] = quant.Step{Exponent: v >> 11, Mantissa: v & 0x7FF}
+				}
+			}
+		case mRGN:
+			if _, err = r.u16(); err != nil { // Lrgn
+				return p, nil, err
+			}
+			if _, err = r.u8(); err != nil { // Crgn
+				return p, nil, err
+			}
+			if _, err = r.u8(); err != nil { // Srgn
+				return p, nil, err
+			}
+			if p.ROIShift, err = r.u8(); err != nil {
+				return p, nil, err
+			}
+		case mSOT:
+			if _, err = r.u16(); err != nil { // Lsot
+				return p, nil, err
+			}
+			if _, err = r.u16(); err != nil { // Isot
+				return p, nil, err
+			}
+			psot, err := r.u32()
+			if err != nil {
+				return p, nil, err
+			}
+			for i := 0; i < 2; i++ { // TPsot, TNsot
+				if _, err = r.u8(); err != nil {
+					return p, nil, err
+				}
+			}
+			if m, err := r.u16(); err != nil || m != mSOD {
+				return p, nil, fmt.Errorf("t2: missing SOD (got %#x, %v)", m, err)
+			}
+			dataLen := psot - 12 - 2
+			if dataLen < 0 || r.pos+dataLen > len(r.data) {
+				return p, nil, fmt.Errorf("t2: bad Psot %d", psot)
+			}
+			tiles = append(tiles, r.data[r.pos:r.pos+dataLen])
+			r.pos += dataLen
+		case mEOC:
+			return p, tiles, nil
+		default:
+			return p, nil, fmt.Errorf("t2: unexpected marker %#x at %d", m, r.pos-2)
+		}
+	}
+}

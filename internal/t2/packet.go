@@ -1,0 +1,413 @@
+// Package t2 implements JPEG2000 tier-2 coding: code-block partitioning,
+// packet headers (inclusion and zero-bit-plane tag trees, pass-count VLC,
+// Lblock length signalling, bit stuffing) and the codestream marker syntax
+// (SOC/SIZ/COD/QCD/SOT/SOD/EOC). One precinct per resolution and LRCP
+// progression, the defaults the paper's experiments used.
+package t2
+
+import (
+	"fmt"
+
+	"pj2k/internal/bitio"
+	"pj2k/internal/dwt"
+	"pj2k/internal/tagtree"
+)
+
+// CBRect is one code-block's rectangle within its subband (band-relative
+// coordinates).
+type CBRect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Grid describes the code-block partition of one subband.
+type Grid struct {
+	Band   dwt.Subband
+	GW, GH int // grid dimensions in blocks
+	Rects  []CBRect
+}
+
+// MakeGrid splits a subband into code-blocks of at most cbw x cbh samples.
+func MakeGrid(band dwt.Subband, cbw, cbh int) Grid {
+	w, h := band.Width(), band.Height()
+	gw := (w + cbw - 1) / cbw
+	gh := (h + cbh - 1) / cbh
+	if w == 0 || h == 0 {
+		return Grid{Band: band}
+	}
+	g := Grid{Band: band, GW: gw, GH: gh, Rects: make([]CBRect, 0, gw*gh)}
+	for gy := 0; gy < gh; gy++ {
+		for gx := 0; gx < gw; gx++ {
+			r := CBRect{X0: gx * cbw, Y0: gy * cbh, X1: (gx + 1) * cbw, Y1: (gy + 1) * cbh}
+			if r.X1 > w {
+				r.X1 = w
+			}
+			if r.Y1 > h {
+				r.Y1 = h
+			}
+			g.Rects = append(g.Rects, r)
+		}
+	}
+	return g
+}
+
+// BlockStream carries the tier-1 output tier-2 needs for one code-block.
+type BlockStream struct {
+	Data         []byte
+	NumBitplanes int
+	PassRates    []int // cumulative bytes through each pass
+}
+
+// BandBlocks couples a grid with its blocks' streams (encoder side) and the
+// band's nominal maximum bit-plane count Mb (for zero-bit-plane signalling).
+type BandBlocks struct {
+	Grid   Grid
+	Mb     int
+	Blocks []*BlockStream // len GW*GH, raster order
+}
+
+// bandState is the per-band packet-header coding state shared across layers.
+type bandState struct {
+	incl      *tagtree.Tree
+	zbp       *tagtree.Tree
+	included  []bool
+	lblock    []int
+	passesCum []int
+}
+
+func newBandState(g Grid) *bandState {
+	if g.GW == 0 || g.GH == 0 {
+		return &bandState{}
+	}
+	st := &bandState{
+		incl:      tagtree.New(g.GW, g.GH),
+		zbp:       tagtree.New(g.GW, g.GH),
+		included:  make([]bool, g.GW*g.GH),
+		lblock:    make([]int, g.GW*g.GH),
+		passesCum: make([]int, g.GW*g.GH),
+	}
+	for i := range st.lblock {
+		st.lblock[i] = 3
+	}
+	return st
+}
+
+func floorLog2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// writePassCount emits the standard variable-length code for the number of
+// new coding passes (1..164).
+func writePassCount(w *bitio.StuffWriter, n int) {
+	switch {
+	case n == 1:
+		w.WriteBit(0)
+	case n == 2:
+		w.WriteBits(0b10, 2)
+	case n <= 5:
+		w.WriteBits(0b11, 2)
+		w.WriteBits(uint32(n-3), 2)
+	case n <= 36:
+		w.WriteBits(0b1111, 4)
+		w.WriteBits(uint32(n-6), 5)
+	case n <= 164:
+		w.WriteBits(0b111111111, 9)
+		w.WriteBits(uint32(n-37), 7)
+	default:
+		panic(fmt.Sprintf("t2: pass count %d exceeds 164", n))
+	}
+}
+
+// readPassCount mirrors writePassCount.
+func readPassCount(r *bitio.StuffReader) (int, error) {
+	b, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return 1, nil
+	}
+	if b, err = r.ReadBit(); err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return 2, nil
+	}
+	v, err := r.ReadBits(2)
+	if err != nil {
+		return 0, err
+	}
+	if v < 3 {
+		return 3 + int(v), nil
+	}
+	if v, err = r.ReadBits(5); err != nil {
+		return 0, err
+	}
+	if v < 31 {
+		return 6 + int(v), nil
+	}
+	if v, err = r.ReadBits(7); err != nil {
+		return 0, err
+	}
+	return 37 + int(v), nil
+}
+
+// tileCoder holds per-tile packet coding state: one bandState per subband,
+// indexed as in dwt.Subbands order.
+type tileCoder struct {
+	states    []*bandState
+	blockBase []int // global block id of each band's first block
+	nblocks   int
+}
+
+func newTileCoder(bands []BandBlocks) *tileCoder {
+	tc := &tileCoder{states: make([]*bandState, len(bands)), blockBase: make([]int, len(bands))}
+	id := 0
+	for i, b := range bands {
+		tc.states[i] = newBandState(b.Grid)
+		tc.blockBase[i] = id
+		id += b.Grid.GW * b.Grid.GH
+	}
+	tc.nblocks = id
+	return tc
+}
+
+// seedInclusion sets the inclusion tag-tree leaf values from the full layer
+// allocation: the first layer each block contributes passes in, or nlayers
+// for blocks never included. Must be called before encoding any packet —
+// tag-tree minima are global, so values cannot be revealed lazily.
+func (tc *tileCoder) seedInclusion(bands []BandBlocks, layers [][]int) {
+	nlayers := len(layers)
+	for bi, b := range bands {
+		st := tc.states[bi]
+		for k := range b.Blocks {
+			id := tc.blockBase[bi] + k
+			first := nlayers
+			for li := 0; li < nlayers; li++ {
+				if layers[li][id] > 0 {
+					first = li
+					break
+				}
+			}
+			gx, gy := k%b.Grid.GW, k/b.Grid.GW
+			st.incl.SetValue(gx, gy, first)
+			st.zbp.SetValue(gx, gy, b.Mb-b.Blocks[k].NumBitplanes)
+		}
+	}
+}
+
+// encodePacket writes the packet for (layer, resolution). bandIdx lists the
+// subband indices of this resolution; target holds cumulative pass counts
+// per global block id through this layer.
+func (tc *tileCoder) encodePacket(bands []BandBlocks, bandIdx []int,
+	layer int, target []int) []byte {
+
+	nonEmpty := false
+	for _, bi := range bandIdx {
+		st := tc.states[bi]
+		for k := range st.passesCum {
+			if target[tc.blockBase[bi]+k] > st.passesCum[k] {
+				nonEmpty = true
+			}
+		}
+	}
+	w := bitio.NewStuffWriter()
+	if !nonEmpty {
+		w.WriteBit(0)
+		return w.Bytes()
+	}
+	w.WriteBit(1)
+	var body []byte
+	for _, bi := range bandIdx {
+		b := bands[bi]
+		st := tc.states[bi]
+		for k := range st.passesCum {
+			blk := b.Blocks[k]
+			id := tc.blockBase[bi] + k
+			gx, gy := k%b.Grid.GW, k/b.Grid.GW
+			cum := st.passesCum[k]
+			newPasses := target[id] - cum
+			if !st.included[k] {
+				// Tag-tree inclusion: decoder learns whether the block's
+				// first layer is <= this layer.
+				st.incl.Encode(w, gx, gy, layer+1)
+				if newPasses <= 0 {
+					continue
+				}
+				st.zbp.EncodeValue(w, gx, gy)
+				st.included[k] = true
+			} else {
+				if newPasses <= 0 {
+					w.WriteBit(0)
+					continue
+				}
+				w.WriteBit(1)
+			}
+			writePassCount(w, newPasses)
+			start := 0
+			if cum > 0 {
+				start = blk.PassRates[cum-1]
+			}
+			end := blk.PassRates[cum+newPasses-1]
+			segLen := end - start
+			needed := bitLen(segLen)
+			avail := st.lblock[k] + floorLog2(newPasses)
+			for needed > avail {
+				w.WriteBit(1)
+				st.lblock[k]++
+				avail++
+			}
+			w.WriteBit(0)
+			w.WriteBits(uint32(segLen), avail)
+			body = append(body, blk.Data[start:end]...)
+			st.passesCum[k] = target[id]
+		}
+	}
+	return append(w.Bytes(), body...)
+}
+
+// DecodedBlock accumulates a block's data across packets on the decode side.
+type DecodedBlock struct {
+	Data         []byte
+	Passes       int
+	NumBitplanes int
+}
+
+type decodedBlock = DecodedBlock
+
+// EncodeTilePackets assembles all packets of one tile in LRCP order (layer
+// outer, resolution inner; single component and precinct). layers[li][id]
+// gives the cumulative pass count of global block id through layer li; ids
+// enumerate bands in dwt.Subbands order, blocks raster-scan within a band.
+func EncodeTilePackets(bands []BandBlocks, levels int, layers [][]int) []byte {
+	tc := newTileCoder(bands)
+	tc.seedInclusion(bands, layers)
+	var out []byte
+	for li := range layers {
+		for r := 0; r <= levels; r++ {
+			out = append(out, tc.encodePacket(bands, dwt.BandsOfResolution(levels, r), li, layers[li])...)
+		}
+	}
+	return out
+}
+
+// DecodeTilePackets parses nlayers * (levels+1) packets from data. bands
+// carries the grid geometry and Mb per band (Blocks entries are ignored).
+// Returns per-global-block accumulated segments and the bytes consumed.
+func DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte) ([]DecodedBlock, int, error) {
+	tc := newTileCoder(bands)
+	dec := make([]DecodedBlock, tc.nblocks)
+	pos := 0
+	for li := 0; li < nlayers; li++ {
+		for r := 0; r <= levels; r++ {
+			n, err := tc.decodePacket(bands, dwt.BandsOfResolution(levels, r), li, data[pos:], dec)
+			if err != nil {
+				return nil, 0, fmt.Errorf("t2: layer %d resolution %d: %w", li, r, err)
+			}
+			pos += n
+		}
+	}
+	return dec, pos, nil
+}
+
+// decodePacket parses one packet for (layer, resolution), appending segment
+// bytes and pass counts to dec (indexed by global block id). NumBitplanes of
+// first-included blocks is stored into dec. Returns the bytes consumed.
+func (tc *tileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
+	layer int, data []byte, dec []decodedBlock) (int, error) {
+
+	r := bitio.NewStuffReader(data)
+	bit, err := r.ReadBit()
+	if err != nil {
+		return 0, fmt.Errorf("t2: packet empty-bit: %w", err)
+	}
+	if bit == 0 {
+		return r.Terminate()
+	}
+	type pending struct {
+		id     int
+		segLen int
+	}
+	var body []pending
+	for _, bi := range bandIdx {
+		b := bands[bi]
+		st := tc.states[bi]
+		for k := range st.passesCum {
+			id := tc.blockBase[bi] + k
+			gx, gy := k%b.Grid.GW, k/b.Grid.GW
+			firstInclusion := false
+			if !st.included[k] {
+				inc, err := st.incl.Decode(r, gx, gy, layer+1)
+				if err != nil {
+					return 0, err
+				}
+				if !inc {
+					continue
+				}
+				zbp, err := st.zbp.DecodeValue(r, gx, gy)
+				if err != nil {
+					return 0, err
+				}
+				dec[id].NumBitplanes = b.Mb - zbp
+				st.included[k] = true
+				firstInclusion = true
+			} else {
+				bit, err := r.ReadBit()
+				if err != nil {
+					return 0, err
+				}
+				if bit == 0 {
+					continue
+				}
+			}
+			_ = firstInclusion
+			np, err := readPassCount(r)
+			if err != nil {
+				return 0, err
+			}
+			lb := &st.lblock[k]
+			for {
+				bit, err := r.ReadBit()
+				if err != nil {
+					return 0, err
+				}
+				if bit == 0 {
+					break
+				}
+				*lb++
+			}
+			segLen, err := r.ReadBits(*lb + floorLog2(np))
+			if err != nil {
+				return 0, err
+			}
+			body = append(body, pending{id: id, segLen: int(segLen)})
+			st.passesCum[k] += np
+			dec[id].Passes += np
+		}
+	}
+	pos, err := r.Terminate()
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range body {
+		if pos+p.segLen > len(data) {
+			return 0, fmt.Errorf("t2: packet body truncated: need %d bytes at %d of %d", p.segLen, pos, len(data))
+		}
+		dec[p.id].Data = append(dec[p.id].Data, data[pos:pos+p.segLen]...)
+		pos += p.segLen
+	}
+	return pos, nil
+}
