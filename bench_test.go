@@ -7,6 +7,7 @@ package pj2k
 
 import (
 	"runtime"
+	"strconv"
 	"testing"
 
 	"pj2k/internal/cachesim"
@@ -247,20 +248,38 @@ func BenchmarkAblation_Scheduling(b *testing.B) {
 }
 
 // --- Real-goroutine parallel encode (bit-identical by construction; on a
-// multi-core host this shows true wall-clock scaling).
+// multi-core host this shows true wall-clock scaling). Each sub-bench holds
+// one pooled jp2k.Encoder, so allocs/op reports the steady state the server
+// workloads will see.
 
 func BenchmarkEncodeWorkers(b *testing.B) {
 	im := benchImage()
 	for _, w := range []int{1, 2, 4} {
 		b.Run(byName("w", w), func(b *testing.B) {
 			opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: w, VertMode: dwt.VertBlocked}
+			enc := jp2k.NewEncoder()
 			b.SetBytes(int64(im.Width * im.Height))
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := jp2k.Encode(im, opts); err != nil {
+				if _, _, err := enc.Encode(im, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEncodeOneShot is the throwaway-Encoder path for comparison (every
+// call pays the pool construction the pooled bench amortizes).
+func BenchmarkEncodeOneShot(b *testing.B) {
+	im := benchImage()
+	opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: 4, VertMode: dwt.VertBlocked}
+	b.SetBytes(int64(im.Width * im.Height))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := jp2k.Encode(im, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -302,11 +321,17 @@ func BenchmarkDWT53(b *testing.B) {
 	for _, mode := range []dwt.VertMode{dwt.VertNaive, dwt.VertBlocked} {
 		b.Run(mode.String(), func(b *testing.B) {
 			im := raster.Synthetic(1024, 1024, 1)
-			st := dwt.Strategy{VertMode: mode, Workers: 1}
+			work := im.Clone()
+			st := dwt.Strategy{VertMode: mode, Workers: 1, Scratch: dwt.NewScratch(1)}
 			b.SetBytes(int64(im.Width * im.Height * 4))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				work := im.Clone()
+				b.StopTimer()
+				for y := 0; y < im.Height; y++ {
+					copy(work.Row(y), im.Row(y))
+				}
+				b.StartTimer()
 				dwt.Forward53(work, 5, st)
 			}
 		})
@@ -325,10 +350,22 @@ func BenchmarkT1Block(b *testing.B) {
 		}
 		data[i] = v
 	}
-	b.SetBytes(64 * 64 * 4)
-	for i := 0; i < b.N; i++ {
-		t1.Encode(data, 64, 64, 64, dwt.HH)
-	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.SetBytes(64 * 64 * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t1.Encode(data, 64, 64, 64, dwt.HH)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		co := t1.NewCoder()
+		b.SetBytes(64 * 64 * 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			co.Encode(data, 64, 64, 64, dwt.HH)
+			co.Release()
+		}
+	})
 }
 
 func BenchmarkCacheSim(b *testing.B) {
@@ -342,19 +379,5 @@ func BenchmarkCacheSim(b *testing.B) {
 // helpers
 
 func byName(prefix string, v int) string {
-	return prefix + "=" + itoa(v)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return prefix + "=" + strconv.Itoa(v)
 }

@@ -29,10 +29,11 @@ func main() {
 	fmt.Printf("host: %d CPU(s)\n\nreal goroutines (1024x1024 @ 1.0 bpp):\n", runtime.NumCPU())
 	var ref []byte
 	var serial time.Duration
+	enc := jp2k.NewEncoder() // pooled pipeline: repeated encodes don't churn the allocator
 	for w := 1; w <= runtime.NumCPU(); w *= 2 {
 		opts.Workers = w
 		t0 := time.Now()
-		cs, _, err := jp2k.Encode(im, opts)
+		cs, _, err := enc.Encode(im, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module pj2k
+
+go 1.24

@@ -113,6 +113,13 @@ type StuffWriter struct {
 // NewStuffWriter returns an empty stuffing bit writer.
 func NewStuffWriter() *StuffWriter { return &StuffWriter{lim: 8} }
 
+// Reset empties the writer, retaining the buffer capacity for reuse.
+// Previously returned Bytes views are invalidated by subsequent writes.
+func (w *StuffWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.acc, w.nacc, w.lim = 0, 0, 8
+}
+
 // WriteBit appends one bit with stuffing.
 func (w *StuffWriter) WriteBit(b int) {
 	w.acc = w.acc<<1 | uint16(b&1)

@@ -24,13 +24,21 @@ func Workers(w int) int {
 // horizontal filtering of each DWT level). With p == 1 or tiny n it runs
 // inline with zero goroutine overhead.
 func ParallelFor(p, n int, fn func(lo, hi int)) {
+	ParallelForID(p, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ParallelForID is ParallelFor with the chunk's worker index passed to fn,
+// so callers can hand each worker private scratch state (the paper's threads
+// keep per-processor buffers for exactly this reason). Worker indices are
+// dense in [0, min(p, n)).
+func ParallelForID(p, n int, fn func(worker, lo, hi int)) {
 	p = Workers(p)
 	if p > n {
 		p = n
 	}
 	if p <= 1 {
 		if n > 0 {
-			fn(0, n)
+			fn(0, 0, n)
 		}
 		return
 	}
@@ -44,10 +52,10 @@ func ParallelFor(p, n int, fn func(lo, hi int)) {
 			hi++
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(i, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
@@ -97,22 +105,34 @@ func BlockRanges(n, width int) [][2]int {
 // RunTasks executes tasks under a staggered round-robin assignment on p
 // workers. Each worker runs its tasks in sequence; workers run concurrently.
 func RunTasks(n, p int, task func(i int)) {
-	assign := StaggeredRoundRobin(n, p)
-	if len(assign) <= 1 {
+	RunTasksID(n, p, func(_, i int) { task(i) })
+}
+
+// RunTasksID is RunTasks with the worker index passed to the task, enabling
+// per-worker pooled state (reusable tier-1 coders, scratch arenas). Worker
+// indices are dense in [0, min(p, n)). The staggered assignment is iterated
+// arithmetically (worker w runs w, w+p, w+2p, ...) rather than materialized,
+// so dispatch itself does not allocate.
+func RunTasksID(n, p int, task func(worker, i int)) {
+	p = Workers(p)
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	for _, ts := range assign {
+	for w := 0; w < p; w++ {
 		wg.Add(1)
-		go func(ts []int) {
+		go func(w int) {
 			defer wg.Done()
-			for _, i := range ts {
-				task(i)
+			for i := w; i < n; i += p {
+				task(w, i)
 			}
-		}(ts)
+		}(w)
 	}
 	wg.Wait()
 }

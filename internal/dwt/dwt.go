@@ -38,6 +38,11 @@ type Strategy struct {
 	VertMode   VertMode
 	BlockWidth int // columns per block for VertBlocked; <=0 selects 32
 	Workers    int // <=0 selects GOMAXPROCS
+	// Scratch supplies reusable per-worker filtering buffers, eliminating
+	// the per-level allocations of the hot loops. Nil keeps the original
+	// allocate-per-call behavior. Must be sized (NewScratch) for at least
+	// this strategy's worker count.
+	Scratch *Scratch
 }
 
 // DefaultBlockWidth is the column-block width used when Strategy.BlockWidth
@@ -91,8 +96,8 @@ func horizontalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 	if cw < 2 {
 		return
 	}
-	core.ParallelFor(st.Workers, ch, func(lo, hi int) {
-		tmp := make([]int32, cw)
+	core.ParallelForID(st.Workers, ch, func(worker, lo, hi int) {
+		tmp := st.Scratch.i32(worker, 0, cw)
 		for y := lo; y < hi; y++ {
 			row := im.Pix[y*im.Stride : y*im.Stride+cw]
 			if fwd {
@@ -116,8 +121,8 @@ func verticalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 	}
 	switch st.VertMode {
 	case VertNaive:
-		core.ParallelFor(st.Workers, cw, func(lo, hi int) {
-			col := make([]int32, ch)
+		core.ParallelForID(st.Workers, cw, func(worker, lo, hi int) {
+			col := st.Scratch.i32(worker, 0, ch)
 			for x := lo; x < hi; x++ {
 				// Gather the column with strided reads (the original
 				// implementations' access pattern).
@@ -134,7 +139,7 @@ func verticalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 						im.Pix[(sn+i)*im.Stride+x] = col[2*i+1]
 					}
 				} else {
-					buf := make([]int32, ch)
+					buf := st.Scratch.i32(worker, 1, ch)
 					interleave53(col, buf)
 					lift53Inv(buf)
 					for y := 0; y < ch; y++ {
@@ -145,13 +150,14 @@ func verticalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 		})
 	case VertBlocked:
 		blocks := core.BlockRanges(cw, st.blockWidth())
-		core.ParallelFor(st.Workers, len(blocks), func(lo, hi int) {
-			var tmp []int32
+		bw := st.blockWidth()
+		if bw > cw {
+			bw = cw
+		}
+		core.ParallelForID(st.Workers, len(blocks), func(worker, lo, hi int) {
+			tmp := st.Scratch.i32(worker, 0, bw*ch)
 			for bi := lo; bi < hi; bi++ {
 				x0, x1 := blocks[bi][0], blocks[bi][1]
-				if need := (x1 - x0) * ch; cap(tmp) < need {
-					tmp = make([]int32, need)
-				}
 				if fwd {
 					vertBlockFwd53(im, x0, x1, ch, tmp)
 				} else {

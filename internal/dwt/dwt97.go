@@ -20,7 +20,20 @@ func NewFPlane(w, h int) *FPlane {
 
 // FromImage converts an integer image into a float plane (no level shift).
 func FromImage(im *raster.Image) *FPlane {
-	p := NewFPlane(im.Width, im.Height)
+	return FromImageReuse(nil, im)
+}
+
+// FromImageReuse is FromImage writing into p when its backing storage is
+// large enough, so pooled callers avoid reallocating the plane every encode.
+// A nil (or too small) p is replaced by a fresh plane; the used plane is
+// returned either way.
+func FromImageReuse(p *FPlane, im *raster.Image) *FPlane {
+	if p == nil || cap(p.Data) < im.Width*im.Height {
+		p = NewFPlane(im.Width, im.Height)
+	} else {
+		p.Width, p.Height, p.Stride = im.Width, im.Height, im.Width
+		p.Data = p.Data[:im.Width*im.Height]
+	}
 	for y := 0; y < im.Height; y++ {
 		row := im.Row(y)
 		out := p.Data[y*p.Stride : y*p.Stride+p.Width]
@@ -71,8 +84,8 @@ func horizontalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 	if cw < 2 {
 		return
 	}
-	core.ParallelFor(st.Workers, ch, func(lo, hi int) {
-		tmp := make([]float64, cw)
+	core.ParallelForID(st.Workers, ch, func(worker, lo, hi int) {
+		tmp := st.Scratch.f64(worker, 0, cw)
 		for y := lo; y < hi; y++ {
 			row := p.Data[y*p.Stride : y*p.Stride+cw]
 			if fwd {
@@ -94,9 +107,9 @@ func verticalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 	}
 	switch st.VertMode {
 	case VertNaive:
-		core.ParallelFor(st.Workers, cw, func(lo, hi int) {
-			col := make([]float64, ch)
-			buf := make([]float64, ch)
+		core.ParallelForID(st.Workers, cw, func(worker, lo, hi int) {
+			col := st.Scratch.f64(worker, 0, ch)
+			buf := st.Scratch.f64(worker, 1, ch)
 			for x := lo; x < hi; x++ {
 				for y := 0; y < ch; y++ {
 					col[y] = p.Data[y*p.Stride+x]
@@ -115,13 +128,14 @@ func verticalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 		})
 	case VertBlocked:
 		blocks := core.BlockRanges(cw, st.blockWidth())
-		core.ParallelFor(st.Workers, len(blocks), func(lo, hi int) {
-			var tmp []float64
+		bw := st.blockWidth()
+		if bw > cw {
+			bw = cw
+		}
+		core.ParallelForID(st.Workers, len(blocks), func(worker, lo, hi int) {
+			tmp := st.Scratch.f64(worker, 0, bw*ch)
 			for bi := lo; bi < hi; bi++ {
 				x0, x1 := blocks[bi][0], blocks[bi][1]
-				if need := (x1 - x0) * ch; cap(tmp) < need {
-					tmp = make([]float64, need)
-				}
 				if fwd {
 					vertBlockFwd97(p, x0, x1, ch, tmp)
 				} else {

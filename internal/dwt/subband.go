@@ -53,10 +53,16 @@ func (s Subband) Empty() bool { return s.X1 <= s.X0 || s.Y1 <= s.Y0 }
 // level from the deepest to the shallowest its HL, LH, HH bands. This is the
 // order tier-2 emits packets in.
 func Subbands(w, h, levels int) []Subband {
+	return SubbandsAppend(nil, w, h, levels)
+}
+
+// SubbandsAppend is Subbands appending into dst, so pooled callers can
+// recycle the enumeration buffer (pass dst[:0]).
+func SubbandsAppend(dst []Subband, w, h, levels int) []Subband {
 	if levels == 0 {
-		return []Subband{{Type: LL, Level: 0, X1: w, Y1: h}}
+		return append(dst, Subband{Type: LL, Level: 0, X1: w, Y1: h})
 	}
-	bands := make([]Subband, 0, 1+3*levels)
+	bands := dst
 	llw, llh := levelDims(w, h, levels)
 	bands = append(bands, Subband{Type: LL, Level: levels, X1: llw, Y1: llh})
 	for l := levels; l >= 1; l-- {

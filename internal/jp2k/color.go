@@ -74,11 +74,12 @@ func EncodeColor(r, g, b *raster.Image, opts Options) ([]byte, *EncodeStats, err
 
 	total := &EncodeStats{}
 	var streams [3][]byte
+	enc := NewEncoder() // one pooled pipeline shared by the three components
 	for ci, c := range comps {
 		if len(o.LayerBPP) > 0 {
 			perComp.LayerBPP = budgets[ci]
 		}
-		cs, st, err := Encode(c, perComp)
+		cs, st, err := enc.Encode(c, perComp)
 		if err != nil {
 			return nil, nil, fmt.Errorf("jp2k: component %d: %w", ci, err)
 		}

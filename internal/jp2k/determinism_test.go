@@ -1,0 +1,121 @@
+package jp2k
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/raster"
+)
+
+// determinismCases cover both kernels, single- and multi-tile layouts
+// (multi-tile exercises the cross-tile parallel DWT), layered and lossless
+// rate control, ROI scaling, and non-default code-block sizes.
+func determinismCases() []Options {
+	return []Options{
+		{Kernel: dwt.Rev53},
+		{Kernel: dwt.Rev53, TileW: 64, TileH: 96, CBW: 32, CBH: 16, Levels: 3},
+		{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}},
+		{Kernel: dwt.Irr97, LayerBPP: []float64{0.25, 1.0}, TileW: 100, TileH: 90, VertMode: dwt.VertBlocked},
+		{Kernel: dwt.Irr97, LayerBPP: []float64{0.5}, ROI: &ROIRect{X0: 30, Y0: 20, X1: 120, Y1: 100}},
+	}
+}
+
+// TestEncodeDeterministicAcrossWorkers asserts the codestream is bit-
+// identical for Workers in {1, 2, 4, 8}: the parallel decomposition (tile-,
+// chunk- and block-level) must never influence coded output, which is what
+// lets the paper's speedup experiments compare like with like.
+func TestEncodeDeterministicAcrossWorkers(t *testing.T) {
+	im := raster.Synthetic(230, 190, 99)
+	for ci, base := range determinismCases() {
+		var want []byte
+		for _, w := range []int{1, 2, 4, 8} {
+			o := base
+			o.Workers = w
+			cs, _, err := Encode(im, o)
+			if err != nil {
+				t.Fatalf("case %d workers %d: %v", ci, w, err)
+			}
+			if want == nil {
+				want = cs
+				continue
+			}
+			if !bytes.Equal(cs, want) {
+				t.Errorf("case %d: workers=%d output differs from workers=1 (%d vs %d bytes)",
+					ci, w, len(cs), len(want))
+			}
+		}
+	}
+}
+
+// TestEncoderReuseDeterministic asserts a reused Encoder produces bit-
+// identical output to the one-shot path across repeated encodes — pooled
+// state must not leak between calls, even when the calls interleave
+// different images, option sets and worker counts.
+func TestEncoderReuseDeterministic(t *testing.T) {
+	images := []*raster.Image{
+		raster.Synthetic(230, 190, 99),
+		raster.Synthetic(127, 255, 5),
+	}
+	cases := determinismCases()
+	type key struct{ im, ci int }
+	want := map[key][]byte{}
+	for ii, im := range images {
+		for ci, o := range cases {
+			o.Workers = 2
+			cs, _, err := Encode(im, o)
+			if err != nil {
+				t.Fatalf("reference image %d case %d: %v", ii, ci, err)
+			}
+			want[key{ii, ci}] = cs
+		}
+	}
+	enc := NewEncoder()
+	for round := 0; round < 3; round++ {
+		for ii, im := range images {
+			for ci, o := range cases {
+				o.Workers = 1 + (round+ci)%4
+				cs, _, err := enc.Encode(im, o)
+				if err != nil {
+					t.Fatalf("round %d image %d case %d: %v", round, ii, ci, err)
+				}
+				if !bytes.Equal(cs, want[key{ii, ci}]) {
+					t.Errorf("round %d image %d case %d (workers=%d): reused encoder output differs from one-shot",
+						round, ii, ci, o.Workers)
+				}
+			}
+		}
+	}
+}
+
+// TestEncoderReuseDecodes round-trips a reused Encoder's output, so a
+// pooled-state bug that produced a self-consistent but wrong stream would
+// still be caught.
+func TestEncoderReuseDecodes(t *testing.T) {
+	im := raster.Synthetic(160, 120, 31)
+	enc := NewEncoder()
+	for round := 0; round < 3; round++ {
+		cs, _, err := enc.Encode(im, Options{Kernel: dwt.Rev53, Workers: 3, TileW: 80, TileH: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(cs, DecodeOptions{})
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if !raster.Equal(im, got) {
+			t.Fatalf("round %d: lossless round trip failed", round)
+		}
+	}
+}
+
+func ExampleEncoder() {
+	im := raster.Synthetic(64, 64, 1)
+	enc := NewEncoder()
+	opts := Options{Kernel: dwt.Rev53, Workers: 2}
+	a, _, _ := enc.Encode(im, opts)
+	b, _, _ := enc.Encode(im, opts) // pooled buffers reused, same output
+	fmt.Println(bytes.Equal(a, b))
+	// Output: true
+}

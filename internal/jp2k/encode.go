@@ -1,311 +1,50 @@
 package jp2k
 
 import (
-	"fmt"
-	"time"
-
-	"pj2k/internal/core"
 	"pj2k/internal/dwt"
 	"pj2k/internal/quant"
 	"pj2k/internal/raster"
-	"pj2k/internal/rate"
 	"pj2k/internal/t1"
 	"pj2k/internal/t2"
 )
 
-// blockJob couples one code-block's coefficient view with its output slot.
+// blockJob couples one code-block's coefficient view with its geometry.
 type blockJob struct {
 	data   []int32
 	w, h   int
 	stride int
 	band   dwt.BandType
-	out    *t1.EncodedBlock
 }
 
-// tileEnc is the per-tile encoding state.
+// gridKey identifies a tile's code-block partition; while it is unchanged
+// across encodes the per-band grids are reused as-is.
+type gridKey struct {
+	w, h, levels, cbw, cbh int
+}
+
+// tileEnc is the per-tile encoding state, pooled inside an Encoder: the
+// coefficient planes, quantization arena, subband enumeration and tier-2
+// coding state all persist across encodes.
 type tileEnc struct {
-	w, h   int
-	bands  []t2.BandBlocks
-	blocks []*t1.EncodedBlock // tile-local global order (bands raster)
-	// coefficient storage kept alive for the jobs
-	intPlane *raster.Image
-	bandInts [][]int32
+	w, h     int
+	subbands []dwt.Subband
+	gridKey  gridKey
+	bands    []t2.BandBlocks
+	blocks   []*t1.EncodedBlock // tile-local global order (bands raster)
+	// coefficient storage kept alive for the tier-1 jobs
+	intPlane  *raster.Image
+	fplane    *dwt.FPlane
+	bandArena []int32
+	bandInts  [][]int32
+	qjobs     []quant.BandJob
+	tcoder    *t2.TileCoder
 }
 
 // Encode compresses a single-component image into a JPEG2000 codestream.
+// It is a convenience wrapper over a throwaway Encoder; callers encoding
+// repeatedly should hold an Encoder to amortize its pooled state.
 func Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
-	o := opts.withDefaults()
-	if o.CBW > 64 || o.CBH > 64 || o.CBW < 4 || o.CBH < 4 {
-		return nil, nil, fmt.Errorf("jp2k: code-block size %dx%d out of range", o.CBW, o.CBH)
-	}
-	stats := &EncodeStats{}
-
-	// --- Pipeline setup: tiling and level shift.
-	t0 := time.Now()
-	tileW, tileH := o.TileW, o.TileH
-	if tileW <= 0 || tileH <= 0 {
-		tileW, tileH = im.Width, im.Height
-	}
-	ntx := (im.Width + tileW - 1) / tileW
-	nty := (im.Height + tileH - 1) / tileH
-	shift := int32(1) << uint(o.BitDepth-1)
-	tiles := make([]*tileEnc, 0, ntx*nty)
-	origins := make([][2]int, 0, ntx*nty)
-	for ty := 0; ty < nty; ty++ {
-		for tx := 0; tx < ntx; tx++ {
-			x0, y0 := tx*tileW, ty*tileH
-			x1, y1 := min(x0+tileW, im.Width), min(y0+tileH, im.Height)
-			sub, err := im.SubImage(x0, y0, x1, y1)
-			if err != nil {
-				return nil, nil, err
-			}
-			te := &tileEnc{w: x1 - x0, h: y1 - y0, intPlane: sub.Clone()}
-			for i := range te.intPlane.Pix {
-				te.intPlane.Pix[i] -= shift
-			}
-			tiles = append(tiles, te)
-			origins = append(origins, [2]int{x0, y0})
-		}
-	}
-	stats.Timings.Setup = time.Since(t0)
-
-	// --- Intra-component transform (DWT), per tile.
-	st := o.strategy()
-	var steps []quant.Step
-	if o.Kernel == dwt.Irr97 {
-		steps = quant.BandSteps(dwt.Irr97, im.Width, im.Height, o.Levels, o.BaseStep)
-	}
-	for _, te := range tiles {
-		tDWT := time.Now()
-		bands := dwt.Subbands(te.w, te.h, o.Levels)
-		var fp *dwt.FPlane
-		if o.Kernel == dwt.Rev53 {
-			tm := dwt.Forward53Timed(te.intPlane, o.Levels, st)
-			stats.Timings.DWTDetail.Horizontal += tm.Horizontal
-			stats.Timings.DWTDetail.Vertical += tm.Vertical
-		} else {
-			fp = dwt.FromImage(te.intPlane)
-			tm := dwt.Forward97Timed(fp, o.Levels, st)
-			stats.Timings.DWTDetail.Horizontal += tm.Horizontal
-			stats.Timings.DWTDetail.Vertical += tm.Vertical
-		}
-		stats.Timings.IntraComp += time.Since(tDWT)
-
-		// --- Quantization (9/7 only): per band into dense int32 planes.
-		tQ := time.Now()
-		te.bands = make([]t2.BandBlocks, len(bands))
-		te.bandInts = make([][]int32, len(bands))
-		for bi, b := range bands {
-			g := t2.MakeGrid(b, o.CBW, o.CBH)
-			te.bands[bi] = t2.BandBlocks{Grid: g, Blocks: make([]*t2.BlockStream, len(g.Rects))}
-			if b.Empty() {
-				continue
-			}
-			if o.Kernel == dwt.Irr97 {
-				buf := make([]int32, b.Width()*b.Height())
-				quant.Forward(fp.Data, fp.Stride, b, steps[bi].Value(), buf, b.Width(), o.Workers)
-				te.bandInts[bi] = buf
-			}
-		}
-		stats.Timings.Quant += time.Since(tQ)
-	}
-
-	// --- ROI scaling (MAXSHIFT) between quantization and tier-1, as in the
-	// Fig. 1 pipeline.
-	roiShift := 0
-	if o.ROI != nil {
-		roiShift = applyROI(tiles, origins, *o.ROI, o)
-	}
-
-	// --- Tier-1: gather every code-block of every tile, encode in parallel
-	// with the paper's staggered round-robin worker assignment.
-	tT1 := time.Now()
-	var jobs []blockJob
-	for _, te := range tiles {
-		bands := dwt.Subbands(te.w, te.h, o.Levels)
-		for bi, b := range bands {
-			g := te.bands[bi].Grid
-			for _, r := range g.Rects {
-				var job blockJob
-				if o.Kernel == dwt.Rev53 {
-					off := (b.Y0+r.Y0)*te.intPlane.Stride + b.X0 + r.X0
-					job = blockJob{
-						data:   te.intPlane.Pix[off:],
-						stride: te.intPlane.Stride,
-					}
-				} else {
-					job = blockJob{
-						data:   te.bandInts[bi][r.Y0*b.Width()+r.X0:],
-						stride: b.Width(),
-					}
-				}
-				job.w, job.h = r.X1-r.X0, r.Y1-r.Y0
-				job.band = b.Type
-				jobs = append(jobs, job)
-			}
-		}
-	}
-	results := make([]*t1.EncodedBlock, len(jobs))
-	core.RunTasks(len(jobs), o.Workers, func(i int) {
-		j := jobs[i]
-		results[i] = t1.Encode(j.data, j.w, j.h, j.stride, j.band)
-	})
-	stats.CodeBlocks = len(jobs)
-	// Distribute results back to tiles in order.
-	k := 0
-	for _, te := range tiles {
-		n := 0
-		for bi := range te.bands {
-			n += len(te.bands[bi].Grid.Rects)
-		}
-		te.blocks = results[k : k+n]
-		k += n
-	}
-	stats.Timings.Tier1 = time.Since(tT1)
-
-	// --- Mb per band index (global across tiles) and BlockStream wiring.
-	nbands := 1 + 3*o.Levels
-	mb := make([]int, nbands)
-	for _, te := range tiles {
-		k := 0
-		for bi := range te.bands {
-			for range te.bands[bi].Grid.Rects {
-				if nbp := te.blocks[k].NumBitplanes; nbp > mb[bi] {
-					mb[bi] = nbp
-				}
-				k++
-			}
-		}
-	}
-	for bi := range mb {
-		if mb[bi] == 0 {
-			mb[bi] = 1
-		}
-	}
-	for _, te := range tiles {
-		k := 0
-		for bi := range te.bands {
-			te.bands[bi].Mb = mb[bi]
-			for gi := range te.bands[bi].Grid.Rects {
-				eb := te.blocks[k]
-				bs := &t2.BlockStream{Data: eb.Data, NumBitplanes: eb.NumBitplanes}
-				for _, p := range eb.Passes {
-					bs.PassRates = append(bs.PassRates, p.Rate)
-				}
-				te.bands[bi].Blocks[gi] = bs
-				k++
-			}
-		}
-	}
-
-	// --- Rate allocation (global across tiles).
-	tRA := time.Now()
-	weights := make([]float64, nbands)
-	bandsRef := dwt.Subbands(im.Width, im.Height, o.Levels)
-	for bi, b := range bandsRef {
-		step := 1.0
-		if o.Kernel == dwt.Irr97 {
-			step = steps[bi].Value()
-		}
-		n := dwt.BandNorm(o.Kernel, o.Levels, b)
-		weights[bi] = step * step * n * n
-	}
-	var rblocks []rate.BlockPasses
-	for _, te := range tiles {
-		k := 0
-		for bi := range te.bands {
-			for range te.bands[bi].Grid.Rects {
-				eb := te.blocks[k]
-				bp := rate.BlockPasses{}
-				for _, p := range eb.Passes {
-					bp.Rates = append(bp.Rates, p.Rate)
-					bp.Dist = append(bp.Dist, p.DistDelta*weights[bi])
-				}
-				rblocks = append(rblocks, bp)
-				k++
-			}
-		}
-	}
-	npixels := im.Width * im.Height
-	var budgets []int
-	var alloc rate.Allocation
-	var headerEst int
-	if len(o.LayerBPP) == 0 {
-		// Single layer carrying every coding pass: PCRD hulls would drop
-		// zero-gain final passes, so build the full allocation directly.
-		budgets = []int{rate.TotalBytes(rblocks)}
-		alloc = rate.Allocation{NPasses: [][]int{make([]int, len(rblocks))}, BodyBytes: budgets}
-		for i := range rblocks {
-			alloc.NPasses[0][i] = len(rblocks[i].Rates)
-		}
-	} else {
-		for _, bpp := range o.LayerBPP {
-			budgets = append(budgets, int(bpp*float64(npixels)/8))
-		}
-		// Headers shrink the body budget; estimate, assemble, and adjust
-		// below until the stream fits (at most three rounds).
-		headerEst = 70 + len(tiles)*(14+len(budgets)*(o.Levels+1))
-		alloc = allocate(rblocks, budgets, headerEst)
-	}
-	nlayers := len(budgets)
-	stats.Timings.RateAlloc = time.Since(tRA)
-
-	// --- Tier-2 packet assembly (+ final budget adjustment rounds).
-	tT2 := time.Now()
-	var tileStreams [][]byte
-	for round := 0; ; round++ {
-		tileStreams = tileStreams[:0]
-		base := 0
-		total := 0
-		for _, te := range tiles {
-			n := len(te.blocks)
-			layersLocal := make([][]int, nlayers)
-			for li := 0; li < nlayers; li++ {
-				layersLocal[li] = alloc.NPasses[li][base : base+n]
-			}
-			s := t2.EncodeTilePackets(te.bands, o.Levels, layersLocal)
-			tileStreams = append(tileStreams, s)
-			total += len(s)
-			base += n
-		}
-		if len(o.LayerBPP) == 0 || round >= 2 {
-			break
-		}
-		target := budgets[nlayers-1]
-		if total+headerEst <= target {
-			break
-		}
-		headerEst += total + headerEst - target
-		alloc = allocate(rblocks, budgets, headerEst)
-	}
-	stats.Timings.Tier2 = time.Since(tT2)
-
-	// --- Bitstream I/O.
-	tIO := time.Now()
-	params := t2.Params{
-		Width: im.Width, Height: im.Height, TileW: tileW, TileH: tileH,
-		BitDepth: o.BitDepth, Levels: o.Levels, Layers: nlayers,
-		CBW: o.CBW, CBH: o.CBH, Kernel: o.Kernel, GuardBits: 2,
-		Steps: steps, Mb: mb, ROIShift: roiShift,
-	}
-	out := t2.WriteCodestream(params, tileStreams)
-	stats.Timings.StreamIO = time.Since(tIO)
-	stats.Bytes = len(out)
-	stats.BPP = float64(len(out)) * 8 / float64(npixels)
-	return out, stats, nil
-}
-
-// allocate runs PCRD with the header estimate subtracted from each layer
-// budget.
-func allocate(blocks []rate.BlockPasses, budgets []int, headerEst int) rate.Allocation {
-	adj := make([]int, len(budgets))
-	for i, b := range budgets {
-		adj[i] = b - headerEst
-		if adj[i] < 0 {
-			adj[i] = 0
-		}
-	}
-	return rate.Allocate(blocks, adj)
+	return NewEncoder().Encode(im, opts)
 }
 
 func min(a, b int) int {

@@ -1,0 +1,452 @@
+package jp2k
+
+import (
+	"fmt"
+	"time"
+
+	"pj2k/internal/core"
+	"pj2k/internal/dwt"
+	"pj2k/internal/quant"
+	"pj2k/internal/raster"
+	"pj2k/internal/rate"
+	"pj2k/internal/t1"
+	"pj2k/internal/t2"
+)
+
+// Encoder is a reusable encode pipeline. It owns every pooled buffer the
+// pipeline's hot loops need — per-worker tier-1 coders and DWT scratch, the
+// per-tile coefficient planes, quantization arenas and tier-2 coding state,
+// and the rate-allocation scratch — so repeated Encode calls reach a steady
+// state with near-zero heap allocations. This is the per-process state the
+// paper's threads keep privately; server and streaming workloads hold one
+// Encoder per concurrent stream.
+//
+// An Encoder is not safe for concurrent use; pooled state does not leak
+// between calls (output is bit-identical to the one-shot Encode function for
+// any worker count).
+type Encoder struct {
+	coders       []*t1.Coder    // per tier-1 worker
+	scratch      []*dwt.Scratch // per tile-level worker
+	scratchInner int            // worker count each scratch was sized for
+	ralloc       rate.Allocator
+
+	tiles        []*tileEnc
+	origins      [][2]int
+	timings      []tileTiming
+	jobs         []blockJob
+	results      []*t1.EncodedBlock
+	blockStreams []t2.BlockStream
+	rblocks      []rate.BlockPasses
+	rates        []int     // arena: per-pass cumulative rates (shared by rate and tier-2)
+	dists        []float64 // arena: per-pass weighted distortion deltas
+	mb           []int
+	weights      []float64
+	bandsRef     []dwt.Subband
+	layersLocal  [][]int
+	tileStreams  [][]byte
+}
+
+// tileTiming collects one tile's stage timings so the parallel tile loop
+// writes without synchronization; the totals are summed afterwards.
+type tileTiming struct {
+	dwt   dwt.Timings
+	intra time.Duration
+	quant time.Duration
+}
+
+// NewEncoder returns an empty Encoder; pooled buffers are sized on first use.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// grow returns s with length n, reallocating only when capacity is short.
+// Retained elements are stale from the previous encode and must be
+// overwritten by the caller.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reuseImage returns an image of the requested size backed by p's storage
+// when it fits.
+func reuseImage(p *raster.Image, w, h int) *raster.Image {
+	if p == nil || cap(p.Pix) < w*h {
+		return raster.New(w, h)
+	}
+	p.Width, p.Height, p.Stride = w, h, w
+	p.Pix = p.Pix[:w*h]
+	return p
+}
+
+// ensureWorkers sizes the per-worker pools: outer tile-level workers, each
+// with DWT scratch for inner within-tile workers. Scratch sized for more
+// workers than a call uses stays valid (unused slots are empty headers), so
+// the pool is only rebuilt when the inner count grows — shrinking Workers
+// between calls keeps every warm buffer.
+func (e *Encoder) ensureWorkers(outer, inner int) {
+	if inner > e.scratchInner {
+		e.scratch = e.scratch[:0]
+		e.scratchInner = inner
+	}
+	for len(e.scratch) < outer {
+		e.scratch = append(e.scratch, dwt.NewScratch(e.scratchInner))
+	}
+}
+
+func (e *Encoder) ensureCoders(n int) {
+	for len(e.coders) < n {
+		e.coders = append(e.coders, t1.NewCoder())
+	}
+}
+
+// Encode compresses a single-component image into a JPEG2000 codestream.
+// The returned codestream is freshly allocated and caller-owned; EncodeStats
+// is valid until the next call.
+func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
+	o := opts.withDefaults()
+	if o.CBW > 64 || o.CBH > 64 || o.CBW < 4 || o.CBH < 4 {
+		return nil, nil, fmt.Errorf("jp2k: code-block size %dx%d out of range", o.CBW, o.CBH)
+	}
+	stats := &EncodeStats{}
+	// Reclaim the tier-1 arenas of the previous encode; every reference into
+	// them died with that call's tier-2 assembly.
+	for _, co := range e.coders {
+		co.Release()
+	}
+
+	// --- Pipeline setup: tiling and level shift.
+	t0 := time.Now()
+	tileW, tileH := o.TileW, o.TileH
+	if tileW <= 0 || tileH <= 0 {
+		tileW, tileH = im.Width, im.Height
+	}
+	ntx := (im.Width + tileW - 1) / tileW
+	nty := (im.Height + tileH - 1) / tileH
+	ntiles := ntx * nty
+	shift := int32(1) << uint(o.BitDepth-1)
+	for len(e.tiles) < ntiles {
+		e.tiles = append(e.tiles, &tileEnc{})
+	}
+	tiles := e.tiles[:ntiles]
+	e.origins = grow(e.origins, ntiles)
+	origins := e.origins
+	ti := 0
+	for ty := 0; ty < nty; ty++ {
+		for tx := 0; tx < ntx; tx++ {
+			x0, y0 := tx*tileW, ty*tileH
+			x1, y1 := min(x0+tileW, im.Width), min(y0+tileH, im.Height)
+			te := tiles[ti]
+			te.w, te.h = x1-x0, y1-y0
+			te.intPlane = reuseImage(te.intPlane, te.w, te.h)
+			for y := 0; y < te.h; y++ {
+				src := im.Pix[(y0+y)*im.Stride+x0 : (y0+y)*im.Stride+x1]
+				dst := te.intPlane.Row(y)
+				for x, v := range src {
+					dst[x] = v - shift
+				}
+			}
+			te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, o.Levels)
+			origins[ti] = [2]int{x0, y0}
+			ti++
+		}
+	}
+	stats.Timings.Setup = time.Since(t0)
+
+	// --- Intra-component transform (DWT) + quantization, parallel ACROSS
+	// tiles (the paper's Fig. 9 "improved" scaling): with several tiles each
+	// worker transforms whole tiles serially; a single tile is transformed
+	// with all workers cooperating inside it as before.
+	outerW := o.Workers
+	if outerW > ntiles {
+		outerW = ntiles
+	}
+	innerW := o.Workers / outerW
+	if innerW < 1 {
+		innerW = 1
+	}
+	e.ensureWorkers(min(o.Workers, ntiles), innerW)
+	var steps []quant.Step
+	if o.Kernel == dwt.Irr97 {
+		steps = quant.BandSteps(dwt.Irr97, im.Width, im.Height, o.Levels, o.BaseStep)
+	}
+	e.timings = grow(e.timings, ntiles)
+	nbands := 1 + 3*o.Levels
+	core.RunTasksID(ntiles, outerW, func(worker, ti int) {
+		te := tiles[ti]
+		tt := &e.timings[ti]
+		st := dwt.Strategy{
+			VertMode: o.VertMode, BlockWidth: o.VertBlockWidth,
+			Workers: innerW, Scratch: e.scratch[worker],
+		}
+		tDWT := time.Now()
+		var fp *dwt.FPlane
+		if o.Kernel == dwt.Rev53 {
+			tt.dwt = dwt.Forward53Timed(te.intPlane, o.Levels, st)
+		} else {
+			te.fplane = dwt.FromImageReuse(te.fplane, te.intPlane)
+			fp = te.fplane
+			tt.dwt = dwt.Forward97Timed(fp, o.Levels, st)
+		}
+		tt.intra = time.Since(tDWT)
+
+		// --- Quantization (9/7 only): per band into dense int32 views of
+		// the tile's pooled arena (bands partition the tile, so the arena is
+		// exactly tile-sized).
+		tQ := time.Now()
+		key := gridKey{te.w, te.h, o.Levels, o.CBW, o.CBH}
+		if te.gridKey != key {
+			te.gridKey = key
+			te.bands = grow(te.bands, nbands)
+			for bi, b := range te.subbands {
+				g := t2.MakeGrid(b, o.CBW, o.CBH)
+				te.bands[bi] = t2.BandBlocks{Grid: g, Blocks: grow(te.bands[bi].Blocks, len(g.Rects))}
+			}
+		}
+		te.bandInts = grow(te.bandInts, nbands)
+		if cap(te.bandArena) < te.w*te.h {
+			te.bandArena = make([]int32, te.w*te.h)
+		}
+		te.qjobs = te.qjobs[:0]
+		off := 0
+		for bi, b := range te.subbands {
+			te.bandInts[bi] = nil
+			if b.Empty() || o.Kernel != dwt.Irr97 {
+				continue
+			}
+			n := b.Width() * b.Height()
+			buf := te.bandArena[off : off+n : off+n]
+			off += n
+			te.qjobs = append(te.qjobs, quant.BandJob{
+				Band: b, Step: steps[bi].Value(), Dst: buf, DstStride: b.Width(),
+			})
+			te.bandInts[bi] = buf
+		}
+		if len(te.qjobs) > 0 {
+			quant.ForwardBands(fp.Data, fp.Stride, te.qjobs, innerW)
+		}
+		tt.quant = time.Since(tQ)
+	})
+	for ti := range tiles {
+		tt := &e.timings[ti]
+		stats.Timings.DWTDetail.Horizontal += tt.dwt.Horizontal
+		stats.Timings.DWTDetail.Vertical += tt.dwt.Vertical
+		stats.Timings.IntraComp += tt.intra
+		stats.Timings.Quant += tt.quant
+	}
+
+	// --- ROI scaling (MAXSHIFT) between quantization and tier-1, as in the
+	// Fig. 1 pipeline.
+	roiShift := 0
+	if o.ROI != nil {
+		roiShift = applyROI(tiles, origins, *o.ROI, o)
+	}
+
+	// --- Tier-1: gather every code-block of every tile, encode in parallel
+	// with the paper's staggered round-robin worker assignment; each worker
+	// codes with its own pooled Coder ("no synchronization is necessary due
+	// to the processing of independent code-blocks").
+	tT1 := time.Now()
+	jobs := e.jobs[:0]
+	for _, te := range tiles {
+		for bi, b := range te.subbands {
+			g := te.bands[bi].Grid
+			for _, r := range g.Rects {
+				var job blockJob
+				if o.Kernel == dwt.Rev53 {
+					off := (b.Y0+r.Y0)*te.intPlane.Stride + b.X0 + r.X0
+					job = blockJob{
+						data:   te.intPlane.Pix[off:],
+						stride: te.intPlane.Stride,
+					}
+				} else {
+					job = blockJob{
+						data:   te.bandInts[bi][r.Y0*b.Width()+r.X0:],
+						stride: b.Width(),
+					}
+				}
+				job.w, job.h = r.X1-r.X0, r.Y1-r.Y0
+				job.band = b.Type
+				jobs = append(jobs, job)
+			}
+		}
+	}
+	e.jobs = jobs
+	nblocks := len(jobs)
+	e.ensureCoders(min(o.Workers, max(nblocks, 1)))
+	e.results = grow(e.results, nblocks)
+	results := e.results
+	core.RunTasksID(nblocks, o.Workers, func(worker, i int) {
+		j := jobs[i]
+		results[i] = e.coders[worker].Encode(j.data, j.w, j.h, j.stride, j.band)
+	})
+	stats.CodeBlocks = nblocks
+	// Distribute results back to tiles in order.
+	k := 0
+	for _, te := range tiles {
+		n := 0
+		for bi := range te.bands {
+			n += len(te.bands[bi].Grid.Rects)
+		}
+		te.blocks = results[k : k+n]
+		k += n
+	}
+	stats.Timings.Tier1 = time.Since(tT1)
+
+	// --- Mb per band index (global across tiles).
+	mb := grow(e.mb, nbands)
+	e.mb = mb
+	clear(mb)
+	for _, te := range tiles {
+		k := 0
+		for bi := range te.bands {
+			for range te.bands[bi].Grid.Rects {
+				if nbp := te.blocks[k].NumBitplanes; nbp > mb[bi] {
+					mb[bi] = nbp
+				}
+				k++
+			}
+		}
+	}
+	for bi := range mb {
+		if mb[bi] == 0 {
+			mb[bi] = 1
+		}
+	}
+
+	// --- Per-band R-D weights for the allocator.
+	tRA := time.Now()
+	weights := grow(e.weights, nbands)
+	e.weights = weights
+	e.bandsRef = dwt.SubbandsAppend(e.bandsRef[:0], im.Width, im.Height, o.Levels)
+	for bi, b := range e.bandsRef {
+		step := 1.0
+		if o.Kernel == dwt.Irr97 {
+			step = steps[bi].Value()
+		}
+		n := dwt.BandNorm(o.Kernel, o.Levels, b)
+		weights[bi] = step * step * n * n
+	}
+
+	// --- BlockStream wiring and rate-allocator inputs, in one pass. The
+	// per-pass rate list is built once in the shared arena and aliased by
+	// both consumers.
+	totalPasses := 0
+	for _, eb := range results {
+		totalPasses += len(eb.Passes)
+	}
+	rates := grow(e.rates, totalPasses)[:0]
+	dists := grow(e.dists, totalPasses)[:0]
+	e.blockStreams = grow(e.blockStreams, nblocks)
+	e.rblocks = grow(e.rblocks, nblocks)
+	k = 0
+	for _, te := range tiles {
+		kt := 0 // tile-local block index; k stays global for the arenas
+		for bi := range te.bands {
+			te.bands[bi].Mb = mb[bi]
+			for gi := range te.bands[bi].Grid.Rects {
+				eb := te.blocks[kt]
+				kt++
+				base := len(rates)
+				for _, p := range eb.Passes {
+					rates = append(rates, p.Rate)
+					dists = append(dists, p.DistDelta*weights[bi])
+				}
+				pr := rates[base:len(rates):len(rates)]
+				bs := &e.blockStreams[k]
+				*bs = t2.BlockStream{Data: eb.Data, NumBitplanes: eb.NumBitplanes, PassRates: pr}
+				te.bands[bi].Blocks[gi] = bs
+				e.rblocks[k] = rate.BlockPasses{Rates: pr, Dist: dists[base:len(dists):len(dists)]}
+				k++
+			}
+		}
+	}
+	e.rates, e.dists = rates, dists
+	rblocks := e.rblocks
+
+	// --- Rate allocation (global across tiles).
+	npixels := im.Width * im.Height
+	var budgets []int
+	var alloc rate.Allocation
+	var headerEst int
+	if len(o.LayerBPP) == 0 {
+		// Single layer carrying every coding pass: PCRD hulls would drop
+		// zero-gain final passes, so build the full allocation directly.
+		budgets = []int{rate.TotalBytes(rblocks)}
+		alloc = rate.Allocation{NPasses: [][]int{make([]int, len(rblocks))}, BodyBytes: budgets}
+		for i := range rblocks {
+			alloc.NPasses[0][i] = len(rblocks[i].Rates)
+		}
+	} else {
+		for _, bpp := range o.LayerBPP {
+			budgets = append(budgets, int(bpp*float64(npixels)/8))
+		}
+		// Headers shrink the body budget; estimate, assemble, and adjust
+		// below until the stream fits (at most three rounds).
+		headerEst = 70 + ntiles*(14+len(budgets)*(o.Levels+1))
+		alloc = e.allocate(rblocks, budgets, headerEst)
+	}
+	nlayers := len(budgets)
+	stats.Timings.RateAlloc = time.Since(tRA)
+
+	// --- Tier-2 packet assembly (+ final budget adjustment rounds), with
+	// per-tile pooled coding state and recycled stream buffers.
+	tT2 := time.Now()
+	e.tileStreams = grow(e.tileStreams, ntiles)
+	tileStreams := e.tileStreams
+	e.layersLocal = grow(e.layersLocal, nlayers)
+	for round := 0; ; round++ {
+		total := 0
+		base := 0
+		for ti, te := range tiles {
+			n := len(te.blocks)
+			layersLocal := e.layersLocal
+			for li := 0; li < nlayers; li++ {
+				layersLocal[li] = alloc.NPasses[li][base : base+n]
+			}
+			if te.tcoder == nil {
+				te.tcoder = t2.NewTileCoder(te.bands)
+			}
+			s := te.tcoder.EncodeTilePackets(te.bands, o.Levels, layersLocal, tileStreams[ti][:0])
+			tileStreams[ti] = s
+			total += len(s)
+			base += n
+		}
+		if len(o.LayerBPP) == 0 || round >= 2 {
+			break
+		}
+		target := budgets[nlayers-1]
+		if total+headerEst <= target {
+			break
+		}
+		headerEst += total + headerEst - target
+		alloc = e.allocate(rblocks, budgets, headerEst)
+	}
+	stats.Timings.Tier2 = time.Since(tT2)
+
+	// --- Bitstream I/O.
+	tIO := time.Now()
+	params := t2.Params{
+		Width: im.Width, Height: im.Height, TileW: tileW, TileH: tileH,
+		BitDepth: o.BitDepth, Levels: o.Levels, Layers: nlayers,
+		CBW: o.CBW, CBH: o.CBH, Kernel: o.Kernel, GuardBits: 2,
+		Steps: steps, Mb: mb, ROIShift: roiShift,
+	}
+	out := t2.WriteCodestream(params, tileStreams)
+	stats.Timings.StreamIO = time.Since(tIO)
+	stats.Bytes = len(out)
+	stats.BPP = float64(len(out)) * 8 / float64(npixels)
+	return out, stats, nil
+}
+
+// allocate runs PCRD with the header estimate subtracted from each layer
+// budget.
+func (e *Encoder) allocate(blocks []rate.BlockPasses, budgets []int, headerEst int) rate.Allocation {
+	adj := make([]int, len(budgets))
+	for i, b := range budgets {
+		adj[i] = b - headerEst
+		if adj[i] < 0 {
+			adj[i] = 0
+		}
+	}
+	return e.ralloc.Allocate(blocks, adj)
+}

@@ -79,12 +79,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) strategy() dwt.Strategy {
-	return dwt.Strategy{VertMode: o.VertMode, BlockWidth: o.VertBlockWidth, Workers: o.Workers}
-}
-
 // StageTimings records where encoding time went, mirroring the stage
-// decomposition of the paper's Figs. 3, 6 and 9.
+// decomposition of the paper's Figs. 3, 6 and 9. When several tiles are
+// transformed in parallel, IntraComp, DWTDetail and Quant sum the per-tile
+// times (CPU time), which can exceed the stage's wall-clock time.
 type StageTimings struct {
 	Setup     time.Duration // pipeline setup: buffers, level shift, tiling
 	IntraComp time.Duration // wavelet transform (intra-component transform)

@@ -106,8 +106,7 @@ func forEachBand(tiles []*tileEnc, o Options, fn func(te *tileEnc, bi int, b dwt
 // storage for each (the Mallat plane for 5/3, the dense per-band buffers
 // for 9/7).
 func forEachBandOf(te *tileEnc, o Options, fn func(bi int, b dwt.Subband, data []int32, stride int)) {
-	bands := dwt.Subbands(te.w, te.h, o.Levels)
-	for bi, b := range bands {
+	for bi, b := range te.subbands {
 		if b.Empty() {
 			continue
 		}

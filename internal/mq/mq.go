@@ -94,7 +94,10 @@ func NewEncoder() *Encoder {
 	return e
 }
 
-// Init resets the encoder for a fresh codeword segment (INITENC).
+// Init resets the encoder for a fresh codeword segment (INITENC). The output
+// buffer's capacity is retained, so a pooled encoder reaches a steady state
+// with no per-segment allocations; any segment previously returned by Flush
+// aliases that buffer and is invalidated by the next Encode.
 func (e *Encoder) Init() {
 	e.a = 0x8000
 	e.c = 0
@@ -192,7 +195,9 @@ func (e *Encoder) NumBytes() int { return len(e.out) - 1 }
 
 // Flush terminates the codeword (FLUSH with SETBITS) and returns the final
 // segment. Trailing 0xFF bytes are dropped as the standard permits: the
-// decoder synthesizes 1-bits past the end of the segment.
+// decoder synthesizes 1-bits past the end of the segment. The returned slice
+// aliases the encoder's internal buffer — callers reusing the encoder via
+// Init must copy it first.
 func (e *Encoder) Flush() []byte {
 	// SETBITS
 	tempC := e.c + e.a - 1

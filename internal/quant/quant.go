@@ -63,20 +63,65 @@ func BandSteps(k dwt.Kernel, w, h, levels int, base float64) []Step {
 // paper's parallel quantization stage does ("every processor may have a chunk
 // of coefficients").
 func Forward(src []float64, stride int, b dwt.Subband, step float64, dst []int32, dstStride, workers int) {
-	inv := 1 / step
 	core.ParallelFor(workers, b.Height(), func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			srow := src[(b.Y0+y)*stride+b.X0:]
-			drow := dst[y*dstStride:]
-			for x := 0; x < b.Width(); x++ {
-				v := srow[x]
-				if v >= 0 {
-					drow[x] = int32(v * inv)
-				} else {
-					drow[x] = -int32(-v * inv)
-				}
+		forwardRows(src, stride, b, step, dst, dstStride, lo, hi)
+	})
+}
+
+func forwardRows(src []float64, stride int, b dwt.Subband, step float64, dst []int32, dstStride, lo, hi int) {
+	inv := 1 / step
+	for y := lo; y < hi; y++ {
+		srow := src[(b.Y0+y)*stride+b.X0:]
+		drow := dst[y*dstStride:]
+		for x := 0; x < b.Width(); x++ {
+			v := srow[x]
+			if v >= 0 {
+				drow[x] = int32(v * inv)
+			} else {
+				drow[x] = -int32(-v * inv)
 			}
 		}
+	}
+}
+
+// BandJob describes one band's quantization for ForwardBands.
+type BandJob struct {
+	Band      dwt.Subband
+	Step      float64
+	Dst       []int32
+	DstStride int
+}
+
+// ForwardBands quantizes several bands of one float plane under a single
+// fork/join: every band contributes up to `workers` row chunks to one task
+// pool, staggered across workers like the tier-1 code-blocks, so the many
+// small deep bands do not each pay their own dispatch. The task list is
+// addressed arithmetically (task t is chunk t%p of band t/p), so dispatch
+// does not allocate. Empty bands are skipped; the output is identical to
+// calling Forward per band for any worker count.
+func ForwardBands(src []float64, stride int, jobs []BandJob, workers int) {
+	if len(jobs) == 0 {
+		return
+	}
+	p := core.Workers(workers)
+	core.RunTasks(len(jobs)*p, workers, func(t int) {
+		bj := jobs[t/p]
+		h := bj.Band.Height()
+		pc := p
+		if pc > h {
+			pc = h
+		}
+		i := t % p
+		if i >= pc { // band has fewer rows than workers: chunk is empty
+			return
+		}
+		sz, rem := h/pc, h%pc
+		lo := i*sz + min(i, rem)
+		hi := lo + sz
+		if i < rem {
+			hi++
+		}
+		forwardRows(src, stride, bj.Band, bj.Step, bj.Dst, bj.DstStride, lo, hi)
 	})
 }
 

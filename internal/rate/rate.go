@@ -9,7 +9,7 @@ package rate
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // BlockPasses summarizes one code-block for the allocator.
@@ -42,20 +42,18 @@ func slopeBetween(a, b rdPoint) float64 {
 	return (b.dist - a.dist) / float64(dr)
 }
 
-// hull returns the convex-hull segments for one block, slopes strictly
-// decreasing. Individual pass distortion deltas may be negative (magnitude
-// refinement can transiently worsen the midpoint reconstruction), so points
-// that do not improve on the current hull top are skipped.
-func hull(b BlockPasses, blockIdx int) []segment {
-	pts := make([]rdPoint, 0, len(b.Rates)+1)
-	pts = append(pts, rdPoint{0, 0, 0})
+// hull appends the convex-hull segments for one block to a.segs, slopes
+// strictly decreasing. Individual pass distortion deltas may be negative
+// (magnitude refinement can transiently worsen the midpoint reconstruction),
+// so points that do not improve on the current hull top are skipped.
+func (a *Allocator) hull(b BlockPasses, blockIdx int) {
+	a.st = a.st[:0]
+	a.st = append(a.st, rdPoint{0, 0, 0})
+	st := a.st
 	cum := 0.0
 	for k := range b.Rates {
 		cum += b.Dist[k]
-		pts = append(pts, rdPoint{k + 1, b.Rates[k], cum})
-	}
-	st := []rdPoint{pts[0]}
-	for _, p := range pts[1:] {
+		p := rdPoint{k + 1, b.Rates[k], cum}
 		if p.dist <= st[len(st)-1].dist {
 			continue // no distortion improvement: never a truncation point
 		}
@@ -64,16 +62,15 @@ func hull(b BlockPasses, blockIdx int) []segment {
 		}
 		st = append(st, p)
 	}
-	segs := make([]segment, 0, len(st)-1)
+	a.st = st
 	for i := 1; i < len(st); i++ {
-		segs = append(segs, segment{
+		a.segs = append(a.segs, segment{
 			block:  blockIdx,
 			passes: st[i].passes,
 			bytes:  st[i].rate - st[i-1].rate,
 			slope:  slopeBetween(st[i-1], st[i]),
 		})
 	}
-	return segs
 }
 
 // Allocation maps layers to cumulative pass counts per block.
@@ -85,23 +82,54 @@ type Allocation struct {
 	BodyBytes []int
 }
 
+// Allocator runs PCRD allocations with reusable scratch buffers, so the
+// per-encode hull and segment storage is paid once per pooled encoder rather
+// than per call. The zero value is ready for use; an Allocator is not safe
+// for concurrent use. The returned Allocation is freshly allocated and stays
+// valid across subsequent calls.
+type Allocator struct {
+	segs []segment
+	st   []rdPoint
+	cur  []int
+}
+
 // Allocate fills the cumulative layer budgets (body bytes) with hull segments
 // in globally decreasing slope order. Budgets beyond the total available data
 // simply include everything.
 func Allocate(blocks []BlockPasses, layerBudgets []int) Allocation {
-	var segs []segment
+	var a Allocator
+	return a.Allocate(blocks, layerBudgets)
+}
+
+// Allocate is the scratch-reusing form of the package-level Allocate.
+func (a *Allocator) Allocate(blocks []BlockPasses, layerBudgets []int) Allocation {
+	a.segs = a.segs[:0]
 	for i, b := range blocks {
-		segs = append(segs, hull(b, i)...)
+		a.hull(b, i)
 	}
+	segs := a.segs
 	// Stable sort by decreasing slope keeps each block's segments in pass
 	// order (their slopes decrease strictly within a block).
-	sort.SliceStable(segs, func(i, j int) bool { return segs[i].slope > segs[j].slope })
+	slices.SortStableFunc(segs, func(x, y segment) int {
+		switch {
+		case x.slope > y.slope:
+			return -1
+		case x.slope < y.slope:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	alloc := Allocation{
 		NPasses:   make([][]int, len(layerBudgets)),
 		BodyBytes: make([]int, len(layerBudgets)),
 	}
-	cur := make([]int, len(blocks))
+	if cap(a.cur) < len(blocks) {
+		a.cur = make([]int, len(blocks))
+	}
+	cur := a.cur[:len(blocks)]
+	clear(cur)
 	bytes := 0
 	si := 0
 	for li, budget := range layerBudgets {

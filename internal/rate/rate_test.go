@@ -11,7 +11,9 @@ func TestHullMonotoneSlopes(t *testing.T) {
 		Rates: []int{10, 20, 30, 40, 50},
 		Dist:  []float64{100, 50, 200, 10, 5},
 	}
-	segs := hull(b, 0)
+	var a Allocator
+	a.hull(b, 0)
+	segs := a.segs
 	prev := segs[0].slope
 	for _, s := range segs[1:] {
 		if s.slope >= prev {
@@ -31,7 +33,9 @@ func TestHullSkipsNegativeDeltas(t *testing.T) {
 		Rates: []int{10, 20, 30},
 		Dist:  []float64{100, -5, 50},
 	}
-	segs := hull(b, 0)
+	var a Allocator
+	a.hull(b, 0)
+	segs := a.segs
 	for _, s := range segs {
 		if s.slope <= 0 {
 			t.Fatalf("hull contains non-positive slope %v", s.slope)

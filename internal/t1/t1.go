@@ -255,10 +255,105 @@ func distRef(v int32, p uint) float64 {
 
 // Encode codes one code-block. data holds signed quantized coefficients for
 // a w x h block with the given row stride; band selects the context tables.
+// It is a convenience wrapper over a fresh Coder; hot paths coding many
+// blocks should hold one Coder per worker instead.
 func Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
-	c := &coder{w: w, h: h, bw: w + 2, band: band}
-	c.mag = make([]int32, (w+2)*(h+2))
-	c.flags = make([]uint8, (w+2)*(h+2))
+	return NewCoder().Encode(data, w, h, stride, band)
+}
+
+// Coder is a reusable tier-1 block encoder: the bordered magnitude/flag
+// arrays, the MQ encoder and the output storage all persist across blocks,
+// so steady-state encoding performs no heap allocations. Code-blocks are
+// independent (the property the paper's synchronization-free parallel tier-1
+// stage rests on), so each worker owns one Coder and shares nothing.
+//
+// Returned EncodedBlocks live in arenas owned by the Coder: they stay valid
+// until Release, which reclaims every block handed out since the previous
+// Release. A Coder is not safe for concurrent use.
+type Coder struct {
+	c   coder
+	enc *mq.Encoder
+
+	blocks []EncodedBlock
+	passes []Pass
+	data   []byte
+}
+
+// NewCoder returns an empty Coder; buffers are sized on first use.
+func NewCoder() *Coder { return &Coder{enc: mq.NewEncoder()} }
+
+// Release reclaims all EncodedBlocks returned by Encode since the last
+// Release. The caller must have dropped every reference to them.
+func (co *Coder) Release() {
+	co.blocks = co.blocks[:0]
+	co.passes = co.passes[:0]
+	co.data = co.data[:0]
+}
+
+// takeBlock returns a zeroed EncodedBlock from the block arena.
+func (co *Coder) takeBlock() *EncodedBlock {
+	if len(co.blocks) < cap(co.blocks) {
+		co.blocks = co.blocks[:len(co.blocks)+1]
+		eb := &co.blocks[len(co.blocks)-1]
+		*eb = EncodedBlock{}
+		return eb
+	}
+	co.blocks = append(co.blocks, EncodedBlock{})
+	return &co.blocks[len(co.blocks)-1]
+}
+
+// takePasses carves a len-0 cap-n slice out of the pass arena. When the
+// current chunk is exhausted a larger one replaces it; slices handed out
+// earlier keep their (still live) old backing storage.
+func (co *Coder) takePasses(n int) []Pass {
+	if cap(co.passes)-len(co.passes) < n {
+		c := 2 * cap(co.passes)
+		if c < n {
+			c = n
+		}
+		if c < 512 {
+			c = 512
+		}
+		co.passes = make([]Pass, 0, c)
+	}
+	base := len(co.passes)
+	co.passes = co.passes[:base+n]
+	return co.passes[base:base:base+n]
+}
+
+// takeData carves a length-n slice out of the byte arena.
+func (co *Coder) takeData(n int) []byte {
+	if cap(co.data)-len(co.data) < n {
+		c := 2 * cap(co.data)
+		if c < n {
+			c = n
+		}
+		if c < 1<<14 {
+			c = 1 << 14
+		}
+		co.data = make([]byte, 0, c)
+	}
+	base := len(co.data)
+	co.data = co.data[:base+n]
+	return co.data[base : base+n : base+n]
+}
+
+// Encode codes one code-block, reusing the Coder's buffers. See Encode (the
+// package-level function) for the parameter contract and Coder for the
+// lifetime of the result.
+func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
+	c := &co.c
+	c.w, c.h, c.bw, c.band = w, h, w+2, band
+	n := (w + 2) * (h + 2)
+	if cap(c.mag) < n {
+		c.mag = make([]int32, n)
+		c.flags = make([]uint8, n)
+	} else {
+		c.mag = c.mag[:n]
+		c.flags = c.flags[:n]
+		clear(c.mag)
+		clear(c.flags)
+	}
 	var maxMag int32
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -274,7 +369,8 @@ func Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
 			}
 		}
 	}
-	eb := &EncodedBlock{W: w, H: h, Band: band}
+	eb := co.takeBlock()
+	eb.W, eb.H, eb.Band = w, h, band
 	if maxMag == 0 {
 		return eb
 	}
@@ -284,7 +380,9 @@ func Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
 	}
 	eb.NumBitplanes = nbp
 	c.resetContexts()
-	enc := mq.NewEncoder()
+	enc := co.enc
+	enc.Init()
+	eb.Passes = co.takePasses(TotalPasses(nbp))
 
 	for p := nbp - 1; p >= 0; p-- {
 		plane := uint(p)
@@ -301,7 +399,9 @@ func Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
 			c.flags[i] &^= fVisited
 		}
 	}
-	eb.Data = enc.Flush()
+	seg := enc.Flush()
+	eb.Data = co.takeData(len(seg))
+	copy(eb.Data, seg)
 	// Clamp pass rates: non-decreasing and within the final segment.
 	for k := range eb.Passes {
 		if eb.Passes[k].Rate > len(eb.Data) {

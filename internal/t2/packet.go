@@ -67,6 +67,7 @@ type BandBlocks struct {
 
 // bandState is the per-band packet-header coding state shared across layers.
 type bandState struct {
+	gw, gh    int
 	incl      *tagtree.Tree
 	zbp       *tagtree.Tree
 	included  []bool
@@ -79,6 +80,8 @@ func newBandState(g Grid) *bandState {
 		return &bandState{}
 	}
 	st := &bandState{
+		gw:        g.GW,
+		gh:        g.GH,
 		incl:      tagtree.New(g.GW, g.GH),
 		zbp:       tagtree.New(g.GW, g.GH),
 		included:  make([]bool, g.GW*g.GH),
@@ -89,6 +92,21 @@ func newBandState(g Grid) *bandState {
 		st.lblock[i] = 3
 	}
 	return st
+}
+
+// reset restores the state to the just-constructed condition for reuse.
+func (st *bandState) reset() {
+	if st.incl != nil {
+		st.incl.Reset()
+		st.zbp.Reset()
+	}
+	for i := range st.included {
+		st.included[i] = false
+	}
+	for i := range st.lblock {
+		st.lblock[i] = 3
+	}
+	clear(st.passesCum)
 }
 
 func floorLog2(n int) int {
@@ -165,16 +183,29 @@ func readPassCount(r *bitio.StuffReader) (int, error) {
 	return 37 + int(v), nil
 }
 
-// tileCoder holds per-tile packet coding state: one bandState per subband,
-// indexed as in dwt.Subbands order.
-type tileCoder struct {
+// TileCoder holds per-tile packet coding state: one bandState per subband,
+// indexed as in dwt.Subbands order, plus reusable header/body buffers.
+// Pooled encoders keep one TileCoder per tile and Reset it before each
+// packet-assembly round, so the tag trees and state arrays are allocated
+// once per encoder lifetime. A TileCoder is not safe for concurrent use.
+type TileCoder struct {
 	states    []*bandState
 	blockBase []int // global block id of each band's first block
 	nblocks   int
+	hw        *bitio.StuffWriter // reusable packet-header writer
+	body      []byte             // reusable packet-body buffer
 }
 
-func newTileCoder(bands []BandBlocks) *tileCoder {
-	tc := &tileCoder{states: make([]*bandState, len(bands)), blockBase: make([]int, len(bands))}
+// NewTileCoder builds coding state for one tile's band geometry.
+func NewTileCoder(bands []BandBlocks) *TileCoder {
+	tc := &TileCoder{hw: bitio.NewStuffWriter()}
+	tc.build(bands)
+	return tc
+}
+
+func (tc *TileCoder) build(bands []BandBlocks) {
+	tc.states = make([]*bandState, len(bands))
+	tc.blockBase = make([]int, len(bands))
 	id := 0
 	for i, b := range bands {
 		tc.states[i] = newBandState(b.Grid)
@@ -182,14 +213,34 @@ func newTileCoder(bands []BandBlocks) *tileCoder {
 		id += b.Grid.GW * b.Grid.GH
 	}
 	tc.nblocks = id
-	return tc
 }
+
+// Reset prepares the coder for a fresh tile encode over the same (or a new)
+// band geometry. Matching geometry reuses every buffer; a shape change
+// rebuilds the state.
+func (tc *TileCoder) Reset(bands []BandBlocks) {
+	if len(tc.states) != len(bands) {
+		tc.build(bands)
+		return
+	}
+	for i, b := range bands {
+		if tc.states[i].gw != b.Grid.GW || tc.states[i].gh != b.Grid.GH {
+			tc.build(bands)
+			return
+		}
+	}
+	for _, st := range tc.states {
+		st.reset()
+	}
+}
+
+func newTileCoder(bands []BandBlocks) *TileCoder { return NewTileCoder(bands) }
 
 // seedInclusion sets the inclusion tag-tree leaf values from the full layer
 // allocation: the first layer each block contributes passes in, or nlayers
 // for blocks never included. Must be called before encoding any packet —
 // tag-tree minima are global, so values cannot be revealed lazily.
-func (tc *tileCoder) seedInclusion(bands []BandBlocks, layers [][]int) {
+func (tc *TileCoder) seedInclusion(bands []BandBlocks, layers [][]int) {
 	nlayers := len(layers)
 	for bi, b := range bands {
 		st := tc.states[bi]
@@ -209,10 +260,11 @@ func (tc *tileCoder) seedInclusion(bands []BandBlocks, layers [][]int) {
 	}
 }
 
-// encodePacket writes the packet for (layer, resolution). bandIdx lists the
-// subband indices of this resolution; target holds cumulative pass counts
-// per global block id through this layer.
-func (tc *tileCoder) encodePacket(bands []BandBlocks, bandIdx []int,
+// encodePacket appends the packet for (layer, resolution) to dst. bandIdx
+// lists the subband indices of this resolution; target holds cumulative pass
+// counts per global block id through this layer. The header writer and body
+// buffer are reused across packets.
+func (tc *TileCoder) encodePacket(dst []byte, bands []BandBlocks, bandIdx []int,
 	layer int, target []int) []byte {
 
 	nonEmpty := false
@@ -224,13 +276,14 @@ func (tc *tileCoder) encodePacket(bands []BandBlocks, bandIdx []int,
 			}
 		}
 	}
-	w := bitio.NewStuffWriter()
+	w := tc.hw
+	w.Reset()
 	if !nonEmpty {
 		w.WriteBit(0)
-		return w.Bytes()
+		return append(dst, w.Bytes()...)
 	}
 	w.WriteBit(1)
-	var body []byte
+	body := tc.body[:0]
 	for _, bi := range bandIdx {
 		b := bands[bi]
 		st := tc.states[bi]
@@ -276,7 +329,9 @@ func (tc *tileCoder) encodePacket(bands []BandBlocks, bandIdx []int,
 			st.passesCum[k] = target[id]
 		}
 	}
-	return append(w.Bytes(), body...)
+	tc.body = body // keep the grown capacity for the next packet
+	dst = append(dst, w.Bytes()...)
+	return append(dst, body...)
 }
 
 // DecodedBlock accumulates a block's data across packets on the decode side.
@@ -293,15 +348,20 @@ type decodedBlock = DecodedBlock
 // gives the cumulative pass count of global block id through layer li; ids
 // enumerate bands in dwt.Subbands order, blocks raster-scan within a band.
 func EncodeTilePackets(bands []BandBlocks, levels int, layers [][]int) []byte {
-	tc := newTileCoder(bands)
+	return NewTileCoder(bands).EncodeTilePackets(bands, levels, layers, nil)
+}
+
+// EncodeTilePackets is the pooled form: the coder is Reset and the packets
+// are appended to dst (which may be a recycled buffer sliced to length 0).
+func (tc *TileCoder) EncodeTilePackets(bands []BandBlocks, levels int, layers [][]int, dst []byte) []byte {
+	tc.Reset(bands)
 	tc.seedInclusion(bands, layers)
-	var out []byte
 	for li := range layers {
 		for r := 0; r <= levels; r++ {
-			out = append(out, tc.encodePacket(bands, dwt.BandsOfResolution(levels, r), li, layers[li])...)
+			dst = tc.encodePacket(dst, bands, dwt.BandsOfResolution(levels, r), li, layers[li])
 		}
 	}
-	return out
+	return dst
 }
 
 // DecodeTilePackets parses nlayers * (levels+1) packets from data. bands
@@ -326,7 +386,7 @@ func DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte) ([]
 // decodePacket parses one packet for (layer, resolution), appending segment
 // bytes and pass counts to dec (indexed by global block id). NumBitplanes of
 // first-included blocks is stored into dec. Returns the bytes consumed.
-func (tc *tileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
+func (tc *TileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
 	layer int, data []byte, dec []decodedBlock) (int, error) {
 
 	r := bitio.NewStuffReader(data)
