@@ -283,18 +283,76 @@ func BenchmarkEncodeOneShot(b *testing.B) {
 	}
 }
 
+// BenchmarkDecode sweeps the pooled decode path over worker counts and
+// reduce levels; each sub-bench holds one pooled jp2k.Decoder, so allocs/op
+// reports the steady state a tile server sees.
 func BenchmarkDecode(b *testing.B) {
 	im := benchImage()
 	cs, _, err := jp2k.Encode(im, jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}})
 	if err != nil {
 		b.Fatal(err)
 	}
+	for _, w := range []int{1, 2, 4} {
+		for _, reduce := range []int{0, 2} {
+			b.Run(byName("w", w)+"/"+byName("reduce", reduce), func(b *testing.B) {
+				dec := jp2k.NewDecoder()
+				opts := jp2k.DecodeOptions{Workers: w, DiscardLevels: reduce, VertMode: dwt.VertBlocked}
+				b.SetBytes(int64(im.Width * im.Height))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := dec.Decode(cs, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecodeOneShot is the throwaway-Decoder path for comparison (every
+// call pays the pool construction the pooled bench amortizes).
+func BenchmarkDecodeOneShot(b *testing.B) {
+	im := benchImage()
+	cs, _, err := jp2k.Encode(im, jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.SetBytes(int64(im.Width * im.Height))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := jp2k.Decode(cs, jp2k.DecodeOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDecodeRegion measures windowed decoding out of a tiled stream:
+// the viewport case the serving subsystem is built around. The window spans
+// 2x2 of the 4x4 tile grid, so roughly 1/4 of the stream is decoded.
+func BenchmarkDecodeRegion(b *testing.B) {
+	im := raster.Synthetic(1024, 1024, 77)
+	cs, _, err := jp2k.Encode(im, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, TileW: 256, TileH: 256, Workers: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	region := jp2k.Rect{X0: 300, Y0: 300, X1: 700, Y1: 700}
+	for _, w := range []int{1, 4} {
+		b.Run(byName("w", w), func(b *testing.B) {
+			dec := jp2k.NewDecoder()
+			opts := jp2k.DecodeOptions{Workers: w, VertMode: dwt.VertBlocked}
+			b.SetBytes(int64(region.Dx() * region.Dy()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodeRegion(cs, region, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,7 +1,7 @@
 // Command pj2kdec decompresses a JPEG2000 codestream produced by pj2kenc
 // back into a PGM image.
 //
-//	pj2kdec -in image.j2k -out image.pgm [-layers 0] [-workers 0]
+//	pj2kdec -in image.j2k -out image.pgm [-layers 0] [-reduce 0] [-workers 0]
 package main
 
 import (
@@ -19,6 +19,7 @@ func main() {
 	in := flag.String("in", "", "input codestream file")
 	out := flag.String("out", "", "output PGM file")
 	layers := flag.Int("layers", 0, "decode only the first N quality layers (0 = all)")
+	reduce := flag.Int("reduce", 0, "discard the N highest resolution levels, decoding at 1/2^N scale")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 	depth := flag.Int("depth", 8, "output bit depth (8 or 12/16 for medical imagery)")
 	flag.Parse()
@@ -31,9 +32,10 @@ func main() {
 		log.Fatal(err)
 	}
 	im, err := jp2k.Decode(data, jp2k.DecodeOptions{
-		MaxLayers: *layers,
-		Workers:   *workers,
-		VertMode:  dwt.VertBlocked,
+		MaxLayers:     *layers,
+		DiscardLevels: *reduce,
+		Workers:       *workers,
+		VertMode:      dwt.VertBlocked,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,79 @@
+// Command pj2kserve serves JPEG2000 codestreams progressively over HTTP:
+// windowed region decodes at any resolution/quality, layer-truncated
+// codestream slices, and geometry/stats endpoints. Images are indexed once
+// at startup; per-request work is bounded by the tiles a window touches and
+// amortized by the decoded-tile cache.
+//
+//	pj2kserve -dir images/ [-addr :8732] [-cache-mb 256] [-tile-workers 1]
+//
+// Endpoints (see internal/serve for the full contract):
+//
+//	GET /img/{id}?x0=&y0=&x1=&y1=&reduce=&layers=&format=pgm|raw
+//	GET /img/{id}/info
+//	GET /img/{id}/stream?layers=N
+//	GET /stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pj2k/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8732", "listen address")
+	dir := flag.String("dir", "", "directory of *.j2k codestreams to serve (id = basename)")
+	cacheMB := flag.Int64("cache-mb", 256, "decoded-tile cache budget in MiB (0 disables caching)")
+	tileWorkers := flag.Int("tile-workers", 1, "parallel workers per tile decode (request concurrency is separate)")
+	maxMPix := flag.Int64("max-mpix", 64, "largest window in megapixels a single request may ask for")
+	flag.Parse()
+
+	store := serve.NewStore()
+	n := 0
+	if *dir != "" {
+		var err error
+		if n, err = store.LoadDir(*dir); err != nil {
+			log.Fatalf("loading %s: %v", *dir, err)
+		}
+	}
+	// Positional arguments are individual codestream files.
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if _, err := store.Add(id, data); err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "pj2kserve: no images; pass -dir or codestream files")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range store.IDs() {
+		img, _ := store.Get(id)
+		p := img.Params()
+		log.Printf("serving %q: %dx%d, %d tiles, %d levels, %d layers, %d bytes",
+			id, p.Width, p.Height, img.Index.NumTiles(), p.Levels, p.Layers, len(img.Data))
+	}
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // explicit off, not the package default
+	}
+	srv := serve.New(store, serve.Options{
+		CacheBytes:  cacheBytes,
+		TileWorkers: *tileWorkers,
+		MaxPixels:   *maxMPix << 20,
+	})
+	log.Printf("listening on %s (%d images, %d MiB tile cache)", *addr, n, *cacheMB)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

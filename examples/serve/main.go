@@ -1,0 +1,106 @@
+// Serving example: the full progressive image-serving pipeline in one
+// process. Encodes a tiled image, registers it with the serve subsystem,
+// starts an HTTP server, and then plays the requests a zoomable viewer
+// would issue — a thumbnail, a viewport at full resolution, the same
+// viewport again (cache hit), and a layer-truncated codestream for a client
+// that decodes locally — printing what each request cost the server.
+//
+// Run with: go run ./examples/serve
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+	"pj2k/internal/serve"
+)
+
+func main() {
+	// A 1024x1024 image in 256x256 tiles: 16 tiles, 3 quality layers. One
+	// codestream will serve every request below.
+	im := raster.Synthetic(1024, 1024, 4711)
+	cs, stats, err := jp2k.Encode(im, jp2k.Options{
+		Kernel:   dwt.Irr97,
+		LayerBPP: []float64{0.125, 0.5, 1.0},
+		TileW:    256, TileH: 256,
+		VertMode: dwt.VertBlocked,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded %dx%d: %d bytes (%.3f bpp), %d code-blocks\n",
+		im.Width, im.Height, stats.Bytes, stats.BPP, stats.CodeBlocks)
+
+	store := serve.NewStore()
+	if _, err := store.Add("demo", cs); err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(store, serve.Options{CacheBytes: 64 << 20})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("serving at %s\n\n", ts.URL)
+
+	get := func(path string) (body []byte, elapsed time.Duration, hdr http.Header) {
+		t0 := time.Now()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err = io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			log.Fatalf("GET %s: %d %v: %s", path, resp.StatusCode, err, body)
+		}
+		return body, time.Since(t0), resp.Header
+	}
+
+	// 1. Geometry first: a viewer asks what scales exist.
+	body, el, _ := get("/img/demo/info")
+	var info struct {
+		Reductions []struct{ Reduce, Width, Height int } `json:"reductions"`
+	}
+	json.Unmarshal(body, &info)
+	fmt.Printf("info (%v):\n", el.Round(time.Microsecond))
+	for _, r := range info.Reductions {
+		fmt.Printf("  reduce=%d -> %dx%d\n", r.Reduce, r.Width, r.Height)
+	}
+
+	// 2. Thumbnail: the whole image at 1/16 scale decodes just the low
+	// resolutions of every tile.
+	body, el, hdr := get("/img/demo?reduce=4")
+	fmt.Printf("\nthumbnail reduce=4: %d bytes of PGM in %v (packet bytes touched: %s)\n",
+		len(body), el.Round(time.Microsecond), hdr.Get("X-PJ2K-Packet-Bytes"))
+
+	// 3. A full-resolution viewport: only the tiles under the window decode.
+	const viewport = "/img/demo?x0=300&y0=300&x1=700&y1=700"
+	body, el, hdr = get(viewport)
+	fmt.Printf("viewport 400x400 cold: %d bytes in %v (packet bytes: %s, tile decodes so far: %d)\n",
+		len(body), el.Round(time.Microsecond), hdr.Get("X-PJ2K-Packet-Bytes"), srv.TileDecodes())
+
+	// 4. The same viewport again: every tile is a cache hit; no tier-1 runs.
+	_, el, _ = get(viewport)
+	fmt.Printf("viewport 400x400 warm: %v (tile decodes unchanged: %d)\n",
+		el.Round(time.Microsecond), srv.TileDecodes())
+
+	// 5. Progressive refinement for a remote decoder: a valid codestream
+	// holding only the first quality layer, sliced from the packet index.
+	body, el, _ = get("/img/demo/stream?layers=1")
+	lowQ, err := jp2k.Decode(body, jp2k.DecodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layer-1 stream: %d of %d bytes in %v, decodes to %dx%d\n",
+		len(body), len(cs), el.Round(time.Microsecond), lowQ.Width, lowQ.Height)
+
+	// 6. The server's own accounting.
+	body, _, _ = get("/stats")
+	fmt.Printf("\nstats:\n%s", body)
+}

@@ -167,6 +167,10 @@ type StuffReader struct {
 // NewStuffReader returns a stuffing-aware bit reader over buf.
 func NewStuffReader(buf []byte) *StuffReader { return &StuffReader{buf: buf} }
 
+// Reset re-aims the reader at a new buffer, allowing one StuffReader to be
+// pooled across the many packet headers of a tile decode.
+func (r *StuffReader) Reset(buf []byte) { *r = StuffReader{buf: buf} }
+
 // ReadBit returns the next header bit, honouring stuffed bits.
 func (r *StuffReader) ReadBit() (int, error) {
 	if r.nacc == 0 {

@@ -1,13 +1,7 @@
 package jp2k
 
 import (
-	"fmt"
-
-	"pj2k/internal/core"
-	"pj2k/internal/dwt"
-	"pj2k/internal/quant"
 	"pj2k/internal/raster"
-	"pj2k/internal/t1"
 	"pj2k/internal/t2"
 )
 
@@ -19,151 +13,51 @@ func reduceDim(n, d int) int {
 	return n
 }
 
-// Decode reconstructs an image from a codestream produced by Encode. With
-// DiscardLevels > 0 the result is the 1/2^n-scale image carried by the lower
-// resolutions of the stream.
-func Decode(data []byte, opts DecodeOptions) (*raster.Image, error) {
-	if opts.Workers <= 0 {
-		opts.Workers = 1
-	}
-	p, tiles, err := t2.ReadCodestream(data)
-	if err != nil {
-		return nil, err
-	}
-	nlayers := p.Layers
-	if opts.MaxLayers > 0 && opts.MaxLayers < nlayers {
-		nlayers = opts.MaxLayers
-	}
-	discard := opts.DiscardLevels
-	if discard < 0 {
-		discard = 0
-	}
-	if discard > p.Levels {
-		discard = p.Levels
-	}
-	keepLevels := p.Levels - discard
+// TileGrid returns the reduced tile geometry of a stream with the given
+// parameters after discard resolution reductions, as prefix sums: colW[tx]
+// is the x origin of tile column tx in the reduced image and colW[ntx] the
+// reduced image width; likewise rowH for rows. Tiles reduce independently
+// with the transform's ceil-halving convention (a tile's reduced width is
+// not simply tileW>>discard), so consumers addressing the reduced grid —
+// tile servers mapping window requests onto tiles — must use this geometry
+// rather than deriving their own.
+func TileGrid(p t2.Params, discard int) (colW, rowH []int) {
+	return tileGridInto(nil, nil, p, discard)
+}
 
+// tileGridInto is TileGrid writing into recycled prefix-sum slices.
+func tileGridInto(colW, rowH []int, p t2.Params, discard int) ([]int, []int) {
 	ntx, nty := p.NumTiles()
-	if len(tiles) != ntx*nty {
-		return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
-	}
-	// Reduced tile geometry: per-column widths and per-row heights, plus
-	// prefix-sum origins in the reduced image.
-	colW := make([]int, ntx+1)
+	colW = grow(colW, ntx+1)
+	colW[0] = 0
 	for tx := 0; tx < ntx; tx++ {
 		x0 := tx * p.TileW
 		x1 := min(x0+p.TileW, p.Width)
 		colW[tx+1] = colW[tx] + reduceDim(x1-x0, discard)
 	}
-	rowH := make([]int, nty+1)
+	rowH = grow(rowH, nty+1)
+	rowH[0] = 0
 	for ty := 0; ty < nty; ty++ {
 		y0 := ty * p.TileH
 		y1 := min(y0+p.TileH, p.Height)
 		rowH[ty+1] = rowH[ty] + reduceDim(y1-y0, discard)
 	}
-	out := raster.New(colW[ntx], rowH[nty])
-	st := dwt.Strategy{VertMode: opts.VertMode, BlockWidth: opts.VertBlockWidth, Workers: opts.Workers}
-	shift := int32(1) << uint(p.BitDepth-1)
+	return colW, rowH
+}
 
-	for ti, tdata := range tiles {
-		tx, ty := ti%ntx, ti/ntx
-		x0, y0 := tx*p.TileW, ty*p.TileH
-		x1, y1 := min(x0+p.TileW, p.Width), min(y0+p.TileH, p.Height)
-		tw, th := x1-x0, y1-y0
-		rtw, rth := reduceDim(tw, discard), reduceDim(th, discard)
+// Decode reconstructs an image from a codestream produced by Encode. With
+// DiscardLevels > 0 the result is the 1/2^n-scale image carried by the lower
+// resolutions of the stream. It is a convenience wrapper over a throwaway
+// Decoder; callers decoding repeatedly (servers, viewers) should hold a
+// Decoder to amortize its pooled state.
+func Decode(data []byte, opts DecodeOptions) (*raster.Image, error) {
+	return NewDecoder().Decode(data, opts)
+}
 
-		bands := dwt.Subbands(tw, th, p.Levels)
-		bb := make([]t2.BandBlocks, len(bands))
-		for bi, b := range bands {
-			g := t2.MakeGrid(b, p.CBW, p.CBH)
-			bb[bi] = t2.BandBlocks{Grid: g, Mb: p.Mb[bi]}
-		}
-		decoded, _, err := t2.DecodeTilePackets(bb, p.Levels, nlayers, tdata)
-		if err != nil {
-			return nil, fmt.Errorf("jp2k: tile %d: %w", ti, err)
-		}
-
-		// Tier-1 decode each kept block in parallel, then scatter into the
-		// coefficient plane. Bands of discarded resolutions were parsed
-		// (the packet walk needs their headers) but are skipped here.
-		type slot struct {
-			bi   int
-			rect t2.CBRect
-			vals []int32
-		}
-		keepBand := func(bi int) bool {
-			return bi == 0 || bands[bi].Level > discard
-		}
-		var slots []slot
-		var slotDecoded []int // slot index -> global decoded-block index
-		id := 0
-		for bi := range bb {
-			for _, r := range bb[bi].Grid.Rects {
-				if keepBand(bi) {
-					slots = append(slots, slot{bi: bi, rect: r})
-					slotDecoded = append(slotDecoded, id)
-				}
-				id++
-			}
-		}
-		errs := make([]error, len(slots))
-		core.RunTasks(len(slots), opts.Workers, func(i int) {
-			d := decoded[slotDecoded[i]]
-			s := &slots[i]
-			eb := &t1.EncodedBlock{
-				W: s.rect.X1 - s.rect.X0, H: s.rect.Y1 - s.rect.Y0,
-				Band:         bands[s.bi].Type,
-				NumBitplanes: d.NumBitplanes,
-				Data:         d.Data,
-			}
-			for k := 0; k < d.Passes; k++ {
-				eb.Passes = append(eb.Passes, t1.Pass{Rate: len(d.Data)})
-			}
-			s.vals, errs[i] = t1.Decode(eb, d.Passes)
-		})
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("jp2k: tile %d block %d: %w", ti, i, err)
-			}
-		}
-		if p.ROIShift > 0 {
-			for _, s := range slots {
-				unscaleROI(s.vals, p.ROIShift)
-			}
-		}
-
-		// Assemble the (reduced) coefficient plane, dequantize, inverse
-		// transform with the kept levels only.
-		tileIm := raster.New(rtw, rth)
-		if p.Kernel == dwt.Rev53 {
-			for _, s := range slots {
-				b := bands[s.bi]
-				w := s.rect.X1 - s.rect.X0
-				for y := s.rect.Y0; y < s.rect.Y1; y++ {
-					copy(tileIm.Pix[(b.Y0+y)*tileIm.Stride+b.X0+s.rect.X0:(b.Y0+y)*tileIm.Stride+b.X0+s.rect.X1],
-						s.vals[(y-s.rect.Y0)*w:(y-s.rect.Y0+1)*w])
-				}
-			}
-			dwt.Inverse53(tileIm, keepLevels, st)
-		} else {
-			fp := dwt.NewFPlane(rtw, rth)
-			for _, s := range slots {
-				b := bands[s.bi]
-				w := s.rect.X1 - s.rect.X0
-				sub := dwt.Subband{X0: b.X0 + s.rect.X0, Y0: b.Y0 + s.rect.Y0, X1: b.X0 + s.rect.X1, Y1: b.Y0 + s.rect.Y1}
-				quant.Inverse(s.vals, w, sub, p.Steps[s.bi].Value(), fp.Data, fp.Stride, 1)
-			}
-			dwt.Inverse97(fp, keepLevels, st)
-			tileIm = fp.ToImage()
-		}
-		ox, oy := colW[tx], rowH[ty]
-		for y := 0; y < rth; y++ {
-			src := tileIm.Row(y)
-			dst := out.Pix[(oy+y)*out.Stride+ox : (oy+y)*out.Stride+ox+rtw]
-			for x, v := range src {
-				dst[x] = v + shift
-			}
-		}
-	}
-	return out, nil
+// DecodeRegion decodes only the window of the image that intersects region
+// (expressed in the output grid at opts.DiscardLevels), touching only the
+// tiles the window overlaps. One-shot wrapper over a throwaway Decoder; see
+// Decoder.DecodeRegion.
+func DecodeRegion(data []byte, region Rect, opts DecodeOptions) (*raster.Image, error) {
+	return NewDecoder().DecodeRegion(data, region, opts)
 }

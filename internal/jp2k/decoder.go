@@ -1,0 +1,374 @@
+package jp2k
+
+import (
+	"fmt"
+
+	"pj2k/internal/core"
+	"pj2k/internal/dwt"
+	"pj2k/internal/quant"
+	"pj2k/internal/raster"
+	"pj2k/internal/t1"
+	"pj2k/internal/t2"
+)
+
+// Rect is an axis-aligned rectangle ([X0,X1) x [Y0,Y1)) in the coordinate
+// system of the image a decode produces — for DiscardLevels > 0 that is the
+// reduced grid, the natural addressing for a viewer that already fetched the
+// stream's geometry at that scale.
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Dx returns the rectangle's width.
+func (r Rect) Dx() int { return r.X1 - r.X0 }
+
+// Dy returns the rectangle's height.
+func (r Rect) Dy() int { return r.Y1 - r.Y0 }
+
+// Empty reports whether the rectangle contains no pixels.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Intersect returns the intersection of r and o (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	if o.X0 > r.X0 {
+		r.X0 = o.X0
+	}
+	if o.Y0 > r.Y0 {
+		r.Y0 = o.Y0
+	}
+	if o.X1 < r.X1 {
+		r.X1 = o.X1
+	}
+	if o.Y1 < r.Y1 {
+		r.Y1 = o.Y1
+	}
+	return r
+}
+
+// Decoder is a reusable decode pipeline mirroring Encoder: it owns every
+// pooled buffer the decode hot loops need — per-worker tier-1 block decoders
+// and DWT scratch, per-tile tier-2 coding state, packet-segment accumulators
+// and coefficient planes — so repeated Decode/DecodeRegion calls reach a
+// steady state with near-zero heap allocations beyond the returned image.
+// Server workloads hold one Decoder per concurrent stream (or a sync.Pool of
+// them) and decode windows out of large codestreams without ever
+// reconstructing the full image.
+//
+// A Decoder is not safe for concurrent use; pooled state does not leak
+// between calls (output is bit-identical to the one-shot Decode function for
+// any worker count, and DecodeRegion is bit-identical to cropping a full
+// Decode).
+type Decoder struct {
+	scratch      []*dwt.Scratch // per outer (tile-level) worker
+	scratchInner int
+	bds          []*t1.BlockDecoder // per block-level worker
+	tiles        []*tileDec
+	jobs         []decJob
+	tileErrs     []error
+	blockErrs    []error
+	colW, rowH   []int
+	sel          []int
+}
+
+// decSlot is one kept (entropy-decoded) code-block of a tile.
+type decSlot struct {
+	bi   int
+	rect t2.CBRect
+	id   int // global block id within the tile
+	vals []int32
+}
+
+// decJob addresses one kept block: selected-tile slot x block slot.
+type decJob struct {
+	ti, si int
+}
+
+// tileDec is the pooled per-tile decode state.
+type tileDec struct {
+	data     []byte // tile-part body (aliases the codestream)
+	w, h     int    // full-resolution tile dims
+	rtw, rth int    // reduced dims
+	ox, oy   int    // origin in the reduced image
+	subbands []dwt.Subband
+	gridKey  gridKey
+	bands    []t2.BandBlocks
+	dec      []t2.DecodedBlock
+	slots    []decSlot
+	tc       *t2.TileCoder
+	plane    *raster.Image // 5/3 coefficient plane
+	fplane   *dwt.FPlane   // 9/7 coefficient plane
+}
+
+// NewDecoder returns an empty Decoder; pooled buffers are sized on first use.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// ensureWorkers sizes the per-worker pools, mirroring Encoder.ensureWorkers:
+// outer tile-level workers each carry DWT scratch for inner within-tile
+// workers; block-level workers carry tier-1 decoders.
+func (d *Decoder) ensureWorkers(outer, inner, block int) {
+	if inner > d.scratchInner {
+		d.scratch = d.scratch[:0]
+		d.scratchInner = inner
+	}
+	for len(d.scratch) < outer {
+		d.scratch = append(d.scratch, dwt.NewScratch(d.scratchInner))
+	}
+	for len(d.bds) < block {
+		d.bds = append(d.bds, t1.NewBlockDecoder())
+	}
+}
+
+// Decode reconstructs the full image from a codestream produced by Encode.
+// With DiscardLevels > 0 the result is the 1/2^n-scale image carried by the
+// lower resolutions of the stream. The returned image is freshly allocated
+// and caller-owned.
+func (d *Decoder) Decode(data []byte, opts DecodeOptions) (*raster.Image, error) {
+	return d.decode(data, opts, nil)
+}
+
+// DecodeRegion reconstructs only the requested window: tiles that do not
+// intersect region are neither entropy-decoded nor transformed, which is
+// what makes serving viewports out of a tiled gigapixel stream cheap. region
+// is expressed in the output grid of Decode at opts.DiscardLevels and is
+// clamped to the image; the result is bit-identical to cropping a full
+// Decode for any worker count.
+func (d *Decoder) DecodeRegion(data []byte, region Rect, opts DecodeOptions) (*raster.Image, error) {
+	return d.decode(data, opts, &region)
+}
+
+func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster.Image, error) {
+	p, tiles, err := t2.ReadCodestream(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.CheckGeometry(); err != nil {
+		return nil, err
+	}
+	nlayers := p.Layers
+	if opts.MaxLayers > 0 && opts.MaxLayers < nlayers {
+		nlayers = opts.MaxLayers
+	}
+	discard := opts.DiscardLevels
+	if discard < 0 {
+		discard = 0
+	}
+	if discard > p.Levels {
+		discard = p.Levels
+	}
+	keepLevels := p.Levels - discard
+
+	ntx, nty := p.NumTiles()
+	if len(tiles) != ntx*nty {
+		return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
+	}
+
+	// Reduced tile geometry: per-column widths and per-row heights, plus
+	// prefix-sum origins in the reduced image.
+	d.colW, d.rowH = tileGridInto(d.colW, d.rowH, p, discard)
+	colW, rowH := d.colW, d.rowH
+
+	// Window selection: the requested rectangle (clamped) and the tiles it
+	// intersects. A nil region decodes everything.
+	full := Rect{X1: colW[ntx], Y1: rowH[nty]}
+	win := full
+	if region != nil {
+		win = region.Intersect(full)
+		if win.Empty() {
+			return nil, fmt.Errorf("jp2k: region %+v outside image %dx%d", *region, full.X1, full.Y1)
+		}
+	}
+	sel := d.sel[:0]
+	for ty := 0; ty < nty; ty++ {
+		if rowH[ty+1] <= win.Y0 || rowH[ty] >= win.Y1 {
+			continue
+		}
+		for tx := 0; tx < ntx; tx++ {
+			if colW[tx+1] <= win.X0 || colW[tx] >= win.X1 {
+				continue
+			}
+			sel = append(sel, ty*ntx+tx)
+		}
+	}
+	d.sel = sel
+	nsel := len(sel)
+	out := raster.New(win.Dx(), win.Dy())
+
+	// Worker split, as in Encoder: tiles share the outer level; the inner
+	// level parallelizes the inverse transform inside each tile.
+	workers := core.Workers(opts.Workers)
+	outerW := min(workers, max(nsel, 1))
+	innerW := workers / outerW
+	if innerW < 1 {
+		innerW = 1
+	}
+	for len(d.tiles) < nsel {
+		d.tiles = append(d.tiles, &tileDec{})
+	}
+	d.tileErrs = grow(d.tileErrs, nsel)
+	tileErrs := d.tileErrs
+	clear(tileErrs)
+
+	// --- Tier-2: walk each selected tile's packet headers and accumulate
+	// the code-block segments, in parallel across tiles with pooled per-tile
+	// coding state.
+	nbands := 1 + 3*p.Levels
+	core.RunTasksID(nsel, outerW, func(_, si int) {
+		ti := sel[si]
+		tx, ty := ti%ntx, ti/ntx
+		te := d.tiles[si]
+		te.data = tiles[ti]
+		x0, y0 := tx*p.TileW, ty*p.TileH
+		te.w = min(x0+p.TileW, p.Width) - x0
+		te.h = min(y0+p.TileH, p.Height) - y0
+		te.rtw, te.rth = reduceDim(te.w, discard), reduceDim(te.h, discard)
+		te.ox, te.oy = colW[tx], rowH[ty]
+
+		key := gridKey{te.w, te.h, p.Levels, p.CBW, p.CBH}
+		if te.gridKey != key {
+			te.gridKey = key
+			te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, p.Levels)
+			te.bands = grow(te.bands, nbands)
+			for bi, b := range te.subbands {
+				te.bands[bi] = t2.BandBlocks{Grid: t2.MakeGrid(b, p.CBW, p.CBH)}
+			}
+		}
+		for bi := range te.bands {
+			te.bands[bi].Mb = p.Mb[bi]
+		}
+		if te.tc == nil {
+			te.tc = t2.NewTileCoder(te.bands)
+		}
+		var err error
+		te.dec, _, err = te.tc.DecodeTilePackets(te.bands, p.Levels, nlayers, te.data, te.dec)
+		if err != nil {
+			tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
+			return
+		}
+
+		// Enumerate the blocks to entropy-decode: bands of discarded
+		// resolutions were parsed (the packet walk needs their headers) but
+		// are skipped here.
+		te.slots = te.slots[:0]
+		id := 0
+		for bi := range te.bands {
+			keep := bi == 0 || te.subbands[bi].Level > discard
+			for _, r := range te.bands[bi].Grid.Rects {
+				if keep {
+					te.slots = append(te.slots, decSlot{bi: bi, rect: r, id: id})
+				}
+				id++
+			}
+		}
+	})
+	for _, err := range tileErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Tier-1: every kept block of every selected tile, decoded in
+	// parallel under the staggered round-robin assignment with per-worker
+	// pooled BlockDecoders ("no synchronization is necessary due to the
+	// processing of independent code-blocks").
+	jobs := d.jobs[:0]
+	for si := 0; si < nsel; si++ {
+		for bs := range d.tiles[si].slots {
+			jobs = append(jobs, decJob{ti: si, si: bs})
+		}
+	}
+	d.jobs = jobs
+	njobs := len(jobs)
+	d.ensureWorkers(outerW, innerW, min(workers, max(njobs, 1)))
+	for _, bd := range d.bds {
+		bd.Release()
+	}
+	d.blockErrs = grow(d.blockErrs, njobs)
+	blockErrs := d.blockErrs
+	clear(blockErrs)
+	core.RunTasksID(njobs, workers, func(worker, i int) {
+		te := d.tiles[jobs[i].ti]
+		s := &te.slots[jobs[i].si]
+		blk := &te.dec[s.id]
+		s.vals, blockErrs[i] = d.bds[worker].DecodeSegment(
+			s.rect.X1-s.rect.X0, s.rect.Y1-s.rect.Y0,
+			te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes)
+	})
+	for i, err := range blockErrs {
+		if err != nil {
+			return nil, fmt.Errorf("jp2k: tile %d block %d: %w", sel[jobs[i].ti], jobs[i].si, err)
+		}
+	}
+
+	// --- Assembly + inverse transform per selected tile, parallel across
+	// tiles; the kept bands exactly tile the reduced coefficient plane, so
+	// the pooled planes need no clearing.
+	shift := int32(1) << uint(p.BitDepth-1)
+	core.RunTasksID(nsel, outerW, func(worker, si int) {
+		te := d.tiles[si]
+		if p.ROIShift > 0 {
+			for _, s := range te.slots {
+				unscaleROI(s.vals, p.ROIShift)
+			}
+		}
+		st := dwt.Strategy{
+			VertMode: opts.VertMode, BlockWidth: opts.VertBlockWidth,
+			Workers: innerW, Scratch: d.scratch[worker],
+		}
+		// The tile window to copy out, in tile-local reduced coordinates.
+		lx0, ly0 := max(win.X0-te.ox, 0), max(win.Y0-te.oy, 0)
+		lx1, ly1 := min(win.X1-te.ox, te.rtw), min(win.Y1-te.oy, te.rth)
+		ox, oy := te.ox+lx0-win.X0, te.oy+ly0-win.Y0
+		if p.Kernel == dwt.Rev53 {
+			te.plane = reuseImage(te.plane, te.rtw, te.rth)
+			for _, s := range te.slots {
+				b := te.subbands[s.bi]
+				w := s.rect.X1 - s.rect.X0
+				for y := s.rect.Y0; y < s.rect.Y1; y++ {
+					copy(te.plane.Pix[(b.Y0+y)*te.plane.Stride+b.X0+s.rect.X0:(b.Y0+y)*te.plane.Stride+b.X0+s.rect.X1],
+						s.vals[(y-s.rect.Y0)*w:(y-s.rect.Y0+1)*w])
+				}
+			}
+			dwt.Inverse53(te.plane, keepLevels, st)
+			for y := ly0; y < ly1; y++ {
+				src := te.plane.Row(y)[lx0:lx1]
+				dst := out.Pix[(oy+y-ly0)*out.Stride+ox : (oy+y-ly0)*out.Stride+ox+lx1-lx0]
+				for x, v := range src {
+					dst[x] = v + shift
+				}
+			}
+		} else {
+			te.fplane = reuseFPlane(te.fplane, te.rtw, te.rth)
+			fp := te.fplane
+			for _, s := range te.slots {
+				b := te.subbands[s.bi]
+				w := s.rect.X1 - s.rect.X0
+				sub := dwt.Subband{X0: b.X0 + s.rect.X0, Y0: b.Y0 + s.rect.Y0, X1: b.X0 + s.rect.X1, Y1: b.Y0 + s.rect.Y1}
+				quant.Inverse(s.vals, w, sub, p.Steps[s.bi].Value(), fp.Data, fp.Stride, 1)
+			}
+			dwt.Inverse97(fp, keepLevels, st)
+			for y := ly0; y < ly1; y++ {
+				src := fp.Data[y*fp.Stride+lx0 : y*fp.Stride+lx1]
+				dst := out.Pix[(oy+y-ly0)*out.Stride+ox : (oy+y-ly0)*out.Stride+ox+lx1-lx0]
+				for x, v := range src {
+					if v >= 0 {
+						dst[x] = int32(v+0.5) + shift
+					} else {
+						dst[x] = int32(v-0.5) + shift
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// reuseFPlane returns a float plane of the requested size backed by p's
+// storage when it fits.
+func reuseFPlane(p *dwt.FPlane, w, h int) *dwt.FPlane {
+	if p == nil || cap(p.Data) < w*h {
+		return dwt.NewFPlane(w, h)
+	}
+	p.Width, p.Height, p.Stride = w, h, w
+	p.Data = p.Data[:w*h]
+	return p
+}

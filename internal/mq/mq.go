@@ -229,13 +229,22 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over one codeword segment (INITDEC).
 func NewDecoder(data []byte) *Decoder {
-	d := &Decoder{data: data}
+	d := &Decoder{}
+	d.Reset(data)
+	return d
+}
+
+// Reset re-initializes the decoder over a new segment (INITDEC), allowing one
+// Decoder to be pooled across many code-blocks without reallocation.
+func (d *Decoder) Reset(data []byte) {
+	d.data = data
+	d.bp = 0
+	d.ct = 0
 	d.c = uint32(d.byteAt(0)) << 16
 	d.byteIn()
 	d.c <<= 7
 	d.ct -= 7
 	d.a = 0x8000
-	return d
 }
 
 func (d *Decoder) byteAt(i int) byte {

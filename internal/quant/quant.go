@@ -128,21 +128,32 @@ func ForwardBands(src []float64, stride int, jobs []BandJob, workers int) {
 // Inverse dequantizes integers back into float coefficients with the
 // standard half-step midpoint bias for nonzero values (bit-plane truncation
 // offsets at coarser granularity are already applied by the tier-1 decoder).
+// The serial case bypasses the fork/join helper entirely: Inverse runs once
+// per code-block on the decode path, where even a dead closure allocation
+// per call would dominate the pooled decoder's steady-state alloc budget.
 func Inverse(src []int32, srcStride int, b dwt.Subband, step float64, dst []float64, stride, workers int) {
+	if workers == 1 {
+		inverseRows(src, srcStride, b, step, dst, stride, 0, b.Height())
+		return
+	}
 	core.ParallelFor(workers, b.Height(), func(lo, hi int) {
-		for y := lo; y < hi; y++ {
-			srow := src[y*srcStride:]
-			drow := dst[(b.Y0+y)*stride+b.X0:]
-			for x := 0; x < b.Width(); x++ {
-				switch v := srow[x]; {
-				case v > 0:
-					drow[x] = (float64(v) + 0.5) * step
-				case v < 0:
-					drow[x] = (float64(v) - 0.5) * step
-				default:
-					drow[x] = 0
-				}
+		inverseRows(src, srcStride, b, step, dst, stride, lo, hi)
+	})
+}
+
+func inverseRows(src []int32, srcStride int, b dwt.Subband, step float64, dst []float64, stride, lo, hi int) {
+	for y := lo; y < hi; y++ {
+		srow := src[y*srcStride:]
+		drow := dst[(b.Y0+y)*stride+b.X0:]
+		for x := 0; x < b.Width(); x++ {
+			switch v := srow[x]; {
+			case v > 0:
+				drow[x] = (float64(v) + 0.5) * step
+			case v < 0:
+				drow[x] = (float64(v) - 0.5) * step
+			default:
+				drow[x] = 0
 			}
 		}
-	})
+	}
 }

@@ -1,0 +1,198 @@
+// Package serve is the progressive image-serving subsystem built on the
+// codec: a read-only store of indexed codestreams, an LRU cache of decoded
+// tiles, and an HTTP server that answers window/resolution/layer requests by
+// decoding only the tiles a request touches. This is the payoff of the
+// JPEG2000 packet structure the paper's pipeline produces: one codestream
+// serves thumbnails, viewports and progressive refinement to any number of
+// clients, and the parallel decoder keeps per-request latency bounded by
+// tile size rather than image size.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pj2k/internal/raster"
+)
+
+// TileKey identifies one decoded tile variant: a tile of an image decoded at
+// a discard-level/layer-limit combination. Distinct variants cache
+// independently — a thumbnail pass over a tile does not evict its full-
+// resolution neighbour.
+type TileKey struct {
+	Image   string
+	TX, TY  int
+	Discard int
+	Layers  int
+}
+
+// tileEntry is one cache resident on the intrusive LRU list.
+type tileEntry struct {
+	key        TileKey
+	im         *raster.Image
+	bytes      int64
+	prev, next *tileEntry
+}
+
+// inflightCall coalesces concurrent misses on one key: the first caller
+// decodes, everyone else blocks on done and shares the result. dropped is
+// set (under the cache mutex) when the key is invalidated mid-decode, so a
+// decode of since-replaced bytes is handed to its waiters but never cached.
+type inflightCall struct {
+	done    chan struct{}
+	im      *raster.Image
+	err     error
+	dropped bool
+}
+
+// Cache is a byte-budgeted LRU cache of decoded tiles with single-flight
+// deduplication of concurrent misses. It is safe for concurrent use; the
+// cached images are shared read-only between callers and must not be
+// mutated.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	entries  map[TileKey]*tileEntry
+	head     tileEntry // sentinel: head.next is most recent
+	inflight map[TileKey]*inflightCall
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// tileOverhead approximates the per-entry bookkeeping bytes charged against
+// the budget on top of the pixel payload.
+const tileOverhead = 160
+
+// NewCache returns a cache holding at most maxBytes of decoded samples
+// (plus per-entry overhead). maxBytes <= 0 disables caching: every lookup
+// decodes (still deduplicated while in flight).
+func NewCache(maxBytes int64) *Cache {
+	c := &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[TileKey]*tileEntry),
+		inflight: make(map[TileKey]*inflightCall),
+	}
+	c.head.prev, c.head.next = &c.head, &c.head
+	return c
+}
+
+func (c *Cache) unlink(e *tileEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *Cache) pushFront(e *tileEntry) {
+	e.prev = &c.head
+	e.next = c.head.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// GetOrDecode returns the cached tile for key, or runs decode to produce it.
+// Concurrent calls for the same missing key run decode once and share the
+// result (counted as coalesced, not hits). Successful results enter the
+// cache, evicting least-recently-used tiles past the byte budget; errors are
+// returned to every waiter and cached by nobody.
+func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Image, error)) (*raster.Image, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.im, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-call.done
+		return call.im, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// The inflight entry must be cleared and waiters released even if decode
+	// panics (net/http recovers handler panics, so a stuck entry would wedge
+	// the key forever); the deferred cleanup runs before the panic unwinds
+	// past us, and waiters see the nil-image error path.
+	call.err = fmt.Errorf("serve: tile decode panicked")
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil && !call.dropped && c.maxBytes > 0 {
+			e := &tileEntry{key: key, im: call.im, bytes: int64(len(call.im.Pix))*4 + tileOverhead}
+			c.entries[key] = e
+			c.pushFront(e)
+			c.size += e.bytes
+			for c.size > c.maxBytes && c.head.prev != e {
+				lru := c.head.prev
+				c.unlink(lru)
+				delete(c.entries, lru.key)
+				c.size -= lru.bytes
+				c.evictions.Add(1)
+			}
+		}
+		c.mu.Unlock()
+		close(call.done)
+	}()
+	call.im, call.err = decode()
+	return call.im, call.err
+}
+
+// Invalidate drops every cached tile of the given image and marks in-flight
+// decodes of it as dropped (their waiters still get the result, but it will
+// not enter the cache — a decode of since-replaced bytes must not outlive
+// the replacement). Returns the number of cached entries removed.
+func (c *Cache) Invalidate(image string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, e := range c.entries {
+		if key.Image == image {
+			c.unlink(e)
+			delete(c.entries, key)
+			c.size -= e.bytes
+			n++
+		}
+	}
+	for key, call := range c.inflight {
+		if key.Image == image {
+			call.dropped = true
+		}
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Stats returns the current counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, size := len(c.entries), c.size
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     size,
+		MaxBytes:  c.maxBytes,
+	}
+}

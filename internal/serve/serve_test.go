@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+)
+
+func testImage() *raster.Image { return raster.Synthetic(230, 190, 99) }
+
+func encodeTest(t testing.TB, im *raster.Image) []byte {
+	t.Helper()
+	cs, _, err := jp2k.Encode(im, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{0.25, 1.0},
+		TileW: 96, TileH: 80, Levels: 3, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func newTestServer(t testing.TB, cacheBytes int64) (*Server, []byte) {
+	t.Helper()
+	cs := encodeTest(t, testImage())
+	store := NewStore()
+	if _, err := store.Add("test", cs); err != nil {
+		t.Fatal(err)
+	}
+	return New(store, Options{CacheBytes: cacheBytes}), cs
+}
+
+// --- Cache unit tests.
+
+func tile(w, h int) *raster.Image { return raster.New(w, h) }
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Each 10x10 tile costs 400 + tileOverhead bytes; budget fits two.
+	per := int64(400 + tileOverhead)
+	c := NewCache(2 * per)
+	get := func(id int) {
+		_, err := c.GetOrDecode(TileKey{Image: "a", TX: id}, func() (*raster.Image, error) {
+			return tile(10, 10), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(0)
+	get(1)
+	get(0) // refresh 0: LRU order is now (0, 1)
+	get(2) // evicts 1
+	get(0) // hit
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 2*per {
+		t.Fatalf("entries %d bytes %d, want 2 entries %d bytes", st.Entries, st.Bytes, 2*per)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("%d evictions, want 1", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 3 {
+		t.Fatalf("hits %d misses %d, want 2/3", st.Hits, st.Misses)
+	}
+	// Tile 1 must re-decode (was evicted), tile 0 must not.
+	decoded := 0
+	c.GetOrDecode(TileKey{Image: "a", TX: 1}, func() (*raster.Image, error) {
+		decoded++
+		return tile(10, 10), nil
+	})
+	c.GetOrDecode(TileKey{Image: "a", TX: 0}, func() (*raster.Image, error) {
+		decoded++
+		return tile(10, 10), nil
+	})
+	if decoded != 1 {
+		t.Fatalf("%d decodes after eviction round, want 1", decoded)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(1 << 20)
+	fail := true
+	decode := func() (*raster.Image, error) {
+		if fail {
+			return nil, fmt.Errorf("boom")
+		}
+		return tile(4, 4), nil
+	}
+	if _, err := c.GetOrDecode(TileKey{Image: "x"}, decode); err == nil {
+		t.Fatal("want error")
+	}
+	fail = false
+	if _, err := c.GetOrDecode(TileKey{Image: "x"}, decode); err != nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+}
+
+// TestCachePanicSafety: a panicking decode must unwedge the key — the
+// inflight entry is cleared and waiters are released with an error, so the
+// next request can retry instead of blocking forever.
+func TestCachePanicSafety(t *testing.T) {
+	c := NewCache(1 << 20)
+	key := TileKey{Image: "a"}
+	func() {
+		defer func() { recover() }()
+		c.GetOrDecode(key, func() (*raster.Image, error) { panic("decoder bug") })
+		t.Fatal("panic did not propagate")
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrDecode(key, func() (*raster.Image, error) { return tile(2, 2), nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retry after panic failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("key wedged: retry after panic blocked")
+	}
+}
+
+// TestCacheInvalidateInFlight: invalidating an image while one of its tiles
+// is still decoding must keep that (now stale) result out of the cache.
+func TestCacheInvalidateInFlight(t *testing.T) {
+	c := NewCache(1 << 20)
+	key := TileKey{Image: "x"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.GetOrDecode(key, func() (*raster.Image, error) {
+			close(started)
+			<-release // decode of the OLD bytes straddles the invalidation
+			return tile(4, 4), nil
+		})
+	}()
+	<-started
+	c.Invalidate("x")
+	close(release)
+	<-done
+	fresh := 0
+	c.GetOrDecode(key, func() (*raster.Image, error) {
+		fresh++
+		return tile(4, 4), nil
+	})
+	if fresh != 1 {
+		t.Fatal("stale in-flight decode entered the cache across Invalidate")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	var decodes atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]*raster.Image, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			im, err := c.GetOrDecode(TileKey{Image: "a"}, func() (*raster.Image, error) {
+				decodes.Add(1)
+				<-release
+				return tile(8, 8), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = im
+		}(i)
+	}
+	// Let the herd pile up on the key, then release the one decode.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := decodes.Load(); n != 1 {
+		t.Fatalf("%d decodes for %d concurrent requests, want 1", n, waiters)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatal("coalesced callers got different images")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != waiters-1 {
+		t.Fatalf("misses %d coalesced %d, want 1/%d", st.Misses, st.Coalesced, waiters-1)
+	}
+}
+
+// --- Server integration tests.
+
+func fetchPGM(t *testing.T, ts *httptest.Server, path string) *raster.Image {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: %d: %s", path, resp.StatusCode, body)
+	}
+	im, _, err := raster.ReadPGM(resp.Body)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return im
+}
+
+// TestServerRegionMatchesDecode asserts the served window equals cropping a
+// straight jp2k.Decode at every reduce level — the HTTP layer, the tile
+// assembly and the cache must be invisible in the pixels.
+func TestServerRegionMatchesDecode(t *testing.T) {
+	srv, cs := newTestServer(t, 1<<20)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, reduce := range []int{0, 1, 2} {
+		full, err := jp2k.Decode(cs, jp2k.DecodeOptions{DiscardLevels: reduce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.ClampTo8()
+		w, h := full.Width, full.Height
+		windows := []jp2k.Rect{
+			{X0: 0, Y0: 0, X1: w, Y1: h},
+			{X0: w / 4, Y0: h / 4, X1: 3 * w / 4, Y1: 3 * h / 4},
+			{X0: w - 1, Y0: 0, X1: w, Y1: 1},
+		}
+		for _, win := range windows {
+			path := fmt.Sprintf("/img/test?x0=%d&y0=%d&x1=%d&y1=%d&reduce=%d",
+				win.X0, win.Y0, win.X1, win.Y1, reduce)
+			got := fetchPGM(t, ts, path)
+			if got.Width != win.Dx() || got.Height != win.Dy() {
+				t.Fatalf("%s: got %dx%d", path, got.Width, got.Height)
+			}
+			for y := 0; y < got.Height; y++ {
+				for x := 0; x < got.Width; x++ {
+					if got.At(x, y) != full.At(win.X0+x, win.Y0+y) {
+						t.Fatalf("%s: pixel (%d,%d) = %d, want %d",
+							path, x, y, got.At(x, y), full.At(win.X0+x, win.Y0+y))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestServerCacheHitsSkipDecoding is the acceptance check for the tile
+// cache: repeating a request must not run tier-1 again, observable through
+// the decode and hit counters.
+func TestServerCacheHitsSkipDecoding(t *testing.T) {
+	srv, _ := newTestServer(t, 64<<20)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	const path = "/img/test?x0=10&y0=10&x1=150&y1=120"
+	a := fetchPGM(t, ts, path)
+	decodesAfterFirst := srv.TileDecodes()
+	if decodesAfterFirst == 0 {
+		t.Fatal("first request performed no tile decodes")
+	}
+	b := fetchPGM(t, ts, path)
+	if n := srv.TileDecodes(); n != decodesAfterFirst {
+		t.Fatalf("repeat request decoded tiles: %d -> %d", decodesAfterFirst, n)
+	}
+	if !raster.Equal(a, b) {
+		t.Fatal("cached response differs")
+	}
+	st := srv.Cache().Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", st)
+	}
+	// A different variant (other reduce) misses and decodes afresh.
+	fetchPGM(t, ts, path+"&reduce=1")
+	if srv.TileDecodes() == decodesAfterFirst {
+		t.Fatal("reduce=1 variant served from reduce=0 tiles")
+	}
+}
+
+// TestServerConcurrentRegions hammers the server from many goroutines with
+// overlapping windows across reduce/layer variants; run under -race this is
+// the data-race gate for the whole serve path (cache, singleflight, pooled
+// decoders). Every response is verified against the reference decode.
+func TestServerConcurrentRegions(t *testing.T) {
+	srv, cs := newTestServer(t, 1<<20) // small cache: force eviction churn
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	refs := make([]*raster.Image, 3)
+	for reduce := range refs {
+		ref, err := jp2k.Decode(cs, jp2k.DecodeOptions{DiscardLevels: reduce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.ClampTo8()
+		refs[reduce] = ref
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 12; i++ {
+				reduce := rng.Intn(3)
+				ref := refs[reduce]
+				x0, y0 := rng.Intn(ref.Width), rng.Intn(ref.Height)
+				x1, y1 := x0+1+rng.Intn(ref.Width-x0), y0+1+rng.Intn(ref.Height-y0)
+				layers := rng.Intn(3)
+				path := fmt.Sprintf("/img/test?x0=%d&y0=%d&x1=%d&y1=%d&reduce=%d&layers=%d",
+					x0, y0, x1, y1, reduce, layers)
+				resp, err := ts.Client().Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				im, _, err := raster.ReadPGM(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				if im.Width != x1-x0 || im.Height != y1-y0 {
+					t.Errorf("%s: got %dx%d", path, im.Width, im.Height)
+					return
+				}
+				if layers == 0 || layers == 2 { // full-quality variants match the reference
+					for y := 0; y < im.Height; y++ {
+						for x := 0; x < im.Width; x++ {
+							if im.At(x, y) != ref.At(x0+x, y0+y) {
+								t.Errorf("%s: pixel (%d,%d) mismatch", path, x, y)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestServerStreamEndpoint verifies the progressive-refinement slice: the
+// truncated codestream from /stream decodes identically to MaxLayers.
+func TestServerStreamEndpoint(t *testing.T) {
+	srv, cs := newTestServer(t, 1<<20)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/img/test/stream?layers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(trunc) >= len(cs) {
+		t.Fatalf("1-layer stream (%d bytes) not smaller than original (%d)", len(trunc), len(cs))
+	}
+	got, err := jp2k.Decode(trunc, jp2k.DecodeOptions{})
+	if err != nil {
+		t.Fatalf("decoding truncated stream: %v", err)
+	}
+	want, err := jp2k.Decode(cs, jp2k.DecodeOptions{MaxLayers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.Equal(got, want) {
+		t.Fatal("served layer prefix decodes differently from MaxLayers=1")
+	}
+}
+
+func TestServerInfoAndErrors(t *testing.T) {
+	srv, _ := newTestServer(t, 1<<20)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for path, want := range map[string]int{
+		"/img/test/info":          http.StatusOK,
+		"/img/nosuch":             http.StatusNotFound,
+		"/img/nosuch/info":        http.StatusNotFound,
+		"/img/test?x0=bogus":      http.StatusBadRequest,
+		"/img/test?x0=900&x1=950": http.StatusBadRequest,
+		"/img/test?format=tiff":   http.StatusBadRequest,
+		"/stats":                  http.StatusOK,
+		"/img/test?x0=5&x1=4":     http.StatusBadRequest,
+	} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	var body bytes.Buffer
+	resp, _ := ts.Client().Get(ts.URL + "/img/test/info")
+	io.Copy(&body, resp.Body)
+	resp.Body.Close()
+	for _, frag := range []string{`"width": 230`, `"height": 190`, `"layers": 2`, `"reductions"`} {
+		if !bytes.Contains(body.Bytes(), []byte(frag)) {
+			t.Errorf("info response missing %s: %s", frag, body.String())
+		}
+	}
+}
+
+// --- Cache benchmarks (the hot/cold split a serving fleet sizes against).
+
+func BenchmarkServeTileCache(b *testing.B) {
+	cs := encodeTest(b, testImage())
+	store := NewStore()
+	if _, err := store.Add("bench", cs); err != nil {
+		b.Fatal(err)
+	}
+	img, _ := store.Get("bench")
+	colW, rowH := img.Grid(0)
+	b.Run("hit", func(b *testing.B) {
+		srv := New(store, Options{CacheBytes: 64 << 20})
+		key := TileKey{Image: "bench", TX: 0, TY: 0}
+		decode := func() (*raster.Image, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
+		if _, err := srv.cache.GetOrDecode(key, decode); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.cache.GetOrDecode(key, decode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		srv := New(store, Options{CacheBytes: 64 << 20})
+		decode := func() (*raster.Image, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.cache.Invalidate("bench") // every lookup is a cold miss
+			if _, err := srv.cache.GetOrDecode(TileKey{Image: "bench", TX: 0, TY: 0}, decode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

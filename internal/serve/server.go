@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheBytes is the decoded-tile cache budget: 0 uses DefaultCacheBytes,
+	// negative disables caching (every request decodes; concurrent misses
+	// are still deduplicated in flight).
+	CacheBytes int64
+	// TileWorkers bounds the parallelism of one tile decode. The default 1
+	// is right for servers: concurrency comes from concurrent requests, and
+	// single-worker tile decodes keep per-request CPU bounded.
+	TileWorkers int
+	// MaxPixels rejects region requests larger than this many output pixels
+	// (protects against accidental whole-gigapixel fetches); <= 0 uses
+	// DefaultMaxPixels.
+	MaxPixels int64
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultCacheBytes = 256 << 20
+	DefaultMaxPixels  = 64 << 20
+)
+
+// Server answers progressive image requests over HTTP:
+//
+//	GET /img/{id}?x0=&y0=&x1=&y1=&reduce=&layers=&format=pgm|raw
+//	    Decode a window at a resolution/quality. Coordinates address the
+//	    reduced grid (the pixel grid of the image at that reduce level);
+//	    omitted coordinates mean the full image. The response is binary PGM
+//	    (P5) by default, or headerless big-endian samples with format=raw.
+//	GET /img/{id}/info
+//	    JSON geometry: size per reduce level, tile grid, layers, byte costs.
+//	GET /img/{id}/stream?layers=N
+//	    A valid JPEG2000 codestream truncated to the first N quality layers,
+//	    sliced from the packet index without decoding — progressive refinement
+//	    for clients that decode locally.
+//	GET /stats
+//	    JSON server and cache counters.
+//
+// Region pixels are assembled from per-tile decodes that pass through the
+// tile cache, so a hot viewport costs memory copies, not tier-1 decoding.
+type Server struct {
+	store *Store
+	cache *Cache
+	opts  Options
+	mux   *http.ServeMux
+
+	decoders sync.Pool // *jp2k.Decoder, pooled across requests
+
+	started     time.Time
+	requests    atomic.Int64
+	errors      atomic.Int64
+	tileDecodes atomic.Int64
+}
+
+// New returns a Server over the given store.
+func New(store *Store, opts Options) *Server {
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	if opts.TileWorkers <= 0 {
+		opts.TileWorkers = 1
+	}
+	if opts.MaxPixels <= 0 {
+		opts.MaxPixels = DefaultMaxPixels
+	}
+	s := &Server{
+		store:   store,
+		cache:   NewCache(opts.CacheBytes),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.decoders.New = func() any { return jp2k.NewDecoder() }
+	s.mux.HandleFunc("GET /img/{id}", s.handleRegion)
+	s.mux.HandleFunc("GET /img/{id}/info", s.handleInfo)
+	s.mux.HandleFunc("GET /img/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Cache exposes the tile cache (for tests and ops tooling).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// TileDecodes returns the number of tile decodes performed so far; requests
+// served entirely from cache do not move it.
+func (s *Server) TileDecodes() int64 { return s.tileDecodes.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// queryInt parses an integer query parameter, using def when absent.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q", name, v)
+	}
+	return n, nil
+}
+
+// decodeTile produces one cached tile variant, charging the decode counter.
+func (s *Server) decodeTile(img *Image, colW, rowH []int, tx, ty, discard, layers int) (*raster.Image, error) {
+	s.tileDecodes.Add(1)
+	dec := s.decoders.Get().(*jp2k.Decoder)
+	defer s.decoders.Put(dec)
+	region := jp2k.Rect{X0: colW[tx], Y0: rowH[ty], X1: colW[tx+1], Y1: rowH[ty+1]}
+	return dec.DecodeRegion(img.Data, region, jp2k.DecodeOptions{
+		DiscardLevels: discard,
+		MaxLayers:     layers,
+		Workers:       s.opts.TileWorkers,
+		VertMode:      dwt.VertBlocked,
+	})
+}
+
+func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	img, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
+		return
+	}
+	discard, err1 := queryInt(r, "reduce", 0)
+	layers, err2 := queryInt(r, "layers", 0)
+	for _, err := range []error{err1, err2} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	discard = img.ClampDiscard(discard)
+	layers = img.ClampLayers(layers)
+	colW, rowH := img.Grid(discard)
+	ntx, nty := len(colW)-1, len(rowH)-1
+	fullW, fullH := colW[ntx], rowH[nty]
+
+	x0, err1 := queryInt(r, "x0", 0)
+	y0, err2 := queryInt(r, "y0", 0)
+	x1, err3 := queryInt(r, "x1", fullW)
+	y1, err4 := queryInt(r, "y1", fullH)
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	win := jp2k.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}.
+		Intersect(jp2k.Rect{X1: fullW, Y1: fullH})
+	if win.Empty() {
+		s.fail(w, http.StatusBadRequest,
+			"empty window [%d,%d)x[%d,%d) of %dx%d at reduce=%d", x0, x1, y0, y1, fullW, fullH, discard)
+		return
+	}
+	if int64(win.Dx())*int64(win.Dy()) > s.opts.MaxPixels {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"window %dx%d exceeds the %d-pixel limit; raise reduce=", win.Dx(), win.Dy(), s.opts.MaxPixels)
+		return
+	}
+
+	// Assemble the window from cached per-tile decodes.
+	out := raster.New(win.Dx(), win.Dy())
+	var tiles []int
+	for ty := 0; ty < nty; ty++ {
+		if rowH[ty+1] <= win.Y0 || rowH[ty] >= win.Y1 {
+			continue
+		}
+		for tx := 0; tx < ntx; tx++ {
+			if colW[tx+1] <= win.X0 || colW[tx] >= win.X1 {
+				continue
+			}
+			tiles = append(tiles, ty*ntx+tx)
+			key := TileKey{Image: img.ID, TX: tx, TY: ty, Discard: discard, Layers: layers}
+			tile, err := s.cache.GetOrDecode(key, func() (*raster.Image, error) {
+				return s.decodeTile(img, colW, rowH, tx, ty, discard, layers)
+			})
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, "tile (%d,%d): %v", tx, ty, err)
+				return
+			}
+			lx0, ly0 := max(win.X0-colW[tx], 0), max(win.Y0-rowH[ty], 0)
+			lx1, ly1 := min(win.X1-colW[tx], tile.Width), min(win.Y1-rowH[ty], tile.Height)
+			ox, oy := colW[tx]+lx0-win.X0, rowH[ty]+ly0-win.Y0
+			for y := ly0; y < ly1; y++ {
+				copy(out.Pix[(oy+y-ly0)*out.Stride+ox:(oy+y-ly0)*out.Stride+ox+lx1-lx0],
+					tile.Pix[y*tile.Stride+lx0:y*tile.Stride+lx1])
+			}
+		}
+	}
+
+	// The packet-byte cost of this window per the index: what a byte-range
+	// transport (JPIP-style) would have shipped instead of pixels.
+	w.Header().Set("X-PJ2K-Packet-Bytes", strconv.Itoa(img.Index.RegionBytes(tiles, discard, layers)))
+	maxval := 255
+	if bd := img.Params().BitDepth; bd > 8 {
+		maxval = 1<<uint(bd) - 1
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "pgm":
+		if maxval == 255 {
+			out.ClampTo8()
+		}
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		if err := raster.WritePGM(w, out, maxval); err != nil {
+			s.errors.Add(1)
+			return
+		}
+	case "raw":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-PJ2K-Width", strconv.Itoa(out.Width))
+		w.Header().Set("X-PJ2K-Height", strconv.Itoa(out.Height))
+		buf := make([]byte, 0, out.Width*out.Height*2)
+		for y := 0; y < out.Height; y++ {
+			for _, v := range out.Row(y) {
+				if v < 0 {
+					v = 0
+				} else if v > int32(maxval) {
+					v = int32(maxval)
+				}
+				buf = append(buf, byte(v>>8), byte(v))
+			}
+		}
+		w.Write(buf)
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown format %q", format)
+	}
+}
+
+// infoResponse is the /img/{id}/info payload.
+type infoResponse struct {
+	ID          string     `json:"id"`
+	Width       int        `json:"width"`
+	Height      int        `json:"height"`
+	TileW       int        `json:"tile_w"`
+	TileH       int        `json:"tile_h"`
+	Tiles       int        `json:"tiles"`
+	Levels      int        `json:"levels"`
+	Layers      int        `json:"layers"`
+	BitDepth    int        `json:"bit_depth"`
+	Kernel      string     `json:"kernel"`
+	Bytes       int        `json:"bytes"`
+	PacketBytes int        `json:"packet_bytes"`
+	Reductions  []sizeInfo `json:"reductions"`
+}
+
+type sizeInfo struct {
+	Reduce int `json:"reduce"`
+	Width  int `json:"width"`
+	Height int `json:"height"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	img, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
+		return
+	}
+	p := img.Params()
+	kernel := "9x7"
+	if p.Kernel == dwt.Rev53 {
+		kernel = "5x3"
+	}
+	info := infoResponse{
+		ID: img.ID, Width: p.Width, Height: p.Height,
+		TileW: p.TileW, TileH: p.TileH, Tiles: img.Index.NumTiles(),
+		Levels: p.Levels, Layers: p.Layers, BitDepth: p.BitDepth,
+		Kernel: kernel, Bytes: len(img.Data), PacketBytes: img.Index.TotalBytes(),
+	}
+	for d := 0; d <= p.Levels; d++ {
+		colW, rowH := img.Grid(d)
+		info.Reductions = append(info.Reductions, sizeInfo{
+			Reduce: d, Width: colW[len(colW)-1], Height: rowH[len(rowH)-1],
+		})
+	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	img, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
+		return
+	}
+	layers, err := queryInt(r, "layers", 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	layers = img.ClampLayers(layers)
+	cs := img.Index.CodestreamPrefix(layers)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-PJ2K-Layers", strconv.Itoa(layers))
+	w.Write(cs)
+}
+
+// statsResponse is the /stats payload.
+type statsResponse struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Images        int        `json:"images"`
+	Requests      int64      `json:"requests"`
+	Errors        int64      `json:"errors"`
+	TileDecodes   int64      `json:"tile_decodes"`
+	Cache         CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Images:        s.store.Len(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		TileDecodes:   s.TileDecodes(),
+		Cache:         s.cache.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

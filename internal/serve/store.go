@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"pj2k/internal/jp2k"
+	"pj2k/internal/t2"
+)
+
+// Image is one served codestream: the raw bytes plus the packet index built
+// once at registration. Both are immutable after Add, so any number of
+// request goroutines share them without locking.
+type Image struct {
+	ID    string
+	Data  []byte
+	Index *t2.Index
+}
+
+// Params returns the codestream header parameters.
+func (im *Image) Params() t2.Params { return im.Index.Params }
+
+// ClampDiscard limits a requested reduction to what the stream carries.
+func (im *Image) ClampDiscard(discard int) int {
+	if discard < 0 {
+		return 0
+	}
+	if l := im.Index.Params.Levels; discard > l {
+		return l
+	}
+	return discard
+}
+
+// ClampLayers normalizes a layer limit: 0 (or out of range) means every
+// layer in the stream.
+func (im *Image) ClampLayers(layers int) int {
+	if layers <= 0 || layers > im.Index.Params.Layers {
+		return im.Index.Params.Layers
+	}
+	return layers
+}
+
+// Grid returns the reduced tile geometry at the given discard level as
+// prefix sums: colW[tx] is the x origin of tile column tx in the reduced
+// image (colW[ntx] its width), likewise rowH for rows. The geometry comes
+// from the decoder (jp2k.TileGrid), so window/tile mapping here can never
+// drift from what DecodeRegion actually decodes.
+func (im *Image) Grid(discard int) (colW, rowH []int) {
+	return jp2k.TileGrid(im.Index.Params, discard)
+}
+
+// Store is the registry of served images. Registration indexes the stream
+// (validating it end to end); lookups are lock-cheap and concurrent.
+type Store struct {
+	mu   sync.RWMutex
+	imgs map[string]*Image
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{imgs: make(map[string]*Image)} }
+
+// Add registers a codestream under id, building its packet index. A corrupt
+// or truncated stream is rejected here, at registration, so request handlers
+// never see an unindexable image. Re-adding an id replaces the image (the
+// caller should invalidate any tile cache).
+func (s *Store) Add(id string, data []byte) (*Image, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: empty image id")
+	}
+	ix, err := t2.BuildIndex(data)
+	if err != nil {
+		return nil, fmt.Errorf("serve: indexing %q: %w", id, err)
+	}
+	im := &Image{ID: id, Data: data, Index: ix}
+	s.mu.Lock()
+	s.imgs[id] = im
+	s.mu.Unlock()
+	return im, nil
+}
+
+// Get returns the image registered under id.
+func (s *Store) Get(id string) (*Image, bool) {
+	s.mu.RLock()
+	im, ok := s.imgs[id]
+	s.mu.RUnlock()
+	return im, ok
+}
+
+// Len returns the number of registered images.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.imgs)
+}
+
+// IDs returns the registered image ids, sorted.
+func (s *Store) IDs() []string {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.imgs))
+	for id := range s.imgs {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// LoadDir registers every *.j2k file in dir under its basename (without
+// extension). Returns the number of images added; the first indexing error
+// aborts the load.
+func (s *Store) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".j2k") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return n, err
+		}
+		if _, err := s.Add(strings.TrimSuffix(e.Name(), ".j2k"), data); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

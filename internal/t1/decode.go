@@ -3,6 +3,7 @@ package t1
 import (
 	"fmt"
 
+	"pj2k/internal/dwt"
 	"pj2k/internal/mq"
 )
 
@@ -22,26 +23,98 @@ func Decode(eb *EncodedBlock, npasses int) ([]int32, error) {
 	if npasses < 0 || npasses > len(eb.Passes) {
 		return nil, fmt.Errorf("t1: npasses %d out of range [0,%d]", npasses, len(eb.Passes))
 	}
-	out := make([]int32, eb.W*eb.H)
-	if eb.NumBitplanes == 0 || npasses == 0 {
+	data := eb.Data
+	if npasses > 0 {
+		if r := eb.Passes[npasses-1].Rate; r < len(data) {
+			data = data[:r]
+		}
+	}
+	return NewBlockDecoder().DecodeSegment(eb.W, eb.H, eb.Band, eb.NumBitplanes, data, npasses)
+}
+
+// BlockDecoder is the reusable tier-1 block decoder, mirroring Coder on the
+// encode side: the bordered magnitude/flag/last-plane arrays, the MQ decoder
+// and the output arena all persist across blocks, so steady-state decoding
+// performs no heap allocations. Code-blocks are independent, so each decode
+// worker owns one BlockDecoder and shares nothing.
+//
+// Returned sample slices live in an arena owned by the BlockDecoder: they
+// stay valid until Release, which reclaims every slice handed out since the
+// previous Release. A BlockDecoder is not safe for concurrent use.
+type BlockDecoder struct {
+	c   coder
+	mq  mq.Decoder
+	dec decoder
+	out []int32
+}
+
+// NewBlockDecoder returns an empty BlockDecoder; buffers are sized on first
+// use.
+func NewBlockDecoder() *BlockDecoder { return &BlockDecoder{} }
+
+// Release reclaims every sample slice returned by DecodeSegment since the
+// last Release. The caller must have dropped all references to them.
+func (bd *BlockDecoder) Release() { bd.out = bd.out[:0] }
+
+// takeOut carves a zeroed length-n slice out of the sample arena. When the
+// current chunk is exhausted a larger one replaces it; slices handed out
+// earlier keep their (still live) old backing storage.
+func (bd *BlockDecoder) takeOut(n int) []int32 {
+	if cap(bd.out)-len(bd.out) < n {
+		c := 2 * cap(bd.out)
+		if c < n {
+			c = n
+		}
+		if c < 1<<12 {
+			c = 1 << 12
+		}
+		bd.out = make([]int32, 0, c)
+	}
+	base := len(bd.out)
+	bd.out = bd.out[:base+n]
+	s := bd.out[base : base+n : base+n]
+	clear(s)
+	return s
+}
+
+// DecodeSegment reconstructs a w x h code-block from the first npasses coding
+// passes of a codeword segment, reusing the BlockDecoder's buffers. data must
+// already be truncated to the rate of pass npasses (the tier-2 packet walk
+// hands segments out at exactly that granularity). See Decode for the
+// midpoint-compensation convention and BlockDecoder for the result lifetime.
+func (bd *BlockDecoder) DecodeSegment(w, h int, band dwt.BandType, numBitplanes int, data []byte, npasses int) ([]int32, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("t1: invalid block %dx%d", w, h)
+	}
+	if npasses < 0 {
+		return nil, fmt.Errorf("t1: negative pass count %d", npasses)
+	}
+	out := bd.takeOut(w * h)
+	if numBitplanes <= 0 || npasses == 0 {
 		return out, nil
 	}
-	c := &coder{w: eb.W, h: eb.H, bw: eb.W + 2, band: eb.Band}
-	c.mag = make([]int32, (eb.W+2)*(eb.H+2))
-	c.flags = make([]uint8, (eb.W+2)*(eb.H+2))
+	c := &bd.c
+	c.w, c.h, c.bw, c.band = w, h, w+2, band
+	n := (w + 2) * (h + 2)
+	if cap(c.mag) < n {
+		c.mag = make([]int32, n)
+		c.flags = make([]uint8, n)
+		bd.dec.lastPlane = make([]uint8, n)
+	} else {
+		c.mag = c.mag[:n]
+		c.flags = c.flags[:n]
+		bd.dec.lastPlane = bd.dec.lastPlane[:n]
+		clear(c.mag)
+		clear(c.flags)
+		clear(bd.dec.lastPlane)
+	}
 	c.resetContexts()
-
-	data := eb.Data
-	if r := eb.Passes[npasses-1].Rate; r < len(data) {
-		data = data[:r]
-	}
-	dec := &decoder{
-		mq:        mq.NewDecoder(data),
-		lastPlane: make([]uint8, (eb.W+2)*(eb.H+2)),
-	}
+	bd.mq.Reset(data)
+	bd.dec.mq = &bd.mq
+	dec := &bd.dec
 
 	pass := 0
-	nbp := eb.NumBitplanes
+	nbp := numBitplanes
 planes:
 	for p := nbp - 1; p >= 0; p-- {
 		plane := uint(p)
@@ -67,8 +140,8 @@ planes:
 		}
 	}
 
-	for y := 0; y < eb.H; y++ {
-		for x := 0; x < eb.W; x++ {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
 			i := c.idx(x, y)
 			if c.flags[i]&fSig == 0 {
 				continue
@@ -80,7 +153,7 @@ planes:
 			if c.flags[i]&fNeg != 0 {
 				v = -v
 			}
-			out[y*eb.W+x] = v
+			out[y*w+x] = v
 		}
 	}
 	return out, nil

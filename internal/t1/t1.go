@@ -318,7 +318,7 @@ func (co *Coder) takePasses(n int) []Pass {
 	}
 	base := len(co.passes)
 	co.passes = co.passes[:base+n]
-	return co.passes[base:base:base+n]
+	return co.passes[base : base : base+n]
 }
 
 // takeData carves a length-n slice out of the byte arena.

@@ -46,6 +46,29 @@ func (p Params) NumTiles() (int, int) {
 	return tx, ty
 }
 
+// CheckGeometry verifies that the per-band header arrays cover the
+// decomposition the COD marker declares. ReadCodestream is a lenient
+// container parser and does not cross-check markers against each other;
+// consumers that index Mb/Steps by band (the decoder, the codestream Index)
+// must call this first so a corrupt stream yields an error instead of an
+// out-of-range panic.
+func (p Params) CheckGeometry() error {
+	if p.Width <= 0 || p.Height <= 0 {
+		return fmt.Errorf("t2: missing or empty SIZ (%dx%d)", p.Width, p.Height)
+	}
+	if p.Layers < 1 {
+		return fmt.Errorf("t2: missing COD (layers %d)", p.Layers)
+	}
+	nbands := 1 + 3*p.Levels
+	if len(p.Mb) < nbands {
+		return fmt.Errorf("t2: QCD carries %d bands, %d levels need %d", len(p.Mb), p.Levels, nbands)
+	}
+	if p.Kernel == dwt.Irr97 && len(p.Steps) < nbands {
+		return fmt.Errorf("t2: QCD carries %d steps, %d levels need %d", len(p.Steps), p.Levels, nbands)
+	}
+	return nil
+}
+
 func put16(b []byte, v int) []byte { return append(b, byte(v>>8), byte(v)) }
 func put32(b []byte, v int) []byte {
 	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
@@ -302,6 +325,9 @@ func ReadCodestream(data []byte) (Params, [][]byte, error) {
 				perBand = 3
 			}
 			nb := (lqcd - 3) / perBand
+			if nb < 0 || nb > 1+3*32 { // COD caps levels at 32
+				return p, nil, fmt.Errorf("t2: implausible QCD band count %d", nb)
+			}
 			p.Mb = make([]int, nb)
 			if style == 2 {
 				p.Steps = make([]quant.Step, nb)

@@ -1,0 +1,47 @@
+package t2_test
+
+import (
+	"testing"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+	"pj2k/internal/t2"
+)
+
+// FuzzReadCodestream drives the container parser, the packet-boundary index
+// and the windowed decoder with arbitrary bytes. The contract under fuzzing
+// is purely defensive: any input either parses or returns an error — no
+// panics, no runaway allocations (the SIZ/COD sanity limits bound every
+// size derived from the stream).
+func FuzzReadCodestream(f *testing.F) {
+	im := raster.Synthetic(96, 64, 3)
+	for _, o := range []jp2k.Options{
+		{Kernel: dwt.Rev53, Levels: 2},
+		{Kernel: dwt.Rev53, TileW: 48, TileH: 32, Levels: 2, CBW: 16, CBH: 16},
+		{Kernel: dwt.Irr97, LayerBPP: []float64{0.25, 1.0}},
+	} {
+		cs, _, err := jp2k.Encode(im, o)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(cs)
+		f.Add(cs[:len(cs)/2])
+	}
+	f.Add([]byte{0xFF, 0x4F})
+	f.Add([]byte{0xFF, 0x4F, 0xFF, 0x51, 0x00, 0x29})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, tiles, err := t2.ReadCodestream(data)
+		if err != nil {
+			return
+		}
+		// A stream the container parser accepts must still index and decode
+		// without panicking, whatever its packet bytes hold.
+		_ = p
+		_ = tiles
+		_, _ = t2.BuildIndex(data)
+		_, _ = jp2k.Decode(data, jp2k.DecodeOptions{})
+		_, _ = jp2k.DecodeRegion(data, jp2k.Rect{X0: 1, Y0: 1, X1: 9, Y1: 9}, jp2k.DecodeOptions{MaxLayers: 1, DiscardLevels: 1})
+	})
+}

@@ -1,0 +1,180 @@
+package t2
+
+import (
+	"fmt"
+
+	"pj2k/internal/dwt"
+)
+
+// Span is a byte range relative to its tile-part body.
+type Span struct {
+	Off, Len int
+}
+
+// End returns the offset one past the span.
+func (s Span) End() int { return s.Off + s.Len }
+
+// TileIndex locates every packet of one tile. Body aliases the parsed
+// codestream; Packets[layer][resolution] is the packet's byte range within
+// Body. Packets are contiguous in LRCP order, so the body prefix through any
+// layer is a single range starting at offset 0.
+type TileIndex struct {
+	Body    []byte
+	Packets [][]Span
+}
+
+// Index is a parsed-once map of a codestream: the header parameters plus the
+// byte range of every packet (per tile x layer x resolution), located by
+// walking packet headers without entropy-decoding any code-block. It is the
+// substrate of the serving subsystem: a region/resolution/layer request can
+// be costed (RegionBytes) or sliced (CodestreamPrefix, LayerPrefixLen) per
+// request while the Index itself is built once and shared read-only between
+// any number of goroutines.
+type Index struct {
+	Params Params
+	Tiles  []TileIndex
+}
+
+// BuildIndex parses a codestream and locates every packet boundary. The walk
+// decodes only packet headers (tag trees, pass counts, length signalling);
+// block payloads are skipped, so indexing is cheap compared to decoding.
+// Corrupt or truncated streams yield an error, never a panic.
+func BuildIndex(data []byte) (*Index, error) {
+	p, tiles, err := ReadCodestream(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.CheckGeometry(); err != nil {
+		return nil, err
+	}
+	ntx, nty := p.NumTiles()
+	if len(tiles) != ntx*nty {
+		return nil, fmt.Errorf("t2: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
+	}
+	ix := &Index{Params: p, Tiles: make([]TileIndex, len(tiles))}
+	nbands := 1 + 3*p.Levels
+	bb := make([]BandBlocks, nbands)
+	var dec []DecodedBlock
+	var tc *TileCoder
+	for ti, body := range tiles {
+		tx, ty := ti%ntx, ti/ntx
+		x0, y0 := tx*p.TileW, ty*p.TileH
+		tw := min(x0+p.TileW, p.Width) - x0
+		th := min(y0+p.TileH, p.Height) - y0
+		for bi, b := range dwt.Subbands(tw, th, p.Levels) {
+			bb[bi] = BandBlocks{Grid: MakeGrid(b, p.CBW, p.CBH), Mb: p.Mb[bi]}
+		}
+		if tc == nil {
+			tc = NewTileCoder(bb)
+		} else {
+			tc.Reset(bb)
+		}
+		if cap(dec) < tc.nblocks {
+			dec = make([]DecodedBlock, tc.nblocks)
+		}
+		dec = dec[:tc.nblocks]
+		for i := range dec {
+			dec[i] = DecodedBlock{}
+		}
+		packets := make([][]Span, p.Layers)
+		pos := 0
+		for li := 0; li < p.Layers; li++ {
+			spans := make([]Span, p.Levels+1)
+			for r := 0; r <= p.Levels; r++ {
+				n, err := tc.decodePacket(bb, dwt.BandsOfResolution(p.Levels, r), li, body[pos:], dec, false)
+				if err != nil {
+					return nil, fmt.Errorf("t2: tile %d layer %d resolution %d: %w", ti, li, r, err)
+				}
+				spans[r] = Span{Off: pos, Len: n}
+				pos += n
+			}
+			packets[li] = spans
+		}
+		ix.Tiles[ti] = TileIndex{Body: body, Packets: packets}
+	}
+	return ix, nil
+}
+
+// NumTiles returns the number of tiles in the indexed stream.
+func (ix *Index) NumTiles() int { return len(ix.Tiles) }
+
+// LayerPrefixLen returns the length of tile ti's body prefix that carries its
+// first `layers` quality layers (every resolution). layers outside [0,
+// Params.Layers] is clamped. This is the embedded-stream property LRCP
+// ordering guarantees: fewer layers are always a contiguous prefix.
+func (ix *Index) LayerPrefixLen(ti, layers int) int {
+	t := &ix.Tiles[ti]
+	if layers > len(t.Packets) {
+		layers = len(t.Packets)
+	}
+	if layers <= 0 {
+		return 0
+	}
+	last := t.Packets[layers-1]
+	return last[len(last)-1].End()
+}
+
+// RegionBytes sums the packet bytes a decode of the given tiles at the given
+// discard-levels/layer limit must touch — the payload cost of a window
+// request, before any caching. discard and layers are clamped to the stream.
+func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
+	p := ix.Params
+	if discard < 0 {
+		discard = 0
+	}
+	if discard > p.Levels {
+		discard = p.Levels
+	}
+	if layers <= 0 || layers > p.Layers {
+		layers = p.Layers
+	}
+	maxRes := p.Levels - discard
+	total := 0
+	for _, ti := range tiles {
+		if ti < 0 || ti >= len(ix.Tiles) {
+			continue
+		}
+		for li := 0; li < layers; li++ {
+			for r := 0; r <= maxRes; r++ {
+				total += ix.Tiles[ti].Packets[li][r].Len
+			}
+		}
+	}
+	return total
+}
+
+// TotalBytes returns the packet bytes of the whole stream (all tiles, all
+// layers, all resolutions).
+func (ix *Index) TotalBytes() int {
+	total := 0
+	for _, t := range ix.Tiles {
+		for _, spans := range t.Packets {
+			for _, s := range spans {
+				total += s.Len
+			}
+		}
+	}
+	return total
+}
+
+// CodestreamPrefix re-emits a valid standalone codestream carrying only the
+// first maxLayers quality layers of every tile: the progressive-refinement
+// primitive a server sends to a client that asked for a coarse image now and
+// will fetch more layers later. maxLayers is clamped to [1, Params.Layers];
+// with maxLayers >= Params.Layers the result is equivalent to the original
+// stream (modulo any bytes outside the indexed packets).
+func (ix *Index) CodestreamPrefix(maxLayers int) []byte {
+	p := ix.Params
+	if maxLayers < 1 {
+		maxLayers = 1
+	}
+	if maxLayers > p.Layers {
+		maxLayers = p.Layers
+	}
+	p.Layers = maxLayers
+	bodies := make([][]byte, len(ix.Tiles))
+	for ti := range ix.Tiles {
+		bodies[ti] = ix.Tiles[ti].Body[:ix.LayerPrefixLen(ti, maxLayers)]
+	}
+	return WriteCodestream(p, bodies)
+}

@@ -1,0 +1,171 @@
+package t2_test
+
+// External test package: building realistic codestreams for the Index tests
+// requires the full jp2k encoder, which itself imports t2.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+	"pj2k/internal/t2"
+)
+
+func encodeTestStream(t *testing.T, o jp2k.Options) []byte {
+	t.Helper()
+	im := raster.Synthetic(230, 190, 17)
+	cs, _, err := jp2k.Encode(im, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func indexCases() []jp2k.Options {
+	return []jp2k.Options{
+		{Kernel: dwt.Rev53, Levels: 3},
+		{Kernel: dwt.Rev53, TileW: 64, TileH: 96, CBW: 32, CBH: 16, Levels: 3},
+		{Kernel: dwt.Irr97, LayerBPP: []float64{0.25, 0.5, 1.0}, TileW: 100, TileH: 90},
+	}
+}
+
+// TestIndexSpansPartitionTileBodies asserts the fundamental index invariant:
+// per tile, the located packets are contiguous in LRCP order and exactly
+// partition the tile-part body — no gap, no overlap, no trailing bytes.
+func TestIndexSpansPartitionTileBodies(t *testing.T) {
+	for ci, o := range indexCases() {
+		cs := encodeTestStream(t, o)
+		ix, err := t2.BuildIndex(cs)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		p := ix.Params
+		ntx, nty := p.NumTiles()
+		if ix.NumTiles() != ntx*nty {
+			t.Fatalf("case %d: %d tiles indexed, grid %dx%d", ci, ix.NumTiles(), ntx, nty)
+		}
+		for ti, tile := range ix.Tiles {
+			if len(tile.Packets) != p.Layers {
+				t.Fatalf("case %d tile %d: %d layers indexed, want %d", ci, ti, len(tile.Packets), p.Layers)
+			}
+			pos := 0
+			for li, spans := range tile.Packets {
+				if len(spans) != p.Levels+1 {
+					t.Fatalf("case %d tile %d layer %d: %d resolutions, want %d", ci, ti, li, len(spans), p.Levels+1)
+				}
+				for r, s := range spans {
+					if s.Off != pos {
+						t.Fatalf("case %d tile %d layer %d res %d: off %d, want %d", ci, ti, li, r, s.Off, pos)
+					}
+					if s.Len < 0 {
+						t.Fatalf("case %d tile %d layer %d res %d: negative length", ci, ti, li, r)
+					}
+					pos = s.End()
+				}
+			}
+			if pos != len(tile.Body) {
+				t.Fatalf("case %d tile %d: packets cover %d of %d body bytes", ci, ti, pos, len(tile.Body))
+			}
+		}
+	}
+}
+
+// TestIndexCodestreamPrefix asserts the layer-truncation primitive: the
+// re-emitted stream with n layers must decode bit-identically to decoding
+// the original with MaxLayers n — the embedded-stream property, now
+// exercised end to end through the index.
+func TestIndexCodestreamPrefix(t *testing.T) {
+	cs := encodeTestStream(t, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{0.125, 0.5, 1.0}, TileW: 100, TileH: 90,
+	})
+	ix, err := t2.BuildIndex(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= ix.Params.Layers; n++ {
+		pre := ix.CodestreamPrefix(n)
+		if n < ix.Params.Layers && len(pre) >= len(cs) {
+			t.Fatalf("layers=%d: prefix (%d bytes) not smaller than original (%d)", n, len(pre), len(cs))
+		}
+		got, err := jp2k.Decode(pre, jp2k.DecodeOptions{})
+		if err != nil {
+			t.Fatalf("layers=%d: decoding prefix: %v", n, err)
+		}
+		want, err := jp2k.Decode(cs, jp2k.DecodeOptions{MaxLayers: n})
+		if err != nil {
+			t.Fatalf("layers=%d: decoding original: %v", n, err)
+		}
+		if !raster.Equal(got, want) {
+			t.Fatalf("layers=%d: truncated stream decodes differently from MaxLayers", n)
+		}
+	}
+}
+
+// TestIndexByteAccounting checks RegionBytes/LayerPrefixLen consistency and
+// monotonicity: more layers or more resolutions never cost fewer bytes, and
+// the full request equals the whole stream's packet payload.
+func TestIndexByteAccounting(t *testing.T) {
+	cs := encodeTestStream(t, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{0.25, 1.0}, TileW: 64, TileH: 96, Levels: 3,
+	})
+	ix, err := t2.BuildIndex(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, ix.NumTiles())
+	for i := range all {
+		all[i] = i
+	}
+	if got, want := ix.RegionBytes(all, 0, 0), ix.TotalBytes(); got != want {
+		t.Fatalf("full region costs %d bytes, stream carries %d", got, want)
+	}
+	prev := -1
+	for layers := 1; layers <= ix.Params.Layers; layers++ {
+		n := ix.RegionBytes(all, 0, layers)
+		if n < prev {
+			t.Fatalf("layers=%d: %d bytes < layers=%d's %d", layers, n, layers-1, prev)
+		}
+		prev = n
+	}
+	prev = 1 << 62
+	for discard := 0; discard <= ix.Params.Levels; discard++ {
+		n := ix.RegionBytes(all, discard, 0)
+		if n > prev {
+			t.Fatalf("discard=%d: %d bytes > discard=%d's %d", discard, n, discard-1, prev)
+		}
+		prev = n
+	}
+	for ti := range ix.Tiles {
+		if got, want := ix.LayerPrefixLen(ti, ix.Params.Layers), len(ix.Tiles[ti].Body); got != want {
+			t.Fatalf("tile %d: full layer prefix %d != body %d", ti, got, want)
+		}
+	}
+}
+
+// TestIndexRobustness: corrupted and truncated streams must yield errors,
+// never panics or absurd allocations.
+func TestIndexRobustness(t *testing.T) {
+	cs := encodeTestStream(t, jp2k.Options{Kernel: dwt.Rev53, TileW: 64, TileH: 96, Levels: 3})
+	try := func(data []byte, label string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: BuildIndex panicked: %v", label, r)
+			}
+		}()
+		_, _ = t2.BuildIndex(data)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), cs...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		try(mut, "flip")
+	}
+	for trial := 0; trial < 100; trial++ {
+		try(cs[:rng.Intn(len(cs))], "truncate")
+	}
+	if _, err := t2.BuildIndex(nil); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}

@@ -193,7 +193,9 @@ type TileCoder struct {
 	blockBase []int // global block id of each band's first block
 	nblocks   int
 	hw        *bitio.StuffWriter // reusable packet-header writer
+	hr        bitio.StuffReader  // reusable packet-header reader
 	body      []byte             // reusable packet-body buffer
+	pend      []pendingSeg       // reusable decode-side body segment list
 }
 
 // NewTileCoder builds coding state for one tile's band geometry.
@@ -368,12 +370,35 @@ func (tc *TileCoder) EncodeTilePackets(bands []BandBlocks, levels int, layers []
 // carries the grid geometry and Mb per band (Blocks entries are ignored).
 // Returns per-global-block accumulated segments and the bytes consumed.
 func DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte) ([]DecodedBlock, int, error) {
-	tc := newTileCoder(bands)
-	dec := make([]DecodedBlock, tc.nblocks)
+	return newTileCoder(bands).DecodeTilePackets(bands, levels, nlayers, data, nil)
+}
+
+// DecodeTilePackets is the pooled form: the coder is Reset over the tile's
+// band geometry and dec (which may be a recycled slice from a previous tile)
+// is regrown to the tile's block count with each block's Data capacity
+// retained, so steady-state decoding of same-shaped tiles performs no
+// per-packet allocations. Returns the (possibly regrown) dec slice and the
+// bytes consumed.
+func (tc *TileCoder) DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte, dec []DecodedBlock) ([]DecodedBlock, int, error) {
+	tc.Reset(bands)
+	if cap(dec) < tc.nblocks {
+		grown := make([]DecodedBlock, tc.nblocks)
+		for i := range dec {
+			grown[i].Data = dec[i].Data // keep warmed byte buffers
+		}
+		dec = grown
+	} else {
+		dec = dec[:tc.nblocks]
+	}
+	for i := range dec {
+		dec[i].Passes = 0
+		dec[i].NumBitplanes = 0
+		dec[i].Data = dec[i].Data[:0]
+	}
 	pos := 0
 	for li := 0; li < nlayers; li++ {
 		for r := 0; r <= levels; r++ {
-			n, err := tc.decodePacket(bands, dwt.BandsOfResolution(levels, r), li, data[pos:], dec)
+			n, err := tc.decodePacket(bands, dwt.BandsOfResolution(levels, r), li, data[pos:], dec, true)
 			if err != nil {
 				return nil, 0, fmt.Errorf("t2: layer %d resolution %d: %w", li, r, err)
 			}
@@ -383,13 +408,24 @@ func DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte) ([]
 	return dec, pos, nil
 }
 
+// pendingSeg records one block's body segment within a packet, discovered
+// during the header walk and consumed after Terminate.
+type pendingSeg struct {
+	id     int
+	segLen int
+}
+
 // decodePacket parses one packet for (layer, resolution), appending segment
 // bytes and pass counts to dec (indexed by global block id). NumBitplanes of
-// first-included blocks is stored into dec. Returns the bytes consumed.
+// first-included blocks is stored into dec. With copyBody false the body
+// bytes are skipped rather than accumulated — the header-only walk the
+// codestream Index uses to locate packet boundaries without touching block
+// payloads. Returns the bytes consumed.
 func (tc *TileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
-	layer int, data []byte, dec []decodedBlock) (int, error) {
+	layer int, data []byte, dec []decodedBlock, copyBody bool) (int, error) {
 
-	r := bitio.NewStuffReader(data)
+	r := &tc.hr
+	r.Reset(data)
 	bit, err := r.ReadBit()
 	if err != nil {
 		return 0, fmt.Errorf("t2: packet empty-bit: %w", err)
@@ -397,11 +433,7 @@ func (tc *TileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
 	if bit == 0 {
 		return r.Terminate()
 	}
-	type pending struct {
-		id     int
-		segLen int
-	}
-	var body []pending
+	body := tc.pend[:0]
 	for _, bi := range bandIdx {
 		b := bands[bi]
 		st := tc.states[bi]
@@ -453,20 +485,23 @@ func (tc *TileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
 			if err != nil {
 				return 0, err
 			}
-			body = append(body, pending{id: id, segLen: int(segLen)})
+			body = append(body, pendingSeg{id: id, segLen: int(segLen)})
 			st.passesCum[k] += np
 			dec[id].Passes += np
 		}
 	}
+	tc.pend = body // keep the grown capacity for the next packet
 	pos, err := r.Terminate()
 	if err != nil {
 		return 0, err
 	}
 	for _, p := range body {
-		if pos+p.segLen > len(data) {
+		if p.segLen < 0 || pos+p.segLen > len(data) {
 			return 0, fmt.Errorf("t2: packet body truncated: need %d bytes at %d of %d", p.segLen, pos, len(data))
 		}
-		dec[p.id].Data = append(dec[p.id].Data, data[pos:pos+p.segLen]...)
+		if copyBody {
+			dec[p.id].Data = append(dec[p.id].Data, data[pos:pos+p.segLen]...)
+		}
 		pos += p.segLen
 	}
 	return pos, nil
