@@ -328,6 +328,56 @@ func BenchmarkDecodeOneShot(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeColor is the multi-component analogue of
+// BenchmarkEncodeWorkers: a Csiz=3 MCT encode through one pooled Encoder, so
+// allocs/op reports the steady state of the component x tile pipeline
+// (ROADMAP budget: within 2x of 3x the single-component baseline).
+func BenchmarkEncodeColor(b *testing.B) {
+	im := benchImage()
+	pl := raster.RGB(im, raster.Synthetic(im.Width, im.Height, 2), raster.Synthetic(im.Width, im.Height, 3))
+	for _, w := range []int{1, 4} {
+		b.Run(byName("w", w), func(b *testing.B) {
+			opts := jp2k.Options{
+				Kernel: dwt.Irr97, MCT: true, LayerBPP: []float64{1.0},
+				Workers: w, VertMode: dwt.VertBlocked,
+			}
+			enc := jp2k.NewEncoder()
+			b.SetBytes(int64(3 * im.Width * im.Height))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := enc.EncodePlanar(pl, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeColor decodes the Csiz=3 stream through one pooled Decoder:
+// the steady state a color tile server sees.
+func BenchmarkDecodeColor(b *testing.B) {
+	im := benchImage()
+	pl := raster.RGB(im, raster.Synthetic(im.Width, im.Height, 2), raster.Synthetic(im.Width, im.Height, 3))
+	cs, _, err := jp2k.EncodePlanar(pl, jp2k.Options{Kernel: dwt.Irr97, MCT: true, LayerBPP: []float64{1.0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(byName("w", w), func(b *testing.B) {
+			dec := jp2k.NewDecoder()
+			opts := jp2k.DecodeOptions{Workers: w, VertMode: dwt.VertBlocked}
+			b.SetBytes(int64(3 * im.Width * im.Height))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodePlanar(cs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDecodeRegion measures windowed decoding out of a tiled stream:
 // the viewport case the serving subsystem is built around. The window spans
 // 2x2 of the 4x4 tile grid, so roughly 1/4 of the stream is decoded.

@@ -1,7 +1,7 @@
 // Command pj2kdec decompresses a JPEG2000 codestream produced by pj2kenc
-// back into a PGM image.
+// back into a PGM (grayscale) or PPM (color, for Csiz=3 streams) image.
 //
-//	pj2kdec -in image.j2k -out image.pgm [-layers 0] [-reduce 0] [-workers 0]
+//	pj2kdec -in image.j2k -out image.pgm|image.ppm [-layers 0] [-reduce 0] [-workers 0]
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input codestream file")
-	out := flag.String("out", "", "output PGM file")
+	out := flag.String("out", "", "output PGM (1 component) or PPM (3 components) file")
 	layers := flag.Int("layers", 0, "decode only the first N quality layers (0 = all)")
 	reduce := flag.Int("reduce", 0, "discard the N highest resolution levels, decoding at 1/2^N scale")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
@@ -31,7 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	im, err := jp2k.Decode(data, jp2k.DecodeOptions{
+	pl, err := jp2k.DecodePlanar(data, jp2k.DecodeOptions{
 		MaxLayers:     *layers,
 		DiscardLevels: *reduce,
 		Workers:       *workers,
@@ -44,15 +44,23 @@ func main() {
 	if *depth > 8 {
 		maxval = 1<<uint(*depth) - 1
 	} else {
-		im.ClampTo8()
+		pl.ClampTo8()
 	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := raster.WritePGM(f, im, maxval); err != nil {
+	switch pl.NComp() {
+	case 1:
+		err = raster.WritePGM(f, pl.Comps[0], maxval)
+	case 3:
+		err = raster.WritePPM(f, pl, maxval)
+	default:
+		err = fmt.Errorf("pj2kdec: no PNM format for %d components", pl.NComp())
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: %dx%d decoded\n", *out, im.Width, im.Height)
+	fmt.Printf("%s: %dx%dx%d decoded\n", *out, pl.Width(), pl.Height(), pl.NComp())
 }

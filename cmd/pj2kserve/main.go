@@ -62,8 +62,8 @@ func main() {
 	for _, id := range store.IDs() {
 		img, _ := store.Get(id)
 		p := img.Params()
-		log.Printf("serving %q: %dx%d, %d tiles, %d levels, %d layers, %d bytes",
-			id, p.Width, p.Height, img.Index.NumTiles(), p.Levels, p.Layers, len(img.Data))
+		log.Printf("serving %q: %dx%d, %d components, %d tiles, %d levels, %d layers, %d bytes",
+			id, p.Width, p.Height, p.Components(), img.Index.NumTiles(), p.Levels, p.Layers, len(img.Data))
 	}
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {

@@ -1,7 +1,10 @@
 // Color example: three-component coding with the inter-component transforms
 // of the paper's Fig. 1 pipeline — the reversible color transform (RCT) for
 // lossless RGB and the YCbCr rotation (ICT) for lossy coding — plus
-// region-of-interest coding and resolution-scalable decoding.
+// region-of-interest coding and resolution-scalable decoding. Color images
+// are standard Csiz=3 codestreams (EncodeColor wraps EncodePlanar with MCT
+// on), so every single-codestream capability — windowed decode, layer
+// truncation, the serving subsystem — works on them directly.
 package main
 
 import (

@@ -1,9 +1,10 @@
 // Serving example: the full progressive image-serving pipeline in one
-// process. Encodes a tiled image, registers it with the serve subsystem,
-// starts an HTTP server, and then plays the requests a zoomable viewer
-// would issue — a thumbnail, a viewport at full resolution, the same
-// viewport again (cache hit), and a layer-truncated codestream for a client
-// that decodes locally — printing what each request cost the server.
+// process. Encodes a tiled grayscale image and a tiled color (Csiz=3) image,
+// registers both with the serve subsystem, starts an HTTP server, and then
+// plays the requests a zoomable viewer would issue — a thumbnail, a viewport
+// at full resolution, the same viewport again (cache hit), a color viewport
+// served as PPM, and a layer-truncated codestream for a client that decodes
+// locally — printing what each request cost the server.
 //
 // Run with: go run ./examples/serve
 package main
@@ -39,8 +40,33 @@ func main() {
 	fmt.Printf("encoded %dx%d: %d bytes (%.3f bpp), %d code-blocks\n",
 		im.Width, im.Height, stats.Bytes, stats.BPP, stats.CodeBlocks)
 
+	// A color companion: three correlated planes as one standard Csiz=3
+	// codestream (MCT on), tiled the same way. The serve layer treats it
+	// exactly like the grayscale stream — windows just come back as PPM.
+	g := raster.Synthetic(1024, 1024, 4712)
+	r, b := g.Clone(), g.Clone()
+	for i := range g.Pix {
+		r.Pix[i] = min(255, g.Pix[i]+int32(i%31))
+		b.Pix[i] = max(0, g.Pix[i]-int32(i%23))
+	}
+	colorCS, colorStats, err := jp2k.EncodePlanar(raster.RGB(r, g, b), jp2k.Options{
+		Kernel:   dwt.Irr97,
+		MCT:      true,
+		LayerBPP: []float64{0.25, 1.0},
+		TileW:    256, TileH: 256,
+		VertMode: dwt.VertBlocked,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded color %dx%dx3: %d bytes (%.3f bpp)\n",
+		g.Width, g.Height, colorStats.Bytes, colorStats.BPP)
+
 	store := serve.NewStore()
 	if _, err := store.Add("demo", cs); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Add("demo-color", colorCS); err != nil {
 		log.Fatal(err)
 	}
 	srv := serve.New(store, serve.Options{CacheBytes: 64 << 20})
@@ -90,7 +116,14 @@ func main() {
 	fmt.Printf("viewport 400x400 warm: %v (tile decodes unchanged: %d)\n",
 		el.Round(time.Microsecond), srv.TileDecodes())
 
-	// 5. Progressive refinement for a remote decoder: a valid codestream
+	// 5. A color viewport: the same window protocol against the Csiz=3
+	// stream; the response is binary PPM and the packet accounting covers
+	// all three components.
+	body, el, hdr = get("/img/demo-color?x0=300&y0=300&x1=700&y1=700")
+	fmt.Printf("color viewport 400x400: %d bytes of PPM in %v (packet bytes: %s)\n",
+		len(body), el.Round(time.Microsecond), hdr.Get("X-PJ2K-Packet-Bytes"))
+
+	// 6. Progressive refinement for a remote decoder: a valid codestream
 	// holding only the first quality layer, sliced from the packet index.
 	body, el, _ = get("/img/demo/stream?layers=1")
 	lowQ, err := jp2k.Decode(body, jp2k.DecodeOptions{})
@@ -100,7 +133,7 @@ func main() {
 	fmt.Printf("layer-1 stream: %d of %d bytes in %v, decodes to %dx%d\n",
 		len(body), len(cs), el.Round(time.Microsecond), lowQ.Width, lowQ.Height)
 
-	// 6. The server's own accounting.
+	// 7. The server's own accounting.
 	body, _, _ = get("/stats")
 	fmt.Printf("\nstats:\n%s", body)
 }

@@ -10,109 +10,43 @@ import (
 	"pj2k/internal/t2"
 )
 
-// colorMagic heads the three-component container: the three component
-// codestreams (Y, Cb, Cr after the inter-component transform) are stored
-// back to back with a small directory. The inter-component transform and
-// per-component coding follow the standard; the container framing is this
-// library's own (a standard single-codestream multi-component layout is
-// future work, documented in DESIGN.md).
+// colorMagic headed the retired three-codestream color container (three
+// component codestreams stored back to back behind a small directory).
+// EncodeColor now emits standard Csiz=3 codestreams; the magic remains so
+// DecodeColor can keep reading containers produced by earlier releases.
 var colorMagic = [4]byte{'P', 'J', '2', 'C'}
 
-// chromaShare is the fraction of the byte budget given to each chroma
-// component under lossy color coding; luma carries most of the perceptual
-// weight.
-const chromaShare = 0.15
-
-// EncodeColor compresses an RGB image (three equally sized planes). With
+// EncodeColor compresses an RGB image (three equally sized planes) into a
+// standard Csiz=3 codestream with the inter-component transform applied. With
 // Kernel Rev53 the reversible color transform is used and the result is
 // lossless; with Irr97 the YCbCr rotation is applied and LayerBPP gives the
-// total bitrate across components.
+// total bitrate across components (split luma-heavy, as the retired color
+// container did). Thin wrapper over Encoder.EncodePlanar with MCT on.
 func EncodeColor(r, g, b *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
-	o := opts.withDefaults()
-	if r.Width != g.Width || r.Width != b.Width || r.Height != g.Height || r.Height != b.Height {
-		return nil, nil, fmt.Errorf("jp2k: component size mismatch")
-	}
-	shift := int32(1) << uint(o.BitDepth-1)
-	comps := [3]*raster.Image{r.Clone(), g.Clone(), b.Clone()}
-	for _, c := range comps {
-		for i := range c.Pix {
-			c.Pix[i] -= shift
-		}
-	}
-	if o.Kernel == dwt.Rev53 {
-		if err := mct.ForwardRCT(comps[0], comps[1], comps[2], o.Workers); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		fr := planeToFloat(comps[0])
-		fg := planeToFloat(comps[1])
-		fb := planeToFloat(comps[2])
-		mct.ForwardICT(fr, fg, fb, o.Workers)
-		floatToPlane(fr, comps[0])
-		floatToPlane(fg, comps[1])
-		floatToPlane(fb, comps[2])
-	}
-	// Re-apply the level shift so the per-component encoder (which shifts
-	// unsigned input) sees what it expects; chroma simply rides along with
-	// a wider effective range, which the transform and tier-1 handle.
-	for _, c := range comps {
-		for i := range c.Pix {
-			c.Pix[i] += shift
-		}
-	}
-
-	perComp := o
-	var budgets [3][]float64
-	if len(o.LayerBPP) > 0 {
-		for li, bpp := range o.LayerBPP {
-			_ = li
-			budgets[0] = append(budgets[0], bpp*(1-2*chromaShare))
-			budgets[1] = append(budgets[1], bpp*chromaShare)
-			budgets[2] = append(budgets[2], bpp*chromaShare)
-		}
-	}
-
-	total := &EncodeStats{}
-	var streams [3][]byte
-	enc := NewEncoder() // one pooled pipeline shared by the three components
-	for ci, c := range comps {
-		if len(o.LayerBPP) > 0 {
-			perComp.LayerBPP = budgets[ci]
-		}
-		cs, st, err := enc.Encode(c, perComp)
-		if err != nil {
-			return nil, nil, fmt.Errorf("jp2k: component %d: %w", ci, err)
-		}
-		streams[ci] = cs
-		total.CodeBlocks += st.CodeBlocks
-		total.Timings.Setup += st.Timings.Setup
-		total.Timings.IntraComp += st.Timings.IntraComp
-		total.Timings.Quant += st.Timings.Quant
-		total.Timings.Tier1 += st.Timings.Tier1
-		total.Timings.RateAlloc += st.Timings.RateAlloc
-		total.Timings.Tier2 += st.Timings.Tier2
-		total.Timings.StreamIO += st.Timings.StreamIO
-	}
-	out := make([]byte, 0, 16+len(streams[0])+len(streams[1])+len(streams[2]))
-	out = append(out, colorMagic[:]...)
-	for _, s := range streams {
-		var l [4]byte
-		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
-		out = append(out, l[:]...)
-	}
-	for _, s := range streams {
-		out = append(out, s...)
-	}
-	total.Bytes = len(out)
-	total.BPP = float64(len(out)) * 8 / float64(r.Width*r.Height)
-	return out, total, nil
+	opts.MCT = true
+	return EncodePlanar(raster.RGB(r, g, b), opts)
 }
 
-// DecodeColor reconstructs the three RGB planes from an EncodeColor stream.
+// DecodeColor reconstructs the three RGB planes of a color codestream. It
+// accepts both standard Csiz=3 streams (from EncodeColor / EncodePlanar with
+// MCT) and the legacy PJ2C container of earlier releases.
 func DecodeColor(data []byte, opts DecodeOptions) (r, g, b *raster.Image, err error) {
-	if len(data) < 16 || [4]byte(data[:4]) != colorMagic {
-		return nil, nil, nil, fmt.Errorf("jp2k: not a color container")
+	if len(data) >= 16 && [4]byte(data[:4]) == colorMagic {
+		return decodeLegacyColor(data, opts)
 	}
+	pl, err := DecodePlanar(data, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if pl.NComp() != 3 {
+		return nil, nil, nil, fmt.Errorf("jp2k: %d-component stream is not a color image", pl.NComp())
+	}
+	return pl.Comps[0], pl.Comps[1], pl.Comps[2], nil
+}
+
+// decodeLegacyColor reads the retired PJ2C container: three independent
+// component codestreams decoded separately, then rotated back to RGB.
+func decodeLegacyColor(data []byte, opts DecodeOptions) (r, g, b *raster.Image, err error) {
 	var lens [3]int
 	pos := 4
 	totalLen := 16
@@ -171,12 +105,7 @@ func DecodeColor(data []byte, opts DecodeOptions) (r, g, b *raster.Image, err er
 
 func planeToFloat(im *raster.Image) []float64 {
 	out := make([]float64, im.Width*im.Height)
-	for y := 0; y < im.Height; y++ {
-		row := im.Row(y)
-		for x, v := range row {
-			out[y*im.Width+x] = float64(v)
-		}
-	}
+	imageToFloat(im, out)
 	return out
 }
 

@@ -61,3 +61,17 @@ func Decode(data []byte, opts DecodeOptions) (*raster.Image, error) {
 func DecodeRegion(data []byte, region Rect, opts DecodeOptions) (*raster.Image, error) {
 	return NewDecoder().DecodeRegion(data, region, opts)
 }
+
+// DecodePlanar reconstructs every component of a codestream (inverting the
+// inter-component transform when flagged). One-shot wrapper over a throwaway
+// Decoder; see Decoder.DecodePlanar.
+func DecodePlanar(data []byte, opts DecodeOptions) (*raster.Planar, error) {
+	return NewDecoder().DecodePlanar(data, opts)
+}
+
+// DecodeRegionPlanar decodes only the window of a (possibly multi-component)
+// image that intersects region. One-shot wrapper over a throwaway Decoder;
+// see Decoder.DecodeRegionPlanar.
+func DecodeRegionPlanar(data []byte, region Rect, opts DecodeOptions) (*raster.Planar, error) {
+	return NewDecoder().DecodeRegionPlanar(data, region, opts)
+}

@@ -5,6 +5,7 @@ import (
 
 	"pj2k/internal/core"
 	"pj2k/internal/dwt"
+	"pj2k/internal/mct"
 	"pj2k/internal/quant"
 	"pj2k/internal/raster"
 	"pj2k/internal/t1"
@@ -48,18 +49,24 @@ func (r Rect) Intersect(o Rect) Rect {
 // Decoder is a reusable decode pipeline mirroring Encoder: it owns every
 // pooled buffer the decode hot loops need — per-worker tier-1 block decoders
 // and DWT scratch, per-tile tier-2 coding state, packet-segment accumulators
-// and coefficient planes — so repeated Decode/DecodeRegion calls reach a
-// steady state with near-zero heap allocations beyond the returned image.
-// Server workloads hold one Decoder per concurrent stream (or a sync.Pool of
-// them) and decode windows out of large codestreams without ever
-// reconstructing the full image.
+// and per-component coefficient planes — so repeated Decode/DecodeRegion
+// calls reach a steady state with near-zero heap allocations beyond the
+// returned image. Server workloads hold one Decoder per concurrent stream (or
+// a sync.Pool of them) and decode windows out of large codestreams without
+// ever reconstructing the full image.
+//
+// Multi-component codestreams decode natively: the packet walk de-interleaves
+// per-component packets per tile, tier-1 runs over every kept (tile,
+// component, block) job, and assembly + inverse transform parallelize over
+// the tile x component grid; the inverse inter-component transform is applied
+// when the stream's COD marker flags MCT.
 //
 // A Decoder is not safe for concurrent use; pooled state does not leak
 // between calls (output is bit-identical to the one-shot Decode function for
 // any worker count, and DecodeRegion is bit-identical to cropping a full
 // Decode).
 type Decoder struct {
-	scratch      []*dwt.Scratch // per outer (tile-level) worker
+	scratch      []*dwt.Scratch // per outer (unit-level) worker
 	scratchInner int
 	bds          []*t1.BlockDecoder // per block-level worker
 	tiles        []*tileDec
@@ -68,22 +75,34 @@ type Decoder struct {
 	blockErrs    []error
 	colW, rowH   []int
 	sel          []int
+	mctFloats    [][]float64 // pooled float planes for the inverse ICT
 }
 
-// decSlot is one kept (entropy-decoded) code-block of a tile.
+// decSlot is one kept (entropy-decoded) code-block of a tile component.
 type decSlot struct {
 	bi   int
 	rect t2.CBRect
-	id   int // global block id within the tile
+	id   int // component-local block id within the tile
 	vals []int32
 }
 
-// decJob addresses one kept block: selected-tile slot x block slot.
+// decJob addresses one kept block: selected-tile slot x component x block
+// slot.
 type decJob struct {
-	ti, si int
+	ti, ci, si int
 }
 
-// tileDec is the pooled per-tile decode state.
+// compDec is the pooled per-(tile, component) decode state.
+type compDec struct {
+	bands  []t2.BandBlocks
+	dec    []t2.DecodedBlock
+	slots  []decSlot
+	plane  *raster.Image // 5/3 coefficient plane
+	fplane *dwt.FPlane   // 9/7 coefficient plane
+}
+
+// tileDec is the pooled per-tile decode state: geometry shared across
+// components plus one compDec per component.
 type tileDec struct {
 	data     []byte // tile-part body (aliases the codestream)
 	w, h     int    // full-resolution tile dims
@@ -91,19 +110,18 @@ type tileDec struct {
 	ox, oy   int    // origin in the reduced image
 	subbands []dwt.Subband
 	gridKey  gridKey
-	bands    []t2.BandBlocks
-	dec      []t2.DecodedBlock
-	slots    []decSlot
+	ncomp    int
+	comps    []compDec
+	bandsV   [][]t2.BandBlocks  // per-component views for the packet walk
+	decV     [][]t2.DecodedBlock
 	tc       *t2.TileCoder
-	plane    *raster.Image // 5/3 coefficient plane
-	fplane   *dwt.FPlane   // 9/7 coefficient plane
 }
 
 // NewDecoder returns an empty Decoder; pooled buffers are sized on first use.
 func NewDecoder() *Decoder { return &Decoder{} }
 
 // ensureWorkers sizes the per-worker pools, mirroring Encoder.ensureWorkers:
-// outer tile-level workers each carry DWT scratch for inner within-tile
+// outer unit-level workers each carry DWT scratch for inner within-unit
 // workers; block-level workers carry tier-1 decoders.
 func (d *Decoder) ensureWorkers(outer, inner, block int) {
 	if inner > d.scratchInner {
@@ -118,31 +136,59 @@ func (d *Decoder) ensureWorkers(outer, inner, block int) {
 	}
 }
 
-// Decode reconstructs the full image from a codestream produced by Encode.
+// Decode reconstructs the full image from a single-component codestream.
 // With DiscardLevels > 0 the result is the 1/2^n-scale image carried by the
 // lower resolutions of the stream. The returned image is freshly allocated
-// and caller-owned.
+// and caller-owned. Multi-component streams are an error; use DecodePlanar.
 func (d *Decoder) Decode(data []byte, opts DecodeOptions) (*raster.Image, error) {
-	return d.decode(data, opts, nil)
+	pl, err := d.decode(data, opts, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Comps[0], nil
 }
 
-// DecodeRegion reconstructs only the requested window: tiles that do not
-// intersect region are neither entropy-decoded nor transformed, which is
-// what makes serving viewports out of a tiled gigapixel stream cheap. region
-// is expressed in the output grid of Decode at opts.DiscardLevels and is
-// clamped to the image; the result is bit-identical to cropping a full
-// Decode for any worker count.
+// DecodePlanar reconstructs all components of a codestream, inverting the
+// inter-component transform when the stream flags it. The returned planes are
+// freshly allocated and caller-owned.
+func (d *Decoder) DecodePlanar(data []byte, opts DecodeOptions) (*raster.Planar, error) {
+	return d.decode(data, opts, nil, false)
+}
+
+// DecodeRegion reconstructs only the requested window of a single-component
+// stream: tiles that do not intersect region are neither entropy-decoded nor
+// transformed, which is what makes serving viewports out of a tiled
+// gigapixel stream cheap. region is expressed in the output grid of Decode at
+// opts.DiscardLevels and is clamped to the image; the result is bit-identical
+// to cropping a full Decode for any worker count.
 func (d *Decoder) DecodeRegion(data []byte, region Rect, opts DecodeOptions) (*raster.Image, error) {
-	return d.decode(data, opts, &region)
+	pl, err := d.decode(data, opts, &region, true)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Comps[0], nil
 }
 
-func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster.Image, error) {
+// DecodeRegionPlanar is DecodeRegion for any component count: every component
+// of the window is reconstructed (the inverse inter-component transform is
+// per-pixel, so it applies cleanly to windows).
+func (d *Decoder) DecodeRegionPlanar(data []byte, region Rect, opts DecodeOptions) (*raster.Planar, error) {
+	return d.decode(data, opts, &region, false)
+}
+
+func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOnly bool) (*raster.Planar, error) {
 	p, tiles, err := t2.ReadCodestream(data)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.CheckGeometry(); err != nil {
 		return nil, err
+	}
+	ncomp := p.Components()
+	if singleOnly && ncomp != 1 {
+		// Reject before any tier-1 work: the single-plane entry points must
+		// not pay a full multi-component decode just to report an error.
+		return nil, fmt.Errorf("jp2k: %d-component stream; use DecodePlanar/DecodeRegionPlanar", ncomp)
 	}
 	nlayers := p.Layers
 	if opts.MaxLayers > 0 && opts.MaxLayers < nlayers {
@@ -191,13 +237,16 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 	}
 	d.sel = sel
 	nsel := len(sel)
-	out := raster.New(win.Dx(), win.Dy())
+	out := raster.NewPlanar(win.Dx(), win.Dy(), ncomp)
 
-	// Worker split, as in Encoder: tiles share the outer level; the inner
-	// level parallelizes the inverse transform inside each tile.
+	// Worker split, as in Encoder: the tier-2 packet walk parallelizes over
+	// selected tiles; assembly + inverse transform over the tile x component
+	// units.
 	workers := core.Workers(opts.Workers)
 	outerW := min(workers, max(nsel, 1))
-	innerW := workers / outerW
+	nunits := nsel * ncomp
+	outerA := min(workers, max(nunits, 1))
+	innerW := workers / outerA
 	if innerW < 1 {
 		innerW = 1
 	}
@@ -208,9 +257,9 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 	tileErrs := d.tileErrs
 	clear(tileErrs)
 
-	// --- Tier-2: walk each selected tile's packet headers and accumulate
-	// the code-block segments, in parallel across tiles with pooled per-tile
-	// coding state.
+	// --- Tier-2: walk each selected tile's packet headers (all components,
+	// LRCP-interleaved) and accumulate the code-block segments, in parallel
+	// across tiles with pooled per-tile coding state.
 	nbands := 1 + 3*p.Levels
 	core.RunTasksID(nsel, outerW, func(_, si int) {
 		ti := sel[si]
@@ -223,23 +272,37 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 		te.rtw, te.rth = reduceDim(te.w, discard), reduceDim(te.h, discard)
 		te.ox, te.oy = colW[tx], rowH[ty]
 
+		if len(te.comps) < ncomp {
+			te.comps = append(te.comps, make([]compDec, ncomp-len(te.comps))...)
+		}
+		te.bandsV = grow(te.bandsV, ncomp)
+		te.decV = grow(te.decV, ncomp)
 		key := gridKey{te.w, te.h, p.Levels, p.CBW, p.CBH}
-		if te.gridKey != key {
+		if te.gridKey != key || te.ncomp != ncomp {
 			te.gridKey = key
+			te.ncomp = ncomp
 			te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, p.Levels)
-			te.bands = grow(te.bands, nbands)
 			for bi, b := range te.subbands {
-				te.bands[bi] = t2.BandBlocks{Grid: t2.MakeGrid(b, p.CBW, p.CBH)}
+				g := t2.MakeGrid(b, p.CBW, p.CBH)
+				for ci := 0; ci < ncomp; ci++ {
+					cd := &te.comps[ci]
+					cd.bands = grow(cd.bands, nbands)
+					cd.bands[bi] = t2.BandBlocks{Grid: g}
+				}
 			}
 		}
-		for bi := range te.bands {
-			te.bands[bi].Mb = p.Mb[bi]
+		for ci := 0; ci < ncomp; ci++ {
+			cd := &te.comps[ci]
+			for bi := range cd.bands {
+				cd.bands[bi].Mb = p.Mb[ci][bi]
+			}
+			te.bandsV[ci] = cd.bands
+			te.decV[ci] = cd.dec
 		}
 		if te.tc == nil {
-			te.tc = t2.NewTileCoder(te.bands)
+			te.tc = t2.NewTileCoderComps(te.bandsV[:ncomp])
 		}
-		var err error
-		te.dec, _, err = te.tc.DecodeTilePackets(te.bands, p.Levels, nlayers, te.data, te.dec)
+		decV, _, err := te.tc.DecodeTileCompsPackets(te.bandsV[:ncomp], p.Levels, nlayers, te.data, te.decV[:ncomp])
 		if err != nil {
 			tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
 			return
@@ -248,15 +311,19 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 		// Enumerate the blocks to entropy-decode: bands of discarded
 		// resolutions were parsed (the packet walk needs their headers) but
 		// are skipped here.
-		te.slots = te.slots[:0]
-		id := 0
-		for bi := range te.bands {
-			keep := bi == 0 || te.subbands[bi].Level > discard
-			for _, r := range te.bands[bi].Grid.Rects {
-				if keep {
-					te.slots = append(te.slots, decSlot{bi: bi, rect: r, id: id})
+		for ci := 0; ci < ncomp; ci++ {
+			cd := &te.comps[ci]
+			cd.dec = decV[ci]
+			cd.slots = cd.slots[:0]
+			id := 0
+			for bi := range cd.bands {
+				keep := bi == 0 || te.subbands[bi].Level > discard
+				for _, r := range cd.bands[bi].Grid.Rects {
+					if keep {
+						cd.slots = append(cd.slots, decSlot{bi: bi, rect: r, id: id})
+					}
+					id++
 				}
-				id++
 			}
 		}
 	})
@@ -266,19 +333,21 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 		}
 	}
 
-	// --- Tier-1: every kept block of every selected tile, decoded in
-	// parallel under the staggered round-robin assignment with per-worker
+	// --- Tier-1: every kept block of every selected tile component, decoded
+	// in parallel under the staggered round-robin assignment with per-worker
 	// pooled BlockDecoders ("no synchronization is necessary due to the
 	// processing of independent code-blocks").
 	jobs := d.jobs[:0]
 	for si := 0; si < nsel; si++ {
-		for bs := range d.tiles[si].slots {
-			jobs = append(jobs, decJob{ti: si, si: bs})
+		for ci := 0; ci < ncomp; ci++ {
+			for bs := range d.tiles[si].comps[ci].slots {
+				jobs = append(jobs, decJob{ti: si, ci: ci, si: bs})
+			}
 		}
 	}
 	d.jobs = jobs
 	njobs := len(jobs)
-	d.ensureWorkers(outerW, innerW, min(workers, max(njobs, 1)))
+	d.ensureWorkers(outerA, innerW, min(workers, max(njobs, 1)))
 	for _, bd := range d.bds {
 		bd.Release()
 	}
@@ -287,26 +356,37 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 	clear(blockErrs)
 	core.RunTasksID(njobs, workers, func(worker, i int) {
 		te := d.tiles[jobs[i].ti]
-		s := &te.slots[jobs[i].si]
-		blk := &te.dec[s.id]
+		cd := &te.comps[jobs[i].ci]
+		s := &cd.slots[jobs[i].si]
+		blk := &cd.dec[s.id]
 		s.vals, blockErrs[i] = d.bds[worker].DecodeSegment(
 			s.rect.X1-s.rect.X0, s.rect.Y1-s.rect.Y0,
 			te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes)
 	})
 	for i, err := range blockErrs {
 		if err != nil {
-			return nil, fmt.Errorf("jp2k: tile %d block %d: %w", sel[jobs[i].ti], jobs[i].si, err)
+			return nil, fmt.Errorf("jp2k: tile %d component %d block %d: %w",
+				sel[jobs[i].ti], jobs[i].ci, jobs[i].si, err)
 		}
 	}
 
-	// --- Assembly + inverse transform per selected tile, parallel across
-	// tiles; the kept bands exactly tile the reduced coefficient plane, so
-	// the pooled planes need no clearing.
+	// --- Assembly + inverse transform per (selected tile, component) unit,
+	// parallel across units; the kept bands exactly tile the reduced
+	// coefficient plane, so the pooled planes need no clearing. For MCT
+	// streams the level shift is folded into the post-transform pass below
+	// instead of being added here only to be subtracted again.
 	shift := int32(1) << uint(p.BitDepth-1)
-	core.RunTasksID(nsel, outerW, func(worker, si int) {
-		te := d.tiles[si]
+	mctActive := p.MCT && ncomp == 3
+	outShift := shift
+	if mctActive {
+		outShift = 0
+	}
+	core.RunTasksID(nunits, outerA, func(worker, u int) {
+		te := d.tiles[u/ncomp]
+		ci := u % ncomp
+		cd := &te.comps[ci]
 		if p.ROIShift > 0 {
-			for _, s := range te.slots {
+			for _, s := range cd.slots {
 				unscaleROI(s.vals, p.ROIShift)
 			}
 		}
@@ -318,47 +398,70 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect) (*raster
 		lx0, ly0 := max(win.X0-te.ox, 0), max(win.Y0-te.oy, 0)
 		lx1, ly1 := min(win.X1-te.ox, te.rtw), min(win.Y1-te.oy, te.rth)
 		ox, oy := te.ox+lx0-win.X0, te.oy+ly0-win.Y0
+		dst := out.Comps[ci]
 		if p.Kernel == dwt.Rev53 {
-			te.plane = reuseImage(te.plane, te.rtw, te.rth)
-			for _, s := range te.slots {
+			cd.plane = reuseImage(cd.plane, te.rtw, te.rth)
+			for _, s := range cd.slots {
 				b := te.subbands[s.bi]
 				w := s.rect.X1 - s.rect.X0
 				for y := s.rect.Y0; y < s.rect.Y1; y++ {
-					copy(te.plane.Pix[(b.Y0+y)*te.plane.Stride+b.X0+s.rect.X0:(b.Y0+y)*te.plane.Stride+b.X0+s.rect.X1],
+					copy(cd.plane.Pix[(b.Y0+y)*cd.plane.Stride+b.X0+s.rect.X0:(b.Y0+y)*cd.plane.Stride+b.X0+s.rect.X1],
 						s.vals[(y-s.rect.Y0)*w:(y-s.rect.Y0+1)*w])
 				}
 			}
-			dwt.Inverse53(te.plane, keepLevels, st)
+			dwt.Inverse53(cd.plane, keepLevels, st)
 			for y := ly0; y < ly1; y++ {
-				src := te.plane.Row(y)[lx0:lx1]
-				dst := out.Pix[(oy+y-ly0)*out.Stride+ox : (oy+y-ly0)*out.Stride+ox+lx1-lx0]
+				src := cd.plane.Row(y)[lx0:lx1]
+				drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
 				for x, v := range src {
-					dst[x] = v + shift
+					drow[x] = v + outShift
 				}
 			}
 		} else {
-			te.fplane = reuseFPlane(te.fplane, te.rtw, te.rth)
-			fp := te.fplane
-			for _, s := range te.slots {
+			cd.fplane = reuseFPlane(cd.fplane, te.rtw, te.rth)
+			fp := cd.fplane
+			for _, s := range cd.slots {
 				b := te.subbands[s.bi]
 				w := s.rect.X1 - s.rect.X0
 				sub := dwt.Subband{X0: b.X0 + s.rect.X0, Y0: b.Y0 + s.rect.Y0, X1: b.X0 + s.rect.X1, Y1: b.Y0 + s.rect.Y1}
-				quant.Inverse(s.vals, w, sub, p.Steps[s.bi].Value(), fp.Data, fp.Stride, 1)
+				quant.Inverse(s.vals, w, sub, p.Steps[ci][s.bi].Value(), fp.Data, fp.Stride, 1)
 			}
 			dwt.Inverse97(fp, keepLevels, st)
 			for y := ly0; y < ly1; y++ {
 				src := fp.Data[y*fp.Stride+lx0 : y*fp.Stride+lx1]
-				dst := out.Pix[(oy+y-ly0)*out.Stride+ox : (oy+y-ly0)*out.Stride+ox+lx1-lx0]
+				drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
 				for x, v := range src {
 					if v >= 0 {
-						dst[x] = int32(v+0.5) + shift
+						drow[x] = int32(v+0.5) + outShift
 					} else {
-						dst[x] = int32(v-0.5) + shift
+						drow[x] = int32(v-0.5) + outShift
 					}
 				}
 			}
 		}
 	})
+
+	// --- Inverse inter-component transform, when the stream flags MCT: the
+	// decoded planes hold Y/Cb/Cr (assembled without the level shift); rotate
+	// back to RGB with the legacy color container's arithmetic (the rotation
+	// operates on the rounded integer samples) and apply the shift once.
+	if mctActive {
+		if p.Kernel == dwt.Rev53 {
+			if err := mct.InverseRCT(out.Comps[0], out.Comps[1], out.Comps[2], opts.Workers); err != nil {
+				return nil, err
+			}
+		} else {
+			rotateICT(out.Comps, &d.mctFloats, opts.Workers, mct.InverseICT)
+		}
+		for _, c := range out.Comps {
+			pix := c.Pix
+			core.ParallelFor(opts.Workers, len(pix), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					pix[i] += shift
+				}
+			})
+		}
+	}
 	return out, nil
 }
 

@@ -47,6 +47,13 @@ func Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
 	return NewEncoder().Encode(im, opts)
 }
 
+// EncodePlanar compresses a multi-component image into a single standard
+// Csiz=N codestream. One-shot wrapper over a throwaway Encoder; see
+// Encoder.EncodePlanar.
+func EncodePlanar(pl *raster.Planar, opts Options) ([]byte, *EncodeStats, error) {
+	return NewEncoder().EncodePlanar(pl, opts)
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

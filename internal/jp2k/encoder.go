@@ -6,6 +6,7 @@ import (
 
 	"pj2k/internal/core"
 	"pj2k/internal/dwt"
+	"pj2k/internal/mct"
 	"pj2k/internal/quant"
 	"pj2k/internal/raster"
 	"pj2k/internal/rate"
@@ -16,38 +17,56 @@ import (
 // Encoder is a reusable encode pipeline. It owns every pooled buffer the
 // pipeline's hot loops need — per-worker tier-1 coders and DWT scratch, the
 // per-tile coefficient planes, quantization arenas and tier-2 coding state,
-// and the rate-allocation scratch — so repeated Encode calls reach a steady
-// state with near-zero heap allocations. This is the per-process state the
-// paper's threads keep privately; server and streaming workloads hold one
-// Encoder per concurrent stream.
+// the inter-component transform planes and the rate-allocation scratch — so
+// repeated Encode/EncodePlanar calls reach a steady state with near-zero heap
+// allocations. This is the per-process state the paper's threads keep
+// privately; server and streaming workloads hold one Encoder per concurrent
+// stream.
+//
+// Multi-component images pipeline natively: the component x tile grid is the
+// parallel task axis for the transform, quantization and tier-1 stages, and
+// tier-2 interleaves per-component packets into standard Csiz=N codestreams.
 //
 // An Encoder is not safe for concurrent use; pooled state does not leak
 // between calls (output is bit-identical to the one-shot Encode function for
 // any worker count).
 type Encoder struct {
 	coders       []*t1.Coder    // per tier-1 worker
-	scratch      []*dwt.Scratch // per tile-level worker
+	scratch      []*dwt.Scratch // per unit-level worker
 	scratchInner int            // worker count each scratch was sized for
 	ralloc       rate.Allocator
 
-	tiles        []*tileEnc
-	origins      [][2]int
-	timings      []tileTiming
+	units        []*tileEnc      // per (component, tile): unit u = ci*ntiles + ti
+	tcoders      []*t2.TileCoder // per tile: multi-component packet assembly
+	origins      [][2]int        // per unit: tile origin in image coordinates
+	timings      []tileTiming    // per unit
 	jobs         []blockJob
 	results      []*t1.EncodedBlock
 	blockStreams []t2.BlockStream
 	rblocks      []rate.BlockPasses
 	rates        []int     // arena: per-pass cumulative rates (shared by rate and tier-2)
 	dists        []float64 // arena: per-pass weighted distortion deltas
-	mb           []int
+	mb           [][]int   // per component, per band
+	stepsPerComp [][]quant.Step
 	weights      []float64
 	bandsRef     []dwt.Subband
-	layersLocal  [][]int
+	compBase     []int // first global block id of each component (+ total)
+	compBands    [][]t2.BandBlocks
+	compLayers   [][][]int
+	tileBase     []int
+	compBytes    []int
+	allocs       []rate.Allocation
+	headerEst    []int
+	budgets      [][]int
 	tileStreams  [][]byte
+
+	mctPlanes []*raster.Image // pooled level-shifted inter-component planes
+	mctFloats [][]float64     // pooled float planes for the ICT rotation
+	one       [1]*raster.Image
 }
 
-// tileTiming collects one tile's stage timings so the parallel tile loop
-// writes without synchronization; the totals are summed afterwards.
+// tileTiming collects one unit's stage timings so the parallel loop writes
+// without synchronization; the totals are summed afterwards.
 type tileTiming struct {
 	dwt   dwt.Timings
 	intra time.Duration
@@ -78,8 +97,8 @@ func reuseImage(p *raster.Image, w, h int) *raster.Image {
 	return p
 }
 
-// ensureWorkers sizes the per-worker pools: outer tile-level workers, each
-// with DWT scratch for inner within-tile workers. Scratch sized for more
+// ensureWorkers sizes the per-worker pools: outer unit-level workers, each
+// with DWT scratch for inner within-unit workers. Scratch sized for more
 // workers than a call uses stays valid (unused slots are empty headers), so
 // the pool is only rebuilt when the inner count grows — shrinking Workers
 // between calls keeps every warm buffer.
@@ -103,10 +122,43 @@ func (e *Encoder) ensureCoders(n int) {
 // The returned codestream is freshly allocated and caller-owned; EncodeStats
 // is valid until the next call.
 func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
+	e.one[0] = im
+	out, stats, err := e.encode(e.one[:], opts)
+	e.one[0] = nil // do not pin the caller's image until the next call
+	return out, stats, err
+}
+
+// EncodePlanar compresses a multi-component image into a single standard
+// codestream with Csiz = NComp. With opts.MCT set (three components only) the
+// inter-component transform — the reversible color transform for the 5/3
+// kernel, the YCbCr rotation for 9/7 — is applied first and flagged in the
+// COD marker, and under lossy rate control the byte budget is split between
+// luma and chroma. All components share geometry and bit depth.
+func (e *Encoder) EncodePlanar(pl *raster.Planar, opts Options) ([]byte, *EncodeStats, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return e.encode(pl.Comps, opts)
+}
+
+// chromaShare is the fraction of the byte budget given to each chroma
+// component under lossy MCT coding; luma carries most of the perceptual
+// weight.
+const chromaShare = 0.15
+
+func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeStats, error) {
 	o := opts.withDefaults()
+	ncomp := len(comps)
+	if ncomp > t2.MaxComponents {
+		return nil, nil, fmt.Errorf("jp2k: %d components exceeds the %d limit", ncomp, t2.MaxComponents)
+	}
+	if o.MCT && ncomp != 3 {
+		return nil, nil, fmt.Errorf("jp2k: MCT needs exactly 3 components, have %d", ncomp)
+	}
 	if o.CBW > 64 || o.CBH > 64 || o.CBW < 4 || o.CBH < 4 {
 		return nil, nil, fmt.Errorf("jp2k: code-block size %dx%d out of range", o.CBW, o.CBH)
 	}
+	width, height := comps[0].Width, comps[0].Height
 	stats := &EncodeStats{}
 	// Reclaim the tier-1 arenas of the previous encode; every reference into
 	// them died with that call's tier-2 assembly.
@@ -114,66 +166,108 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 		co.Release()
 	}
 
-	// --- Pipeline setup: tiling and level shift.
+	// --- Inter-component transform (the first stage of the paper's Fig. 1
+	// pipeline): level-shift into pooled planes, rotate, and hand the shifted
+	// planes to the tiling stage. The float rotation rounds back to integer
+	// planes, matching the legacy color container's arithmetic exactly.
+	tMCT := time.Now()
+	shift := int32(1) << uint(o.BitDepth-1)
+	srcs := comps
+	srcShift := shift // subtracted during the tile copy
+	if o.MCT {
+		for len(e.mctPlanes) < 3 {
+			e.mctPlanes = append(e.mctPlanes, nil)
+		}
+		for ci, c := range comps {
+			p := reuseImage(e.mctPlanes[ci], width, height)
+			e.mctPlanes[ci] = p
+			core.ParallelFor(o.Workers, height, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					src := c.Row(y)
+					dst := p.Row(y)
+					for x, v := range src {
+						dst[x] = v - shift
+					}
+				}
+			})
+		}
+		if o.Kernel == dwt.Rev53 {
+			if err := mct.ForwardRCT(e.mctPlanes[0], e.mctPlanes[1], e.mctPlanes[2], o.Workers); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			rotateICT(e.mctPlanes[:3], &e.mctFloats, o.Workers, mct.ForwardICT)
+		}
+		srcs = e.mctPlanes[:3]
+		srcShift = 0
+	}
+	stats.Timings.InterComp = time.Since(tMCT)
+
+	// --- Pipeline setup: tiling and level shift, per component. Units
+	// enumerate the component x tile grid component-major, so each
+	// component's blocks stay contiguous for per-component rate allocation.
 	t0 := time.Now()
 	tileW, tileH := o.TileW, o.TileH
 	if tileW <= 0 || tileH <= 0 {
-		tileW, tileH = im.Width, im.Height
+		tileW, tileH = width, height
 	}
-	ntx := (im.Width + tileW - 1) / tileW
-	nty := (im.Height + tileH - 1) / tileH
+	ntx := (width + tileW - 1) / tileW
+	nty := (height + tileH - 1) / tileH
 	ntiles := ntx * nty
-	shift := int32(1) << uint(o.BitDepth-1)
-	for len(e.tiles) < ntiles {
-		e.tiles = append(e.tiles, &tileEnc{})
+	nunits := ncomp * ntiles
+	for len(e.units) < nunits {
+		e.units = append(e.units, &tileEnc{})
 	}
-	tiles := e.tiles[:ntiles]
-	e.origins = grow(e.origins, ntiles)
+	units := e.units[:nunits]
+	e.origins = grow(e.origins, nunits)
 	origins := e.origins
-	ti := 0
-	for ty := 0; ty < nty; ty++ {
-		for tx := 0; tx < ntx; tx++ {
-			x0, y0 := tx*tileW, ty*tileH
-			x1, y1 := min(x0+tileW, im.Width), min(y0+tileH, im.Height)
-			te := tiles[ti]
-			te.w, te.h = x1-x0, y1-y0
-			te.intPlane = reuseImage(te.intPlane, te.w, te.h)
-			for y := 0; y < te.h; y++ {
-				src := im.Pix[(y0+y)*im.Stride+x0 : (y0+y)*im.Stride+x1]
-				dst := te.intPlane.Row(y)
-				for x, v := range src {
-					dst[x] = v - shift
+	for ci, src := range srcs {
+		u := ci * ntiles
+		for ty := 0; ty < nty; ty++ {
+			for tx := 0; tx < ntx; tx++ {
+				x0, y0 := tx*tileW, ty*tileH
+				x1, y1 := min(x0+tileW, width), min(y0+tileH, height)
+				te := units[u]
+				te.w, te.h = x1-x0, y1-y0
+				te.intPlane = reuseImage(te.intPlane, te.w, te.h)
+				for y := 0; y < te.h; y++ {
+					srow := src.Pix[(y0+y)*src.Stride+x0 : (y0+y)*src.Stride+x1]
+					dst := te.intPlane.Row(y)
+					for x, v := range srow {
+						dst[x] = v - srcShift
+					}
 				}
+				te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, o.Levels)
+				origins[u] = [2]int{x0, y0}
+				u++
 			}
-			te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, o.Levels)
-			origins[ti] = [2]int{x0, y0}
-			ti++
 		}
 	}
 	stats.Timings.Setup = time.Since(t0)
 
 	// --- Intra-component transform (DWT) + quantization, parallel ACROSS
-	// tiles (the paper's Fig. 9 "improved" scaling): with several tiles each
-	// worker transforms whole tiles serially; a single tile is transformed
-	// with all workers cooperating inside it as before.
+	// the component x tile units (the paper's Fig. 9 "improved" scaling,
+	// widened by the component axis): with several units each worker
+	// transforms whole units serially; a single unit is transformed with all
+	// workers cooperating inside it as before.
 	outerW := o.Workers
-	if outerW > ntiles {
-		outerW = ntiles
+	if outerW > nunits {
+		outerW = nunits
 	}
 	innerW := o.Workers / outerW
 	if innerW < 1 {
 		innerW = 1
 	}
-	e.ensureWorkers(min(o.Workers, ntiles), innerW)
+	e.ensureWorkers(min(o.Workers, nunits), innerW)
 	var steps []quant.Step
 	if o.Kernel == dwt.Irr97 {
-		steps = quant.BandSteps(dwt.Irr97, im.Width, im.Height, o.Levels, o.BaseStep)
+		steps = quant.BandSteps(dwt.Irr97, width, height, o.Levels, o.BaseStep)
 	}
-	e.timings = grow(e.timings, ntiles)
+	e.timings = grow(e.timings, nunits)
 	nbands := 1 + 3*o.Levels
-	core.RunTasksID(ntiles, outerW, func(worker, ti int) {
-		te := tiles[ti]
-		tt := &e.timings[ti]
+	core.RunTasksID(nunits, outerW, func(worker, u int) {
+		te := units[u]
+		tt := &e.timings[u]
 		st := dwt.Strategy{
 			VertMode: o.VertMode, BlockWidth: o.VertBlockWidth,
 			Workers: innerW, Scratch: e.scratch[worker],
@@ -190,7 +284,7 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 		tt.intra = time.Since(tDWT)
 
 		// --- Quantization (9/7 only): per band into dense int32 views of
-		// the tile's pooled arena (bands partition the tile, so the arena is
+		// the unit's pooled arena (bands partition the tile, so the arena is
 		// exactly tile-sized).
 		tQ := time.Now()
 		key := gridKey{te.w, te.h, o.Levels, o.CBW, o.CBH}
@@ -226,8 +320,8 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 		}
 		tt.quant = time.Since(tQ)
 	})
-	for ti := range tiles {
-		tt := &e.timings[ti]
+	for u := range units {
+		tt := &e.timings[u]
 		stats.Timings.DWTDetail.Horizontal += tt.dwt.Horizontal
 		stats.Timings.DWTDetail.Vertical += tt.dwt.Vertical
 		stats.Timings.IntraComp += tt.intra
@@ -235,19 +329,19 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 	}
 
 	// --- ROI scaling (MAXSHIFT) between quantization and tier-1, as in the
-	// Fig. 1 pipeline.
+	// Fig. 1 pipeline; the shift applies uniformly across components.
 	roiShift := 0
 	if o.ROI != nil {
-		roiShift = applyROI(tiles, origins, *o.ROI, o)
+		roiShift = applyROI(units, origins, *o.ROI, o)
 	}
 
-	// --- Tier-1: gather every code-block of every tile, encode in parallel
+	// --- Tier-1: gather every code-block of every unit, encode in parallel
 	// with the paper's staggered round-robin worker assignment; each worker
 	// codes with its own pooled Coder ("no synchronization is necessary due
 	// to the processing of independent code-blocks").
 	tT1 := time.Now()
 	jobs := e.jobs[:0]
-	for _, te := range tiles {
+	for _, te := range units {
 		for bi, b := range te.subbands {
 			g := te.bands[bi].Grid
 			for _, r := range g.Rects {
@@ -280,9 +374,9 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 		results[i] = e.coders[worker].Encode(j.data, j.w, j.h, j.stride, j.band)
 	})
 	stats.CodeBlocks = nblocks
-	// Distribute results back to tiles in order.
+	// Distribute results back to units in order.
 	k := 0
-	for _, te := range tiles {
+	for _, te := range units {
 		n := 0
 		for bi := range te.bands {
 			n += len(te.bands[bi].Grid.Rects)
@@ -292,32 +386,36 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 	}
 	stats.Timings.Tier1 = time.Since(tT1)
 
-	// --- Mb per band index (global across tiles).
-	mb := grow(e.mb, nbands)
+	// --- Mb per (component, band) index (global across tiles).
+	mb := grow(e.mb, ncomp)
 	e.mb = mb
-	clear(mb)
-	for _, te := range tiles {
-		k := 0
-		for bi := range te.bands {
-			for range te.bands[bi].Grid.Rects {
-				if nbp := te.blocks[k].NumBitplanes; nbp > mb[bi] {
-					mb[bi] = nbp
+	for ci := 0; ci < ncomp; ci++ {
+		mb[ci] = grow(mb[ci], nbands)
+		clear(mb[ci])
+		for _, te := range units[ci*ntiles : (ci+1)*ntiles] {
+			k := 0
+			for bi := range te.bands {
+				for range te.bands[bi].Grid.Rects {
+					if nbp := te.blocks[k].NumBitplanes; nbp > mb[ci][bi] {
+						mb[ci][bi] = nbp
+					}
+					k++
 				}
-				k++
+			}
+		}
+		for bi := range mb[ci] {
+			if mb[ci][bi] == 0 {
+				mb[ci][bi] = 1
 			}
 		}
 	}
-	for bi := range mb {
-		if mb[bi] == 0 {
-			mb[bi] = 1
-		}
-	}
 
-	// --- Per-band R-D weights for the allocator.
+	// --- Per-band R-D weights for the allocator (geometry-derived, so shared
+	// by every component).
 	tRA := time.Now()
 	weights := grow(e.weights, nbands)
 	e.weights = weights
-	e.bandsRef = dwt.SubbandsAppend(e.bandsRef[:0], im.Width, im.Height, o.Levels)
+	e.bandsRef = dwt.SubbandsAppend(e.bandsRef[:0], width, height, o.Levels)
 	for bi, b := range e.bandsRef {
 		step := 1.0
 		if o.Kernel == dwt.Irr97 {
@@ -329,7 +427,8 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 
 	// --- BlockStream wiring and rate-allocator inputs, in one pass. The
 	// per-pass rate list is built once in the shared arena and aliased by
-	// both consumers.
+	// both consumers. Blocks stay component-major, so each component's
+	// allocator inputs are one contiguous slice.
 	totalPasses := 0
 	for _, eb := range results {
 		totalPasses += len(eb.Passes)
@@ -338,11 +437,16 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 	dists := grow(e.dists, totalPasses)[:0]
 	e.blockStreams = grow(e.blockStreams, nblocks)
 	e.rblocks = grow(e.rblocks, nblocks)
+	e.compBase = grow(e.compBase, ncomp+1)
 	k = 0
-	for _, te := range tiles {
-		kt := 0 // tile-local block index; k stays global for the arenas
+	for u, te := range units {
+		ci := u / ntiles
+		if u%ntiles == 0 {
+			e.compBase[ci] = k
+		}
+		kt := 0 // unit-local block index; k stays global for the arenas
 		for bi := range te.bands {
-			te.bands[bi].Mb = mb[bi]
+			te.bands[bi].Mb = mb[ci][bi]
 			for gi := range te.bands[bi].Grid.Rects {
 				eb := te.blocks[kt]
 				kt++
@@ -360,76 +464,128 @@ func (e *Encoder) Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, 
 			}
 		}
 	}
+	e.compBase[ncomp] = k
 	e.rates, e.dists = rates, dists
-	rblocks := e.rblocks
 
-	// --- Rate allocation (global across tiles).
-	npixels := im.Width * im.Height
-	var budgets []int
-	var alloc rate.Allocation
-	var headerEst int
-	if len(o.LayerBPP) == 0 {
-		// Single layer carrying every coding pass: PCRD hulls would drop
-		// zero-gain final passes, so build the full allocation directly.
-		budgets = []int{rate.TotalBytes(rblocks)}
-		alloc = rate.Allocation{NPasses: [][]int{make([]int, len(rblocks))}, BodyBytes: budgets}
-		for i := range rblocks {
-			alloc.NPasses[0][i] = len(rblocks[i].Rates)
+	// --- Rate allocation, per component (the legacy color container ran
+	// PCRD per component stream; keeping the same budgets, header estimate
+	// and adjustment policy keeps the decoded pixels identical). Under MCT
+	// the budget splits luma-heavy; other multi-component streams split
+	// evenly.
+	npixels := width * height
+	nlayers := len(o.LayerBPP)
+	if nlayers == 0 {
+		nlayers = 1
+	}
+	e.allocs = grow(e.allocs, ncomp)
+	e.headerEst = grow(e.headerEst, ncomp)
+	e.budgets = grow(e.budgets, ncomp)
+	for ci := 0; ci < ncomp; ci++ {
+		crb := e.rblocks[e.compBase[ci]:e.compBase[ci+1]]
+		if len(o.LayerBPP) == 0 {
+			// Single layer carrying every coding pass: PCRD hulls would drop
+			// zero-gain final passes, so build the full allocation directly.
+			np := make([]int, len(crb))
+			for i := range crb {
+				np[i] = len(crb[i].Rates)
+			}
+			e.allocs[ci] = rate.Allocation{NPasses: [][]int{np}, BodyBytes: []int{rate.TotalBytes(crb)}}
+			continue
 		}
-	} else {
+		share := 1.0
+		if ncomp > 1 {
+			if o.MCT {
+				share = chromaShare
+				if ci == 0 {
+					share = 1 - 2*chromaShare
+				}
+			} else {
+				share = 1 / float64(ncomp)
+			}
+		}
+		e.budgets[ci] = e.budgets[ci][:0]
 		for _, bpp := range o.LayerBPP {
-			budgets = append(budgets, int(bpp*float64(npixels)/8))
+			e.budgets[ci] = append(e.budgets[ci], int(bpp*share*float64(npixels)/8))
 		}
 		// Headers shrink the body budget; estimate, assemble, and adjust
 		// below until the stream fits (at most three rounds).
-		headerEst = 70 + ntiles*(14+len(budgets)*(o.Levels+1))
-		alloc = e.allocate(rblocks, budgets, headerEst)
+		e.headerEst[ci] = 70 + ntiles*(14+nlayers*(o.Levels+1))
+		e.allocs[ci] = e.allocate(crb, e.budgets[ci], e.headerEst[ci])
 	}
-	nlayers := len(budgets)
 	stats.Timings.RateAlloc = time.Since(tRA)
 
 	// --- Tier-2 packet assembly (+ final budget adjustment rounds), with
-	// per-tile pooled coding state and recycled stream buffers.
+	// per-tile pooled coding state and recycled stream buffers. Packets
+	// interleave components within each (layer, resolution) — the standard's
+	// LRCP progression.
 	tT2 := time.Now()
 	e.tileStreams = grow(e.tileStreams, ntiles)
 	tileStreams := e.tileStreams
-	e.layersLocal = grow(e.layersLocal, nlayers)
+	for len(e.tcoders) < ntiles {
+		e.tcoders = append(e.tcoders, nil)
+	}
+	e.compBands = grow(e.compBands, ncomp)
+	e.compLayers = grow(e.compLayers, ncomp)
+	for ci := range e.compLayers[:ncomp] {
+		e.compLayers[ci] = grow(e.compLayers[ci], nlayers)
+	}
+	e.tileBase = grow(e.tileBase, ncomp)
+	e.compBytes = grow(e.compBytes, ncomp)
+	compBytes := e.compBytes
 	for round := 0; ; round++ {
-		total := 0
-		base := 0
-		for ti, te := range tiles {
-			n := len(te.blocks)
-			layersLocal := e.layersLocal
-			for li := 0; li < nlayers; li++ {
-				layersLocal[li] = alloc.NPasses[li][base : base+n]
+		clear(compBytes)
+		clear(e.tileBase)
+		for ti := 0; ti < ntiles; ti++ {
+			for ci := 0; ci < ncomp; ci++ {
+				te := units[ci*ntiles+ti]
+				e.compBands[ci] = te.bands
+				n := len(te.blocks)
+				for li := 0; li < nlayers; li++ {
+					e.compLayers[ci][li] = e.allocs[ci].NPasses[li][e.tileBase[ci] : e.tileBase[ci]+n]
+				}
+				e.tileBase[ci] += n
 			}
-			if te.tcoder == nil {
-				te.tcoder = t2.NewTileCoder(te.bands)
+			if e.tcoders[ti] == nil {
+				e.tcoders[ti] = t2.NewTileCoderComps(e.compBands[:ncomp])
 			}
-			s := te.tcoder.EncodeTilePackets(te.bands, o.Levels, layersLocal, tileStreams[ti][:0])
+			s := e.tcoders[ti].EncodeTileCompsPackets(
+				e.compBands[:ncomp], o.Levels, e.compLayers[:ncomp], tileStreams[ti][:0], compBytes)
 			tileStreams[ti] = s
-			total += len(s)
-			base += n
 		}
 		if len(o.LayerBPP) == 0 || round >= 2 {
 			break
 		}
-		target := budgets[nlayers-1]
-		if total+headerEst <= target {
+		over := false
+		for ci := 0; ci < ncomp; ci++ {
+			target := e.budgets[ci][nlayers-1]
+			if compBytes[ci]+e.headerEst[ci] > target {
+				e.headerEst[ci] += compBytes[ci] + e.headerEst[ci] - target
+				crb := e.rblocks[e.compBase[ci]:e.compBase[ci+1]]
+				e.allocs[ci] = e.allocate(crb, e.budgets[ci], e.headerEst[ci])
+				over = true
+			}
+		}
+		if !over {
 			break
 		}
-		headerEst += total + headerEst - target
-		alloc = e.allocate(rblocks, budgets, headerEst)
 	}
 	stats.Timings.Tier2 = time.Since(tT2)
 
 	// --- Bitstream I/O.
 	tIO := time.Now()
+	var stepsAll [][]quant.Step
+	if o.Kernel == dwt.Irr97 {
+		e.stepsPerComp = grow(e.stepsPerComp, ncomp)
+		for ci := range e.stepsPerComp[:ncomp] {
+			e.stepsPerComp[ci] = steps
+		}
+		stepsAll = e.stepsPerComp[:ncomp]
+	}
 	params := t2.Params{
-		Width: im.Width, Height: im.Height, TileW: tileW, TileH: tileH,
-		BitDepth: o.BitDepth, Levels: o.Levels, Layers: nlayers,
-		CBW: o.CBW, CBH: o.CBH, Kernel: o.Kernel, GuardBits: 2,
-		Steps: steps, Mb: mb, ROIShift: roiShift,
+		Width: width, Height: height, TileW: tileW, TileH: tileH,
+		NComp: ncomp, BitDepth: o.BitDepth, Levels: o.Levels, Layers: nlayers,
+		CBW: o.CBW, CBH: o.CBH, MCT: o.MCT, Kernel: o.Kernel, GuardBits: 2,
+		Steps: stepsAll, Mb: mb[:ncomp], ROIShift: roiShift,
 	}
 	out := t2.WriteCodestream(params, tileStreams)
 	stats.Timings.StreamIO = time.Since(tIO)
@@ -449,4 +605,56 @@ func (e *Encoder) allocate(blocks []rate.BlockPasses, budgets []int, headerEst i
 		}
 	}
 	return e.ralloc.Allocate(blocks, adj)
+}
+
+// imageToFloat copies an image's visible samples into a dense float plane.
+func imageToFloat(im *raster.Image, dst []float64) {
+	for y := 0; y < im.Height; y++ {
+		row := im.Row(y)
+		for x, v := range row {
+			dst[y*im.Width+x] = float64(v)
+		}
+	}
+}
+
+// rotateICT applies the irreversible color rotation to three integer planes
+// in place: pooled float copies, the rotation, and the round-back, each
+// parallel over rows. The same helper serves the encoder (ForwardICT) and
+// decoder (InverseICT), so the legacy-compatible rounding arithmetic cannot
+// diverge between the two.
+func rotateICT(planes []*raster.Image, pool *[][]float64, workers int, rotate func(a, b, c []float64, workers int)) {
+	n := planes[0].Width * planes[0].Height
+	for len(*pool) < 3 {
+		*pool = append(*pool, nil)
+	}
+	fl := *pool
+	for ci := 0; ci < 3; ci++ {
+		fl[ci] = grow(fl[ci], n)
+		im, dst := planes[ci], fl[ci]
+		core.ParallelFor(workers, im.Height, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				row := im.Row(y)
+				for x, v := range row {
+					dst[y*im.Width+x] = float64(v)
+				}
+			}
+		})
+	}
+	rotate(fl[0], fl[1], fl[2], workers)
+	for ci := 0; ci < 3; ci++ {
+		src, im := fl[ci], planes[ci]
+		core.ParallelFor(workers, im.Height, func(lo, hi int) {
+			for y := lo; y < hi; y++ {
+				row := im.Row(y)
+				for x := range row {
+					v := src[y*im.Width+x]
+					if v >= 0 {
+						row[x] = int32(v + 0.5)
+					} else {
+						row[x] = int32(v - 0.5)
+					}
+				}
+			}
+		})
+	}
 }

@@ -39,6 +39,13 @@ type Options struct {
 	// Workers bounds the parallelism of the transform, quantization and
 	// tier-1 stages; <= 0 selects GOMAXPROCS, 1 is fully serial.
 	Workers int
+	// MCT applies the inter-component transform to a three-component
+	// EncodePlanar input (the reversible color transform for Rev53, the
+	// irreversible YCbCr rotation for Irr97) and flags it in the codestream's
+	// COD marker. Under lossy rate control the byte budget splits luma-heavy
+	// between the components. Setting it with any other component count
+	// (including single-component Encode) is an error.
+	MCT bool
 	// VertMode and VertBlockWidth select the vertical filtering strategy
 	// (the paper's original vs. improved filter).
 	VertMode       dwt.VertMode
@@ -85,6 +92,7 @@ func (o Options) withDefaults() Options {
 // times (CPU time), which can exceed the stage's wall-clock time.
 type StageTimings struct {
 	Setup     time.Duration // pipeline setup: buffers, level shift, tiling
+	InterComp time.Duration // inter-component (multiple-component) transform
 	IntraComp time.Duration // wavelet transform (intra-component transform)
 	DWTDetail dwt.Timings   // horizontal/vertical split of IntraComp
 	Quant     time.Duration // quantization (lossy path only)
@@ -96,7 +104,7 @@ type StageTimings struct {
 
 // Total sums all stages.
 func (s StageTimings) Total() time.Duration {
-	return s.Setup + s.IntraComp + s.Quant + s.Tier1 + s.RateAlloc + s.Tier2 + s.StreamIO
+	return s.Setup + s.InterComp + s.IntraComp + s.Quant + s.Tier1 + s.RateAlloc + s.Tier2 + s.StreamIO
 }
 
 // EncodeStats is returned alongside the codestream.

@@ -1,0 +1,121 @@
+package raster
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testPlanar(w, h int) *Planar {
+	pl := NewPlanar(w, h, 3)
+	for ci, c := range pl.Comps {
+		for y := 0; y < h; y++ {
+			row := c.Row(y)
+			for x := range row {
+				row[x] = int32((x*3 + y*5 + ci*7) % 256)
+			}
+		}
+	}
+	return pl
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	pl := testPlanar(33, 21)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, pl, 255); err != nil {
+		t.Fatal(err)
+	}
+	back, maxval, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxval != 255 || !PlanarEqual(pl, back) {
+		t.Fatal("8-bit PPM round trip failed")
+	}
+}
+
+func TestPPMRoundTrip16(t *testing.T) {
+	pl := NewPlanar(17, 9, 3)
+	for ci, c := range pl.Comps {
+		for i := range c.Pix {
+			c.Pix[i] = int32((i*331 + ci*1000) % 4096)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, pl, 4095); err != nil {
+		t.Fatal(err)
+	}
+	back, maxval, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxval != 4095 || !PlanarEqual(pl, back) {
+		t.Fatal("16-bit PPM round trip failed")
+	}
+}
+
+func TestReadPNMDispatch(t *testing.T) {
+	im := New(5, 4)
+	for i := range im.Pix {
+		im.Pix[i] = int32(i * 10)
+	}
+	var pgm bytes.Buffer
+	if err := WritePGM(&pgm, im, 255); err != nil {
+		t.Fatal(err)
+	}
+	pl, _, err := ReadPNM(&pgm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NComp() != 1 || !Equal(pl.Comps[0], im) {
+		t.Fatal("P5 dispatch failed")
+	}
+	var ppm bytes.Buffer
+	if err := WritePPM(&ppm, testPlanar(5, 4), 255); err != nil {
+		t.Fatal(err)
+	}
+	if pl, _, err = ReadPNM(&ppm); err != nil || pl.NComp() != 3 {
+		t.Fatalf("P6 dispatch failed: %v", err)
+	}
+	// Cross-format readers reject the other magic.
+	var ppm2 bytes.Buffer
+	WritePPM(&ppm2, testPlanar(5, 4), 255)
+	if _, _, err := ReadPGM(&ppm2); err == nil {
+		t.Error("ReadPGM accepted a P6 stream")
+	}
+	var pgm2 bytes.Buffer
+	WritePGM(&pgm2, im, 255)
+	if _, _, err := ReadPPM(&pgm2); err == nil {
+		t.Error("ReadPPM accepted a P5 stream")
+	}
+}
+
+func TestPlanarValidate(t *testing.T) {
+	if err := (&Planar{}).Validate(); err == nil {
+		t.Error("empty planar accepted")
+	}
+	if err := (&Planar{Comps: []*Image{New(4, 4), New(5, 4)}}).Validate(); err == nil {
+		t.Error("mismatched component sizes accepted")
+	}
+	if err := RGB(New(4, 4), New(4, 4), New(4, 4)).Validate(); err != nil {
+		t.Errorf("valid planar rejected: %v", err)
+	}
+	if !PlanarEqual(Gray(New(3, 3)), Gray(New(3, 3))) {
+		t.Error("equal grays unequal")
+	}
+	if PlanarEqual(Gray(New(3, 3)), testPlanar(3, 3)) {
+		t.Error("different component counts compare equal")
+	}
+}
+
+func TestPlanarClone(t *testing.T) {
+	pl := testPlanar(8, 6)
+	cl := pl.Clone()
+	cl.Comps[1].Set(0, 0, 999)
+	if pl.Comps[1].At(0, 0) == 999 {
+		t.Fatal("clone shares storage")
+	}
+	cl.Comps[1].Set(0, 0, pl.Comps[1].At(0, 0))
+	if !PlanarEqual(pl, cl) {
+		t.Fatal("clone differs")
+	}
+}

@@ -30,7 +30,7 @@ type TileKey struct {
 // tileEntry is one cache resident on the intrusive LRU list.
 type tileEntry struct {
 	key        TileKey
-	im         *raster.Image
+	pl         *raster.Planar
 	bytes      int64
 	prev, next *tileEntry
 }
@@ -41,15 +41,15 @@ type tileEntry struct {
 // decode of since-replaced bytes is handed to its waiters but never cached.
 type inflightCall struct {
 	done    chan struct{}
-	im      *raster.Image
+	pl      *raster.Planar
 	err     error
 	dropped bool
 }
 
-// Cache is a byte-budgeted LRU cache of decoded tiles with single-flight
-// deduplication of concurrent misses. It is safe for concurrent use; the
-// cached images are shared read-only between callers and must not be
-// mutated.
+// Cache is a byte-budgeted LRU cache of decoded tiles (all components of a
+// tile variant cache as one entry) with single-flight deduplication of
+// concurrent misses. It is safe for concurrent use; the cached images are
+// shared read-only between callers and must not be mutated.
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
@@ -98,20 +98,20 @@ func (c *Cache) pushFront(e *tileEntry) {
 // result (counted as coalesced, not hits). Successful results enter the
 // cache, evicting least-recently-used tiles past the byte budget; errors are
 // returned to every waiter and cached by nobody.
-func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Image, error)) (*raster.Image, error) {
+func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Planar, error)) (*raster.Planar, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.unlink(e)
 		c.pushFront(e)
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return e.im, nil
+		return e.pl, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
 		<-call.done
-		return call.im, call.err
+		return call.pl, call.err
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
@@ -127,7 +127,11 @@ func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Image, error)) (
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if call.err == nil && !call.dropped && c.maxBytes > 0 {
-			e := &tileEntry{key: key, im: call.im, bytes: int64(len(call.im.Pix))*4 + tileOverhead}
+			bytes := int64(tileOverhead)
+			for _, comp := range call.pl.Comps {
+				bytes += int64(len(comp.Pix)) * 4
+			}
+			e := &tileEntry{key: key, pl: call.pl, bytes: bytes}
 			c.entries[key] = e
 			c.pushFront(e)
 			c.size += e.bytes
@@ -142,8 +146,8 @@ func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Image, error)) (
 		c.mu.Unlock()
 		close(call.done)
 	}()
-	call.im, call.err = decode()
-	return call.im, call.err
+	call.pl, call.err = decode()
+	return call.pl, call.err
 }
 
 // Invalidate drops every cached tile of the given image and marks in-flight

@@ -43,14 +43,14 @@ func newTestServer(t testing.TB, cacheBytes int64) (*Server, []byte) {
 
 // --- Cache unit tests.
 
-func tile(w, h int) *raster.Image { return raster.New(w, h) }
+func tile(w, h int) *raster.Planar { return raster.Gray(raster.New(w, h)) }
 
 func TestCacheLRUEviction(t *testing.T) {
 	// Each 10x10 tile costs 400 + tileOverhead bytes; budget fits two.
 	per := int64(400 + tileOverhead)
 	c := NewCache(2 * per)
 	get := func(id int) {
-		_, err := c.GetOrDecode(TileKey{Image: "a", TX: id}, func() (*raster.Image, error) {
+		_, err := c.GetOrDecode(TileKey{Image: "a", TX: id}, func() (*raster.Planar, error) {
 			return tile(10, 10), nil
 		})
 		if err != nil {
@@ -74,11 +74,11 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// Tile 1 must re-decode (was evicted), tile 0 must not.
 	decoded := 0
-	c.GetOrDecode(TileKey{Image: "a", TX: 1}, func() (*raster.Image, error) {
+	c.GetOrDecode(TileKey{Image: "a", TX: 1}, func() (*raster.Planar, error) {
 		decoded++
 		return tile(10, 10), nil
 	})
-	c.GetOrDecode(TileKey{Image: "a", TX: 0}, func() (*raster.Image, error) {
+	c.GetOrDecode(TileKey{Image: "a", TX: 0}, func() (*raster.Planar, error) {
 		decoded++
 		return tile(10, 10), nil
 	})
@@ -90,7 +90,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := NewCache(1 << 20)
 	fail := true
-	decode := func() (*raster.Image, error) {
+	decode := func() (*raster.Planar, error) {
 		if fail {
 			return nil, fmt.Errorf("boom")
 		}
@@ -113,12 +113,12 @@ func TestCachePanicSafety(t *testing.T) {
 	key := TileKey{Image: "a"}
 	func() {
 		defer func() { recover() }()
-		c.GetOrDecode(key, func() (*raster.Image, error) { panic("decoder bug") })
+		c.GetOrDecode(key, func() (*raster.Planar, error) { panic("decoder bug") })
 		t.Fatal("panic did not propagate")
 	}()
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.GetOrDecode(key, func() (*raster.Image, error) { return tile(2, 2), nil })
+		_, err := c.GetOrDecode(key, func() (*raster.Planar, error) { return tile(2, 2), nil })
 		done <- err
 	}()
 	select {
@@ -141,7 +141,7 @@ func TestCacheInvalidateInFlight(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.GetOrDecode(key, func() (*raster.Image, error) {
+		c.GetOrDecode(key, func() (*raster.Planar, error) {
 			close(started)
 			<-release // decode of the OLD bytes straddles the invalidation
 			return tile(4, 4), nil
@@ -152,7 +152,7 @@ func TestCacheInvalidateInFlight(t *testing.T) {
 	close(release)
 	<-done
 	fresh := 0
-	c.GetOrDecode(key, func() (*raster.Image, error) {
+	c.GetOrDecode(key, func() (*raster.Planar, error) {
 		fresh++
 		return tile(4, 4), nil
 	})
@@ -167,12 +167,12 @@ func TestCacheSingleflight(t *testing.T) {
 	release := make(chan struct{})
 	const waiters = 16
 	var wg sync.WaitGroup
-	results := make([]*raster.Image, waiters)
+	results := make([]*raster.Planar, waiters)
 	for i := 0; i < waiters; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			im, err := c.GetOrDecode(TileKey{Image: "a"}, func() (*raster.Image, error) {
+			im, err := c.GetOrDecode(TileKey{Image: "a"}, func() (*raster.Planar, error) {
 				decodes.Add(1)
 				<-release
 				return tile(8, 8), nil
@@ -428,7 +428,7 @@ func BenchmarkServeTileCache(b *testing.B) {
 	b.Run("hit", func(b *testing.B) {
 		srv := New(store, Options{CacheBytes: 64 << 20})
 		key := TileKey{Image: "bench", TX: 0, TY: 0}
-		decode := func() (*raster.Image, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
+		decode := func() (*raster.Planar, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
 		if _, err := srv.cache.GetOrDecode(key, decode); err != nil {
 			b.Fatal(err)
 		}
@@ -442,7 +442,7 @@ func BenchmarkServeTileCache(b *testing.B) {
 	})
 	b.Run("miss", func(b *testing.B) {
 		srv := New(store, Options{CacheBytes: 64 << 20})
-		decode := func() (*raster.Image, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
+		decode := func() (*raster.Planar, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

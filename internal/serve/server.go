@@ -38,11 +38,13 @@ const (
 
 // Server answers progressive image requests over HTTP:
 //
-//	GET /img/{id}?x0=&y0=&x1=&y1=&reduce=&layers=&format=pgm|raw
+//	GET /img/{id}?x0=&y0=&x1=&y1=&reduce=&layers=&format=pgm|ppm|raw
 //	    Decode a window at a resolution/quality. Coordinates address the
 //	    reduced grid (the pixel grid of the image at that reduce level);
-//	    omitted coordinates mean the full image. The response is binary PGM
-//	    (P5) by default, or headerless big-endian samples with format=raw.
+//	    omitted coordinates mean the full image. The response defaults to
+//	    binary PGM (P5) for grayscale streams and binary PPM (P6) for
+//	    three-component (color) streams, or headerless big-endian planar
+//	    samples with format=raw.
 //	GET /img/{id}/info
 //	    JSON geometry: size per reduce level, tile grid, layers, byte costs.
 //	GET /img/{id}/stream?layers=N
@@ -125,13 +127,14 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
-// decodeTile produces one cached tile variant, charging the decode counter.
-func (s *Server) decodeTile(img *Image, colW, rowH []int, tx, ty, discard, layers int) (*raster.Image, error) {
+// decodeTile produces one cached tile variant (every component), charging the
+// decode counter.
+func (s *Server) decodeTile(img *Image, colW, rowH []int, tx, ty, discard, layers int) (*raster.Planar, error) {
 	s.tileDecodes.Add(1)
 	dec := s.decoders.Get().(*jp2k.Decoder)
 	defer s.decoders.Put(dec)
 	region := jp2k.Rect{X0: colW[tx], Y0: rowH[ty], X1: colW[tx+1], Y1: rowH[ty+1]}
-	return dec.DecodeRegion(img.Data, region, jp2k.DecodeOptions{
+	return dec.DecodeRegionPlanar(img.Data, region, jp2k.DecodeOptions{
 		DiscardLevels: discard,
 		MaxLayers:     layers,
 		Workers:       s.opts.TileWorkers,
@@ -182,8 +185,9 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Assemble the window from cached per-tile decodes.
-	out := raster.New(win.Dx(), win.Dy())
+	// Assemble the window from cached per-tile decodes, every component.
+	ncomp := img.Params().Components()
+	out := raster.NewPlanar(win.Dx(), win.Dy(), ncomp)
 	var tiles []int
 	for ty := 0; ty < nty; ty++ {
 		if rowH[ty+1] <= win.Y0 || rowH[ty] >= win.Y1 {
@@ -195,7 +199,7 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 			tiles = append(tiles, ty*ntx+tx)
 			key := TileKey{Image: img.ID, TX: tx, TY: ty, Discard: discard, Layers: layers}
-			tile, err := s.cache.GetOrDecode(key, func() (*raster.Image, error) {
+			tile, err := s.cache.GetOrDecode(key, func() (*raster.Planar, error) {
 				return s.decodeTile(img, colW, rowH, tx, ty, discard, layers)
 			})
 			if err != nil {
@@ -203,45 +207,81 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			lx0, ly0 := max(win.X0-colW[tx], 0), max(win.Y0-rowH[ty], 0)
-			lx1, ly1 := min(win.X1-colW[tx], tile.Width), min(win.Y1-rowH[ty], tile.Height)
+			lx1, ly1 := min(win.X1-colW[tx], tile.Width()), min(win.Y1-rowH[ty], tile.Height())
 			ox, oy := colW[tx]+lx0-win.X0, rowH[ty]+ly0-win.Y0
-			for y := ly0; y < ly1; y++ {
-				copy(out.Pix[(oy+y-ly0)*out.Stride+ox:(oy+y-ly0)*out.Stride+ox+lx1-lx0],
-					tile.Pix[y*tile.Stride+lx0:y*tile.Stride+lx1])
+			for ci := 0; ci < ncomp; ci++ {
+				src, dst := tile.Comps[ci], out.Comps[ci]
+				for y := ly0; y < ly1; y++ {
+					copy(dst.Pix[(oy+y-ly0)*dst.Stride+ox:(oy+y-ly0)*dst.Stride+ox+lx1-lx0],
+						src.Pix[y*src.Stride+lx0:y*src.Stride+lx1])
+				}
 			}
 		}
 	}
 
-	// The packet-byte cost of this window per the index: what a byte-range
-	// transport (JPIP-style) would have shipped instead of pixels.
+	// The packet-byte cost of this window per the index (all components):
+	// what a byte-range transport (JPIP-style) would have shipped instead of
+	// pixels.
 	w.Header().Set("X-PJ2K-Packet-Bytes", strconv.Itoa(img.Index.RegionBytes(tiles, discard, layers)))
 	maxval := 255
 	if bd := img.Params().BitDepth; bd > 8 {
 		maxval = 1<<uint(bd) - 1
 	}
-	switch format := r.URL.Query().Get("format"); format {
-	case "", "pgm":
+	format := r.URL.Query().Get("format")
+	if format == "" { // grayscale defaults to PGM, color to PPM, anything else to raw
+		switch ncomp {
+		case 1:
+			format = "pgm"
+		case 3:
+			format = "ppm"
+		default:
+			format = "raw"
+		}
+	}
+	switch format {
+	case "pgm":
+		if ncomp != 1 {
+			s.fail(w, http.StatusBadRequest, "format=pgm needs 1 component, image has %d (use ppm or raw)", ncomp)
+			return
+		}
 		if maxval == 255 {
 			out.ClampTo8()
 		}
 		w.Header().Set("Content-Type", "image/x-portable-graymap")
-		if err := raster.WritePGM(w, out, maxval); err != nil {
+		if err := raster.WritePGM(w, out.Comps[0], maxval); err != nil {
+			s.errors.Add(1)
+			return
+		}
+	case "ppm":
+		if ncomp != 3 {
+			s.fail(w, http.StatusBadRequest, "format=ppm needs 3 components, image has %d", ncomp)
+			return
+		}
+		if maxval == 255 {
+			out.ClampTo8()
+		}
+		w.Header().Set("Content-Type", "image/x-portable-pixmap")
+		if err := raster.WritePPM(w, out, maxval); err != nil {
 			s.errors.Add(1)
 			return
 		}
 	case "raw":
+		// Headerless big-endian samples, planar component order.
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-PJ2K-Width", strconv.Itoa(out.Width))
-		w.Header().Set("X-PJ2K-Height", strconv.Itoa(out.Height))
-		buf := make([]byte, 0, out.Width*out.Height*2)
-		for y := 0; y < out.Height; y++ {
-			for _, v := range out.Row(y) {
-				if v < 0 {
-					v = 0
-				} else if v > int32(maxval) {
-					v = int32(maxval)
+		w.Header().Set("X-PJ2K-Width", strconv.Itoa(out.Width()))
+		w.Header().Set("X-PJ2K-Height", strconv.Itoa(out.Height()))
+		w.Header().Set("X-PJ2K-Components", strconv.Itoa(ncomp))
+		buf := make([]byte, 0, out.Width()*out.Height()*ncomp*2)
+		for _, comp := range out.Comps {
+			for y := 0; y < comp.Height; y++ {
+				for _, v := range comp.Row(y) {
+					if v < 0 {
+						v = 0
+					} else if v > int32(maxval) {
+						v = int32(maxval)
+					}
+					buf = append(buf, byte(v>>8), byte(v))
 				}
-				buf = append(buf, byte(v>>8), byte(v))
 			}
 		}
 		w.Write(buf)
@@ -258,6 +298,8 @@ type infoResponse struct {
 	TileW       int        `json:"tile_w"`
 	TileH       int        `json:"tile_h"`
 	Tiles       int        `json:"tiles"`
+	Components  int        `json:"components"`
+	MCT         bool       `json:"mct"`
 	Levels      int        `json:"levels"`
 	Layers      int        `json:"layers"`
 	BitDepth    int        `json:"bit_depth"`
@@ -287,6 +329,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	info := infoResponse{
 		ID: img.ID, Width: p.Width, Height: p.Height,
 		TileW: p.TileW, TileH: p.TileH, Tiles: img.Index.NumTiles(),
+		Components: p.Components(), MCT: p.MCT,
 		Levels: p.Levels, Layers: p.Layers, BitDepth: p.BitDepth,
 		Kernel: kernel, Bytes: len(img.Data), PacketBytes: img.Index.TotalBytes(),
 	}

@@ -15,28 +15,50 @@ const (
 	mCOD = 0xFF52
 	mRGN = 0xFF5E
 	mQCD = 0xFF5C
+	mQCC = 0xFF5D
 	mSOT = 0xFF90
 	mSOD = 0xFF93
 	mEOC = 0xFFD9
 )
 
-// Params is the codestream-level configuration carried by the SIZ/COD/QCD
+// MaxComponents bounds Csiz so a corrupt header cannot demand absurd
+// per-component allocations downstream (the standard allows 16384; nothing in
+// this codebase needs more than a handful).
+const MaxComponents = 256
+
+// Params is the codestream-level configuration carried by the SIZ/COD/QCD/QCC
 // markers. Deviations from the standard's field semantics (documented in
-// DESIGN.md): the QCD step exponents are absolute rather than relative to the
-// band's nominal dynamic range, and per-band maximum bit-plane counts are
+// DESIGN.md): the QCD/QCC step exponents are absolute rather than relative to
+// the band's nominal dynamic range, and per-band maximum bit-plane counts are
 // carried explicitly alongside the steps.
+//
+// All components share the image geometry, bit depth and coding style (equal
+// Ssiz, XRsiz = YRsiz = 1); quantization is per component: Mb[c][b] and
+// Steps[c][b] index component c, band b (dwt.Subbands order). Component 0's
+// values travel in the QCD marker, further components in one QCC each.
 type Params struct {
 	Width, Height int
 	TileW, TileH  int // tile grid; equal to image size for single-tile
+	NComp         int // Csiz; 0 is treated as 1 for backward compatibility
 	BitDepth      int
 	Levels        int
 	Layers        int
-	CBW, CBH      int // code-block size (powers of two, <= 64)
+	CBW, CBH      int  // code-block size (powers of two, <= 64)
+	MCT           bool // inter-component transform applied to components 0-2
 	Kernel        dwt.Kernel
 	GuardBits     int
-	Steps         []quant.Step // per band, empty for Rev53
-	Mb            []int        // per band nominal max bit-planes
-	ROIShift      int          // MAXSHIFT ROI scaling value (RGN marker); 0 = no ROI
+	Steps         [][]quant.Step // per component, per band; empty for Rev53
+	Mb            [][]int        // per component, per band nominal max bit-planes
+	ROIShift      int            // MAXSHIFT ROI scaling value (RGN marker); 0 = no ROI
+}
+
+// Components returns the component count, treating the zero value as a
+// single-component stream.
+func (p Params) Components() int {
+	if p.NComp < 1 {
+		return 1
+	}
+	return p.NComp
 }
 
 // NumTiles returns the tile grid dimensions.
@@ -46,12 +68,12 @@ func (p Params) NumTiles() (int, int) {
 	return tx, ty
 }
 
-// CheckGeometry verifies that the per-band header arrays cover the
-// decomposition the COD marker declares. ReadCodestream is a lenient
+// CheckGeometry verifies that the per-component per-band header arrays cover
+// the decomposition the COD marker declares. ReadCodestream is a lenient
 // container parser and does not cross-check markers against each other;
-// consumers that index Mb/Steps by band (the decoder, the codestream Index)
-// must call this first so a corrupt stream yields an error instead of an
-// out-of-range panic.
+// consumers that index Mb/Steps by (component, band) — the decoder, the
+// codestream Index — must call this first so a corrupt stream yields an error
+// instead of an out-of-range panic.
 func (p Params) CheckGeometry() error {
 	if p.Width <= 0 || p.Height <= 0 {
 		return fmt.Errorf("t2: missing or empty SIZ (%dx%d)", p.Width, p.Height)
@@ -59,12 +81,32 @@ func (p Params) CheckGeometry() error {
 	if p.Layers < 1 {
 		return fmt.Errorf("t2: missing COD (layers %d)", p.Layers)
 	}
-	nbands := 1 + 3*p.Levels
-	if len(p.Mb) < nbands {
-		return fmt.Errorf("t2: QCD carries %d bands, %d levels need %d", len(p.Mb), p.Levels, nbands)
+	nc := p.Components()
+	if nc > MaxComponents {
+		return fmt.Errorf("t2: %d components exceeds the %d limit", nc, MaxComponents)
 	}
-	if p.Kernel == dwt.Irr97 && len(p.Steps) < nbands {
-		return fmt.Errorf("t2: QCD carries %d steps, %d levels need %d", len(p.Steps), p.Levels, nbands)
+	if p.MCT && nc != 3 {
+		return fmt.Errorf("t2: MCT flagged on a %d-component stream (needs exactly 3)", nc)
+	}
+	if len(p.Mb) < nc {
+		return fmt.Errorf("t2: quantization for %d of %d components", len(p.Mb), nc)
+	}
+	nbands := 1 + 3*p.Levels
+	for ci := 0; ci < nc; ci++ {
+		if len(p.Mb[ci]) < nbands {
+			return fmt.Errorf("t2: component %d QCD/QCC carries %d bands, %d levels need %d",
+				ci, len(p.Mb[ci]), p.Levels, nbands)
+		}
+		if p.Kernel == dwt.Irr97 {
+			if len(p.Steps) <= ci || len(p.Steps[ci]) < nbands {
+				ns := 0
+				if len(p.Steps) > ci {
+					ns = len(p.Steps[ci])
+				}
+				return fmt.Errorf("t2: component %d QCD/QCC carries %d steps, %d levels need %d",
+					ci, ns, p.Levels, nbands)
+			}
+		}
 	}
 	return nil
 }
@@ -74,26 +116,52 @@ func put32(b []byte, v int) []byte {
 	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+// appendQuant serializes the shared tail of QCD/QCC: the Sqcd/Sqcc byte
+// followed by the per-band values of one component.
+func appendQuant(out []byte, p Params, ci int) []byte {
+	style := byte(0)
+	if p.Kernel == dwt.Irr97 {
+		style = 2
+	}
+	out = append(out, byte(p.GuardBits)<<5|style)
+	if ci >= len(p.Mb) {
+		return out
+	}
+	for i, mb := range p.Mb[ci] {
+		out = append(out, byte(mb))
+		if p.Kernel == dwt.Irr97 {
+			s := p.Steps[ci][i]
+			out = put16(out, s.Exponent<<11|s.Mantissa)
+		}
+	}
+	return out
+}
+
 // WriteCodestream serializes the full codestream: main header, one tile-part
-// per tile (in raster order), EOC.
+// per tile (in raster order), EOC. Multi-component streams carry Csiz = NComp
+// in SIZ, the MCT flag in COD, component 0's quantization in QCD and one QCC
+// marker per further component.
 func WriteCodestream(p Params, tiles [][]byte) []byte {
+	nc := p.Components()
 	var out []byte
 	out = put16(out, mSOC)
 
 	// SIZ
 	out = put16(out, mSIZ)
-	out = put16(out, 38+3) // Lsiz for 1 component
-	out = put16(out, 0)    // Rsiz
+	out = put16(out, 38+3*nc) // Lsiz
+	out = put16(out, 0)       // Rsiz
 	out = put32(out, p.Width)
 	out = put32(out, p.Height)
 	out = put32(out, 0) // XOsiz
 	out = put32(out, 0) // YOsiz
 	out = put32(out, p.TileW)
 	out = put32(out, p.TileH)
-	out = put32(out, 0) // XTOsiz
-	out = put32(out, 0) // YTOsiz
-	out = put16(out, 1) // Csiz
-	out = append(out, byte(p.BitDepth-1), 1, 1)
+	out = put32(out, 0)  // XTOsiz
+	out = put32(out, 0)  // YTOsiz
+	out = put16(out, nc) // Csiz
+	for ci := 0; ci < nc; ci++ {
+		out = append(out, byte(p.BitDepth-1), 1, 1) // Ssiz, XRsiz, YRsiz
+	}
 
 	// COD
 	out = put16(out, mCOD)
@@ -101,7 +169,11 @@ func WriteCodestream(p Params, tiles [][]byte) []byte {
 	out = append(out, 0)       // Scod: default precincts, no SOP/EPH
 	out = append(out, 0)       // progression: LRCP
 	out = put16(out, p.Layers) // number of layers
-	out = append(out, 0)       // MCT: none
+	if p.MCT {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
 	out = append(out, byte(p.Levels))
 	out = append(out, byte(log2i(p.CBW)-2), byte(log2i(p.CBH)-2))
 	out = append(out, 0) // code-block style: default
@@ -111,29 +183,31 @@ func WriteCodestream(p Params, tiles [][]byte) []byte {
 		out = append(out, 0)
 	}
 
-	// QCD: guard bits + per-band (Mb byte [+ step halfword for 9/7]).
+	// QCD (component 0): guard bits + per-band (Mb byte [+ step halfword for
+	// 9/7]); QCC for each further component. Components beyond len(p.Mb)
+	// carry no quantization marker (a zero-value Params still serializes,
+	// matching the pre-multi-component tolerance for empty Mb). Marker
+	// lengths are measured from the serialized tail so they can never drift
+	// from appendQuant's layout.
+	tail := appendQuant(nil, p, 0)
 	out = put16(out, mQCD)
-	perBand := 1
-	style := byte(0)
-	if p.Kernel == dwt.Irr97 {
-		perBand = 3
-		style = 2
-	}
-	out = put16(out, 3+perBand*len(p.Mb))
-	out = append(out, byte(p.GuardBits)<<5|style)
-	for i, mb := range p.Mb {
-		out = append(out, byte(mb))
-		if p.Kernel == dwt.Irr97 {
-			s := p.Steps[i]
-			out = put16(out, s.Exponent<<11|s.Mantissa)
-		}
+	out = put16(out, 2+len(tail))
+	out = append(out, tail...)
+	for ci := 1; ci < nc && ci < len(p.Mb); ci++ {
+		tail = appendQuant(tail[:0], p, ci)
+		out = put16(out, mQCC)
+		out = put16(out, 3+len(tail))
+		out = append(out, byte(ci)) // Cqcc (one byte: Csiz <= MaxComponents < 257)
+		out = append(out, tail...)
 	}
 
-	// RGN: MAXSHIFT region of interest.
+	// RGN: MAXSHIFT region of interest, one marker per component.
 	if p.ROIShift > 0 {
-		out = put16(out, mRGN)
-		out = put16(out, 5)
-		out = append(out, 0, 1, byte(p.ROIShift)) // Crgn, Srgn=maxshift, SPrgn
+		for ci := 0; ci < nc; ci++ {
+			out = put16(out, mRGN)
+			out = put16(out, 5)
+			out = append(out, byte(ci), 1, byte(p.ROIShift)) // Crgn, Srgn=maxshift, SPrgn
+		}
 	}
 
 	// Tile-parts.
@@ -191,8 +265,48 @@ func (r *reader) u8() (int, error) {
 	return v, nil
 }
 
+// readQuant parses the shared tail of QCD/QCC (Sqcd/Sqcc byte plus per-band
+// values) given the byte count the marker length leaves for it.
+func (r *reader) readQuant(tail int) (guard int, mb []int, steps []quant.Step, err error) {
+	sq, err := r.u8()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	guard = sq >> 5
+	style := sq & 0x1F
+	perBand := 1
+	if style == 2 {
+		perBand = 3
+	}
+	nb := (tail - 1) / perBand
+	if nb < 0 || nb > 1+3*32 { // COD caps levels at 32
+		return 0, nil, nil, fmt.Errorf("t2: implausible quantization band count %d", nb)
+	}
+	mb = make([]int, nb)
+	if style == 2 {
+		steps = make([]quant.Step, nb)
+	}
+	for i := 0; i < nb; i++ {
+		v, err := r.u8()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		mb[i] = v
+		if style == 2 {
+			s, err := r.u16()
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			steps[i] = quant.Step{Exponent: s >> 11, Mantissa: s & 0x7FF}
+		}
+	}
+	return guard, mb, steps, nil
+}
+
 // ReadCodestream parses a codestream produced by WriteCodestream, returning
-// the parameters and the per-tile packet data.
+// the parameters and the per-tile packet data. Inconsistent per-component SIZ
+// fields (mismatched bit depths, subsampled components) are rejected with an
+// error, never a panic.
 func ReadCodestream(data []byte) (Params, [][]byte, error) {
 	var p Params
 	r := &reader{data: data}
@@ -200,6 +314,7 @@ func ReadCodestream(data []byte) (Params, [][]byte, error) {
 		return p, nil, fmt.Errorf("t2: missing SOC (got %#x, %v)", m, err)
 	}
 	var tiles [][]byte
+	var qccSeen []bool // per component: quantization pinned by a QCC marker
 	for {
 		m, err := r.u16()
 		if err != nil {
@@ -239,25 +354,41 @@ func ReadCodestream(data []byte) (Params, [][]byte, error) {
 			if err != nil {
 				return p, nil, err
 			}
-			if ncomp != 1 {
-				return p, nil, fmt.Errorf("t2: %d components unsupported", ncomp)
+			if ncomp < 1 || ncomp > MaxComponents {
+				return p, nil, fmt.Errorf("t2: %d components out of range [1, %d]", ncomp, MaxComponents)
 			}
-			ssiz, err := r.u8()
-			if err != nil {
-				return p, nil, err
-			}
-			p.BitDepth = ssiz&0x7F + 1
-			if _, err = r.u8(); err != nil { // XRsiz
-				return p, nil, err
-			}
-			if _, err = r.u8(); err != nil { // YRsiz
-				return p, nil, err
+			p.NComp = ncomp
+			for ci := 0; ci < ncomp; ci++ {
+				ssiz, err := r.u8()
+				if err != nil {
+					return p, nil, err
+				}
+				depth := ssiz&0x7F + 1
+				if ci == 0 {
+					p.BitDepth = depth
+				} else if depth != p.BitDepth {
+					return p, nil, fmt.Errorf("t2: component %d depth %d differs from component 0's %d",
+						ci, depth, p.BitDepth)
+				}
+				xr, err := r.u8()
+				if err != nil {
+					return p, nil, err
+				}
+				yr, err := r.u8()
+				if err != nil {
+					return p, nil, err
+				}
+				if xr != 1 || yr != 1 {
+					return p, nil, fmt.Errorf("t2: component %d subsampling %dx%d unsupported", ci, xr, yr)
+				}
 			}
 			// Sanity limits so corrupted headers cannot demand absurd
-			// allocations downstream.
+			// allocations downstream. The pixel budget covers ALL components
+			// (decoders allocate one plane per component), so a tiny header
+			// cannot multiply a legal per-plane size by Csiz.
 			if p.Width <= 0 || p.Height <= 0 || p.Width > 1<<20 || p.Height > 1<<20 ||
-				p.Width*p.Height > 1<<28 {
-				return p, nil, fmt.Errorf("t2: implausible image size %dx%d", p.Width, p.Height)
+				p.Height > (1<<28)/ncomp/p.Width {
+				return p, nil, fmt.Errorf("t2: implausible image size %dx%dx%d", p.Width, p.Height, ncomp)
 			}
 			if p.TileW <= 0 || p.TileH <= 0 || p.TileW > p.Width+64 || p.TileH > p.Height+64 {
 				return p, nil, fmt.Errorf("t2: implausible tile size %dx%d", p.TileW, p.TileH)
@@ -265,6 +396,9 @@ func ReadCodestream(data []byte) (Params, [][]byte, error) {
 			if p.BitDepth < 1 || p.BitDepth > 16 {
 				return p, nil, fmt.Errorf("t2: unsupported bit depth %d", p.BitDepth)
 			}
+			p.Mb = make([][]int, ncomp)
+			p.Steps = make([][]quant.Step, ncomp)
+			qccSeen = make([]bool, ncomp)
 		case mCOD:
 			if _, err = r.u16(); err != nil { // Lcod
 				return p, nil, err
@@ -278,9 +412,11 @@ func ReadCodestream(data []byte) (Params, [][]byte, error) {
 			if p.Layers, err = r.u16(); err != nil {
 				return p, nil, err
 			}
-			if _, err = r.u8(); err != nil { // MCT
+			mct, err := r.u8()
+			if err != nil {
 				return p, nil, err
 			}
+			p.MCT = mct&1 == 1
 			if p.Levels, err = r.u8(); err != nil {
 				return p, nil, err
 			}
@@ -310,42 +446,47 @@ func ReadCodestream(data []byte) (Params, [][]byte, error) {
 					p.Levels, p.Layers, p.CBW, p.CBH)
 			}
 		case mQCD:
+			if p.NComp == 0 {
+				return p, nil, fmt.Errorf("t2: QCD before SIZ")
+			}
 			lqcd, err := r.u16()
 			if err != nil {
 				return p, nil, err
 			}
-			sq, err := r.u8()
+			guard, mb, steps, err := r.readQuant(lqcd - 2)
 			if err != nil {
 				return p, nil, err
 			}
-			p.GuardBits = sq >> 5
-			style := sq & 0x1F
-			perBand := 1
-			if style == 2 {
-				perBand = 3
-			}
-			nb := (lqcd - 3) / perBand
-			if nb < 0 || nb > 1+3*32 { // COD caps levels at 32
-				return p, nil, fmt.Errorf("t2: implausible QCD band count %d", nb)
-			}
-			p.Mb = make([]int, nb)
-			if style == 2 {
-				p.Steps = make([]quant.Step, nb)
-			}
-			for i := 0; i < nb; i++ {
-				mb, err := r.u8()
-				if err != nil {
-					return p, nil, err
-				}
-				p.Mb[i] = mb
-				if style == 2 {
-					v, err := r.u16()
-					if err != nil {
-						return p, nil, err
-					}
-					p.Steps[i] = quant.Step{Exponent: v >> 11, Mantissa: v & 0x7FF}
+			p.GuardBits = guard
+			// QCD is the default for every component; QCC overrides one.
+			for ci := 0; ci < p.NComp; ci++ {
+				if !qccSeen[ci] {
+					p.Mb[ci] = mb
+					p.Steps[ci] = steps
 				}
 			}
+		case mQCC:
+			if p.NComp == 0 {
+				return p, nil, fmt.Errorf("t2: QCC before SIZ")
+			}
+			lqcc, err := r.u16()
+			if err != nil {
+				return p, nil, err
+			}
+			ci, err := r.u8() // Cqcc (one byte: Csiz <= MaxComponents < 257)
+			if err != nil {
+				return p, nil, err
+			}
+			if ci >= p.NComp {
+				return p, nil, fmt.Errorf("t2: QCC for component %d of %d", ci, p.NComp)
+			}
+			_, mb, steps, err := r.readQuant(lqcc - 3)
+			if err != nil {
+				return p, nil, err
+			}
+			p.Mb[ci] = mb
+			p.Steps[ci] = steps
+			qccSeen[ci] = true
 		case mRGN:
 			if _, err = r.u16(); err != nil { // Lrgn
 				return p, nil, err

@@ -28,6 +28,24 @@ func FuzzReadCodestream(f *testing.F) {
 		f.Add(cs)
 		f.Add(cs[:len(cs)/2])
 	}
+	// Multi-component seeds: Csiz=3 MCT streams (QCC markers, interleaved
+	// packets) for both kernels, plus a mutant whose component depths
+	// disagree — the inconsistent-SIZ rejection path.
+	pl := raster.RGB(im, raster.Synthetic(96, 64, 4), raster.Synthetic(96, 64, 5))
+	for _, o := range []jp2k.Options{
+		{Kernel: dwt.Rev53, Levels: 2, MCT: true, TileW: 48, TileH: 32},
+		{Kernel: dwt.Irr97, MCT: true, LayerBPP: []float64{0.5, 2.0}},
+	} {
+		cs, _, err := jp2k.EncodePlanar(pl, o)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(cs)
+		f.Add(cs[:2*len(cs)/3])
+		depthMut := append([]byte(nil), cs...)
+		depthMut[45] = 11 // component 1 Ssiz inside SIZ: depth 12 vs 8
+		f.Add(depthMut)
+	}
 	f.Add([]byte{0xFF, 0x4F})
 	f.Add([]byte{0xFF, 0x4F, 0xFF, 0x51, 0x00, 0x29})
 
@@ -37,11 +55,14 @@ func FuzzReadCodestream(f *testing.F) {
 			return
 		}
 		// A stream the container parser accepts must still index and decode
-		// without panicking, whatever its packet bytes hold.
+		// without panicking, whatever its packet bytes hold — every component
+		// of it.
 		_ = p
 		_ = tiles
 		_, _ = t2.BuildIndex(data)
 		_, _ = jp2k.Decode(data, jp2k.DecodeOptions{})
+		_, _ = jp2k.DecodePlanar(data, jp2k.DecodeOptions{})
 		_, _ = jp2k.DecodeRegion(data, jp2k.Rect{X0: 1, Y0: 1, X1: 9, Y1: 9}, jp2k.DecodeOptions{MaxLayers: 1, DiscardLevels: 1})
+		_, _ = jp2k.DecodeRegionPlanar(data, jp2k.Rect{X0: 1, Y0: 1, X1: 9, Y1: 9}, jp2k.DecodeOptions{MaxLayers: 1, DiscardLevels: 1})
 	})
 }

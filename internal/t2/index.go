@@ -15,21 +15,22 @@ type Span struct {
 func (s Span) End() int { return s.Off + s.Len }
 
 // TileIndex locates every packet of one tile. Body aliases the parsed
-// codestream; Packets[layer][resolution] is the packet's byte range within
-// Body. Packets are contiguous in LRCP order, so the body prefix through any
-// layer is a single range starting at offset 0.
+// codestream; Packets[component][layer][resolution] is the packet's byte
+// range within Body. Packets are contiguous in LRCP order (layer outer,
+// resolution middle, component inner), so the body prefix through any layer
+// is a single range starting at offset 0.
 type TileIndex struct {
 	Body    []byte
-	Packets [][]Span
+	Packets [][][]Span
 }
 
 // Index is a parsed-once map of a codestream: the header parameters plus the
-// byte range of every packet (per tile x layer x resolution), located by
-// walking packet headers without entropy-decoding any code-block. It is the
-// substrate of the serving subsystem: a region/resolution/layer request can
-// be costed (RegionBytes) or sliced (CodestreamPrefix, LayerPrefixLen) per
-// request while the Index itself is built once and shared read-only between
-// any number of goroutines.
+// byte range of every packet (per tile x component x layer x resolution),
+// located by walking packet headers without entropy-decoding any code-block.
+// It is the substrate of the serving subsystem: a region/resolution/layer
+// request can be costed (RegionBytes) or sliced (CodestreamPrefix,
+// LayerPrefixLen) per request while the Index itself is built once and shared
+// read-only between any number of goroutines.
 type Index struct {
 	Params Params
 	Tiles  []TileIndex
@@ -51,10 +52,14 @@ func BuildIndex(data []byte) (*Index, error) {
 	if len(tiles) != ntx*nty {
 		return nil, fmt.Errorf("t2: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
 	}
+	nc := p.Components()
 	ix := &Index{Params: p, Tiles: make([]TileIndex, len(tiles))}
 	nbands := 1 + 3*p.Levels
-	bb := make([]BandBlocks, nbands)
-	var dec []DecodedBlock
+	comps := make([][]BandBlocks, nc)
+	for ci := range comps {
+		comps[ci] = make([]BandBlocks, nbands)
+	}
+	dec := make([][]DecodedBlock, nc)
 	var tc *TileCoder
 	for ti, body := range tiles {
 		tx, ty := ti%ntx, ti/ntx
@@ -62,33 +67,48 @@ func BuildIndex(data []byte) (*Index, error) {
 		tw := min(x0+p.TileW, p.Width) - x0
 		th := min(y0+p.TileH, p.Height) - y0
 		for bi, b := range dwt.Subbands(tw, th, p.Levels) {
-			bb[bi] = BandBlocks{Grid: MakeGrid(b, p.CBW, p.CBH), Mb: p.Mb[bi]}
+			g := MakeGrid(b, p.CBW, p.CBH)
+			for ci := 0; ci < nc; ci++ {
+				comps[ci][bi] = BandBlocks{Grid: g, Mb: p.Mb[ci][bi]}
+			}
 		}
 		if tc == nil {
-			tc = NewTileCoder(bb)
+			tc = NewTileCoderComps(comps)
 		} else {
-			tc.Reset(bb)
+			tc.ResetComps(comps)
 		}
-		if cap(dec) < tc.nblocks {
-			dec = make([]DecodedBlock, tc.nblocks)
+		for ci := 0; ci < nc; ci++ {
+			dec[ci] = resetDec(dec[ci], tc.comps[ci].nblocks)
 		}
-		dec = dec[:tc.nblocks]
-		for i := range dec {
-			dec[i] = DecodedBlock{}
+		// Every packet costs at least one body byte (the empty-bit header),
+		// so the declared layer/level/component counts bound the body size.
+		// Checking before allocating keeps a tiny corrupt stream from
+		// demanding gigabytes of span bookkeeping.
+		if npackets := nc * p.Layers * (p.Levels + 1); npackets > len(body) {
+			return nil, fmt.Errorf("t2: tile %d declares %d packets but carries %d bytes",
+				ti, npackets, len(body))
 		}
-		packets := make([][]Span, p.Layers)
+		packets := make([][][]Span, nc)
+		for ci := range packets {
+			packets[ci] = make([][]Span, p.Layers)
+			for li := range packets[ci] {
+				packets[ci][li] = make([]Span, p.Levels+1)
+			}
+		}
 		pos := 0
 		for li := 0; li < p.Layers; li++ {
-			spans := make([]Span, p.Levels+1)
 			for r := 0; r <= p.Levels; r++ {
-				n, err := tc.decodePacket(bb, dwt.BandsOfResolution(p.Levels, r), li, body[pos:], dec, false)
-				if err != nil {
-					return nil, fmt.Errorf("t2: tile %d layer %d resolution %d: %w", ti, li, r, err)
+				bandIdx := dwt.BandsOfResolution(p.Levels, r)
+				for ci := 0; ci < nc; ci++ {
+					n, err := tc.decodePacket(ci, comps[ci], bandIdx, li, body[pos:], dec[ci], false)
+					if err != nil {
+						return nil, fmt.Errorf("t2: tile %d layer %d resolution %d component %d: %w",
+							ti, li, r, ci, err)
+					}
+					packets[ci][li][r] = Span{Off: pos, Len: n}
+					pos += n
 				}
-				spans[r] = Span{Off: pos, Len: n}
-				pos += n
 			}
-			packets[li] = spans
 		}
 		ix.Tiles[ti] = TileIndex{Body: body, Packets: packets}
 	}
@@ -99,24 +119,27 @@ func BuildIndex(data []byte) (*Index, error) {
 func (ix *Index) NumTiles() int { return len(ix.Tiles) }
 
 // LayerPrefixLen returns the length of tile ti's body prefix that carries its
-// first `layers` quality layers (every resolution). layers outside [0,
-// Params.Layers] is clamped. This is the embedded-stream property LRCP
-// ordering guarantees: fewer layers are always a contiguous prefix.
+// first `layers` quality layers (every resolution, every component). layers
+// outside [0, Params.Layers] is clamped. This is the embedded-stream property
+// LRCP ordering guarantees: fewer layers are always a contiguous prefix.
 func (ix *Index) LayerPrefixLen(ti, layers int) int {
 	t := &ix.Tiles[ti]
-	if layers > len(t.Packets) {
-		layers = len(t.Packets)
+	if layers > ix.Params.Layers {
+		layers = ix.Params.Layers
 	}
 	if layers <= 0 {
 		return 0
 	}
-	last := t.Packets[layers-1]
+	// The last packet of a layer belongs to the last component's highest
+	// resolution (component is the innermost LRCP loop).
+	last := t.Packets[len(t.Packets)-1][layers-1]
 	return last[len(last)-1].End()
 }
 
 // RegionBytes sums the packet bytes a decode of the given tiles at the given
-// discard-levels/layer limit must touch — the payload cost of a window
-// request, before any caching. discard and layers are clamped to the stream.
+// discard-levels/layer limit must touch, across every component — the payload
+// cost of a window request, before any caching. discard and layers are
+// clamped to the stream.
 func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
 	p := ix.Params
 	if discard < 0 {
@@ -134,9 +157,11 @@ func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
 		if ti < 0 || ti >= len(ix.Tiles) {
 			continue
 		}
-		for li := 0; li < layers; li++ {
-			for r := 0; r <= maxRes; r++ {
-				total += ix.Tiles[ti].Packets[li][r].Len
+		for _, comp := range ix.Tiles[ti].Packets {
+			for li := 0; li < layers; li++ {
+				for r := 0; r <= maxRes; r++ {
+					total += comp[li][r].Len
+				}
 			}
 		}
 	}
@@ -144,13 +169,15 @@ func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
 }
 
 // TotalBytes returns the packet bytes of the whole stream (all tiles, all
-// layers, all resolutions).
+// components, all layers, all resolutions).
 func (ix *Index) TotalBytes() int {
 	total := 0
 	for _, t := range ix.Tiles {
-		for _, spans := range t.Packets {
-			for _, s := range spans {
-				total += s.Len
+		for _, comp := range t.Packets {
+			for _, spans := range comp {
+				for _, s := range spans {
+					total += s.Len
+				}
 			}
 		}
 	}

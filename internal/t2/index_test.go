@@ -46,23 +46,38 @@ func TestIndexSpansPartitionTileBodies(t *testing.T) {
 		if ix.NumTiles() != ntx*nty {
 			t.Fatalf("case %d: %d tiles indexed, grid %dx%d", ci, ix.NumTiles(), ntx, nty)
 		}
+		nc := p.Components()
 		for ti, tile := range ix.Tiles {
-			if len(tile.Packets) != p.Layers {
-				t.Fatalf("case %d tile %d: %d layers indexed, want %d", ci, ti, len(tile.Packets), p.Layers)
+			if len(tile.Packets) != nc {
+				t.Fatalf("case %d tile %d: %d components indexed, want %d", ci, ti, len(tile.Packets), nc)
 			}
-			pos := 0
-			for li, spans := range tile.Packets {
-				if len(spans) != p.Levels+1 {
-					t.Fatalf("case %d tile %d layer %d: %d resolutions, want %d", ci, ti, li, len(spans), p.Levels+1)
+			for cc, comp := range tile.Packets {
+				if len(comp) != p.Layers {
+					t.Fatalf("case %d tile %d comp %d: %d layers indexed, want %d", ci, ti, cc, len(comp), p.Layers)
 				}
-				for r, s := range spans {
-					if s.Off != pos {
-						t.Fatalf("case %d tile %d layer %d res %d: off %d, want %d", ci, ti, li, r, s.Off, pos)
+				for li, spans := range comp {
+					if len(spans) != p.Levels+1 {
+						t.Fatalf("case %d tile %d comp %d layer %d: %d resolutions, want %d",
+							ci, ti, cc, li, len(spans), p.Levels+1)
 					}
-					if s.Len < 0 {
-						t.Fatalf("case %d tile %d layer %d res %d: negative length", ci, ti, li, r)
+				}
+			}
+			// Walk the body in LRCP order (layer, resolution, component):
+			// packets must be contiguous and exactly partition the body.
+			pos := 0
+			for li := 0; li < p.Layers; li++ {
+				for r := 0; r <= p.Levels; r++ {
+					for cc := 0; cc < nc; cc++ {
+						s := tile.Packets[cc][li][r]
+						if s.Off != pos {
+							t.Fatalf("case %d tile %d layer %d res %d comp %d: off %d, want %d",
+								ci, ti, li, r, cc, s.Off, pos)
+						}
+						if s.Len < 0 {
+							t.Fatalf("case %d tile %d layer %d res %d comp %d: negative length", ci, ti, li, r, cc)
+						}
+						pos = s.End()
 					}
-					pos = s.End()
 				}
 			}
 			if pos != len(tile.Body) {
@@ -141,6 +156,68 @@ func TestIndexByteAccounting(t *testing.T) {
 		if got, want := ix.LayerPrefixLen(ti, ix.Params.Layers), len(ix.Tiles[ti].Body); got != want {
 			t.Fatalf("tile %d: full layer prefix %d != body %d", ti, got, want)
 		}
+	}
+}
+
+// TestIndexColorStream runs the span-partition and layer-truncation
+// invariants over a Csiz=3 MCT stream: spans are keyed tile x component x
+// layer x resolution, RegionBytes sums every component, and the truncated
+// color stream decodes identically to MaxLayers.
+func TestIndexColorStream(t *testing.T) {
+	mk := func(seed uint64) *raster.Image { return raster.Synthetic(230, 190, seed) }
+	pl := raster.RGB(mk(101), mk(102), mk(103))
+	cs, _, err := jp2k.EncodePlanar(pl, jp2k.Options{
+		Kernel: dwt.Irr97, MCT: true, LayerBPP: []float64{0.75, 3.0}, TileW: 100, TileH: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := t2.BuildIndex(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ix.Params
+	if p.Components() != 3 || !p.MCT {
+		t.Fatalf("indexed params: %d components, MCT %v", p.Components(), p.MCT)
+	}
+	// Spans partition each body in LRCP order across the three components.
+	for ti, tile := range ix.Tiles {
+		pos := 0
+		for li := 0; li < p.Layers; li++ {
+			for r := 0; r <= p.Levels; r++ {
+				for ci := 0; ci < 3; ci++ {
+					s := tile.Packets[ci][li][r]
+					if s.Off != pos {
+						t.Fatalf("tile %d layer %d res %d comp %d: off %d want %d", ti, li, r, ci, s.Off, pos)
+					}
+					pos = s.End()
+				}
+			}
+		}
+		if pos != len(tile.Body) {
+			t.Fatalf("tile %d: packets cover %d of %d body bytes", ti, pos, len(tile.Body))
+		}
+	}
+	all := make([]int, ix.NumTiles())
+	for i := range all {
+		all[i] = i
+	}
+	if got, want := ix.RegionBytes(all, 0, 0), ix.TotalBytes(); got != want {
+		t.Fatalf("full region costs %d bytes, stream carries %d", got, want)
+	}
+	// Layer truncation: the re-emitted 1-layer color stream decodes exactly
+	// as MaxLayers=1.
+	pre := ix.CodestreamPrefix(1)
+	got, err := jp2k.DecodePlanar(pre, jp2k.DecodeOptions{})
+	if err != nil {
+		t.Fatalf("decoding prefix: %v", err)
+	}
+	want, err := jp2k.DecodePlanar(cs, jp2k.DecodeOptions{MaxLayers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raster.PlanarEqual(got, want) {
+		t.Fatal("truncated color stream decodes differently from MaxLayers=1")
 	}
 }
 

@@ -183,71 +183,116 @@ func readPassCount(r *bitio.StuffReader) (int, error) {
 	return 37 + int(v), nil
 }
 
-// TileCoder holds per-tile packet coding state: one bandState per subband,
-// indexed as in dwt.Subbands order, plus reusable header/body buffers.
+// compCoder is the per-component slice of a TileCoder: one bandState per
+// subband (dwt.Subbands order) plus the component-local block id layout.
+type compCoder struct {
+	states    []*bandState
+	blockBase []int // component-local block id of each band's first block
+	nblocks   int
+}
+
+func (cc *compCoder) build(bands []BandBlocks) {
+	cc.states = make([]*bandState, len(bands))
+	cc.blockBase = make([]int, len(bands))
+	id := 0
+	for i, b := range bands {
+		cc.states[i] = newBandState(b.Grid)
+		cc.blockBase[i] = id
+		id += b.Grid.GW * b.Grid.GH
+	}
+	cc.nblocks = id
+}
+
+func (cc *compCoder) matches(bands []BandBlocks) bool {
+	if len(cc.states) != len(bands) {
+		return false
+	}
+	for i, b := range bands {
+		if cc.states[i].gw != b.Grid.GW || cc.states[i].gh != b.Grid.GH {
+			return false
+		}
+	}
+	return true
+}
+
+// TileCoder holds per-tile packet coding state: per component, one bandState
+// per subband, plus reusable header/body buffers shared across components.
 // Pooled encoders keep one TileCoder per tile and Reset it before each
 // packet-assembly round, so the tag trees and state arrays are allocated
 // once per encoder lifetime. A TileCoder is not safe for concurrent use.
 type TileCoder struct {
-	states    []*bandState
-	blockBase []int // global block id of each band's first block
-	nblocks   int
-	hw        *bitio.StuffWriter // reusable packet-header writer
-	hr        bitio.StuffReader  // reusable packet-header reader
-	body      []byte             // reusable packet-body buffer
-	pend      []pendingSeg       // reusable decode-side body segment list
+	comps []compCoder
+	hw    *bitio.StuffWriter // reusable packet-header writer
+	hr    bitio.StuffReader  // reusable packet-header reader
+	body  []byte             // reusable packet-body buffer
+	pend  []pendingSeg       // reusable decode-side body segment list
+	one   [1][]BandBlocks    // scratch for the single-component entry points
 }
 
-// NewTileCoder builds coding state for one tile's band geometry.
+// NewTileCoder builds coding state for one single-component tile geometry.
 func NewTileCoder(bands []BandBlocks) *TileCoder {
 	tc := &TileCoder{hw: bitio.NewStuffWriter()}
-	tc.build(bands)
+	tc.one[0] = bands
+	tc.build(tc.one[:])
+	tc.one[0] = nil
 	return tc
 }
 
-func (tc *TileCoder) build(bands []BandBlocks) {
-	tc.states = make([]*bandState, len(bands))
-	tc.blockBase = make([]int, len(bands))
-	id := 0
-	for i, b := range bands {
-		tc.states[i] = newBandState(b.Grid)
-		tc.blockBase[i] = id
-		id += b.Grid.GW * b.Grid.GH
-	}
-	tc.nblocks = id
+// NewTileCoderComps builds coding state for one tile's per-component band
+// geometry (comps[ci] lists component ci's bands in dwt.Subbands order).
+func NewTileCoderComps(comps [][]BandBlocks) *TileCoder {
+	tc := &TileCoder{hw: bitio.NewStuffWriter()}
+	tc.build(comps)
+	return tc
 }
 
-// Reset prepares the coder for a fresh tile encode over the same (or a new)
-// band geometry. Matching geometry reuses every buffer; a shape change
-// rebuilds the state.
+func (tc *TileCoder) build(comps [][]BandBlocks) {
+	tc.comps = make([]compCoder, len(comps))
+	for ci, bands := range comps {
+		tc.comps[ci].build(bands)
+	}
+}
+
+// Reset prepares the coder for a fresh single-component tile encode; see
+// ResetComps.
 func (tc *TileCoder) Reset(bands []BandBlocks) {
-	if len(tc.states) != len(bands) {
-		tc.build(bands)
+	tc.one[0] = bands
+	tc.ResetComps(tc.one[:])
+	tc.one[0] = nil
+}
+
+// ResetComps prepares the coder for a fresh tile encode over the same (or a
+// new) per-component band geometry. Matching geometry reuses every buffer; a
+// shape change rebuilds the state.
+func (tc *TileCoder) ResetComps(comps [][]BandBlocks) {
+	if len(tc.comps) != len(comps) {
+		tc.build(comps)
 		return
 	}
-	for i, b := range bands {
-		if tc.states[i].gw != b.Grid.GW || tc.states[i].gh != b.Grid.GH {
-			tc.build(bands)
+	for ci := range comps {
+		if !tc.comps[ci].matches(comps[ci]) {
+			tc.build(comps)
 			return
 		}
 	}
-	for _, st := range tc.states {
-		st.reset()
+	for ci := range tc.comps {
+		for _, st := range tc.comps[ci].states {
+			st.reset()
+		}
 	}
 }
 
-func newTileCoder(bands []BandBlocks) *TileCoder { return NewTileCoder(bands) }
-
-// seedInclusion sets the inclusion tag-tree leaf values from the full layer
-// allocation: the first layer each block contributes passes in, or nlayers
-// for blocks never included. Must be called before encoding any packet —
-// tag-tree minima are global, so values cannot be revealed lazily.
-func (tc *TileCoder) seedInclusion(bands []BandBlocks, layers [][]int) {
+// seedInclusion sets component ci's inclusion tag-tree leaf values from the
+// full layer allocation: the first layer each block contributes passes in, or
+// nlayers for blocks never included. Must be called before encoding any
+// packet — tag-tree minima are global, so values cannot be revealed lazily.
+func (tc *TileCoder) seedInclusion(ci int, bands []BandBlocks, layers [][]int) {
+	cc := &tc.comps[ci]
 	nlayers := len(layers)
 	for bi, b := range bands {
-		st := tc.states[bi]
+		st := cc.states[bi]
 		for k := range b.Blocks {
-			id := tc.blockBase[bi] + k
+			id := cc.blockBase[bi] + k
 			first := nlayers
 			for li := 0; li < nlayers; li++ {
 				if layers[li][id] > 0 {
@@ -262,19 +307,22 @@ func (tc *TileCoder) seedInclusion(bands []BandBlocks, layers [][]int) {
 	}
 }
 
-// encodePacket appends the packet for (layer, resolution) to dst. bandIdx
-// lists the subband indices of this resolution; target holds cumulative pass
-// counts per global block id through this layer. The header writer and body
-// buffer are reused across packets.
-func (tc *TileCoder) encodePacket(dst []byte, bands []BandBlocks, bandIdx []int,
+// encodePacket appends component ci's packet for (layer, resolution) to dst.
+// bandIdx lists the subband indices of this resolution; target holds
+// cumulative pass counts per component-local block id through this layer.
+// The header writer and body buffer are reused across packets.
+func (tc *TileCoder) encodePacket(ci int, dst []byte, bands []BandBlocks, bandIdx []int,
 	layer int, target []int) []byte {
 
+	cc := &tc.comps[ci]
 	nonEmpty := false
-	for _, bi := range bandIdx {
-		st := tc.states[bi]
-		for k := range st.passesCum {
-			if target[tc.blockBase[bi]+k] > st.passesCum[k] {
-				nonEmpty = true
+	if target != nil {
+		for _, bi := range bandIdx {
+			st := cc.states[bi]
+			for k := range st.passesCum {
+				if target[cc.blockBase[bi]+k] > st.passesCum[k] {
+					nonEmpty = true
+				}
 			}
 		}
 	}
@@ -288,10 +336,10 @@ func (tc *TileCoder) encodePacket(dst []byte, bands []BandBlocks, bandIdx []int,
 	body := tc.body[:0]
 	for _, bi := range bandIdx {
 		b := bands[bi]
-		st := tc.states[bi]
+		st := cc.states[bi]
 		for k := range st.passesCum {
 			blk := b.Blocks[k]
-			id := tc.blockBase[bi] + k
+			id := cc.blockBase[bi] + k
 			gx, gy := k%b.Grid.GW, k/b.Grid.GW
 			cum := st.passesCum[k]
 			newPasses := target[id] - cum
@@ -345,64 +393,132 @@ type DecodedBlock struct {
 
 type decodedBlock = DecodedBlock
 
-// EncodeTilePackets assembles all packets of one tile in LRCP order (layer
-// outer, resolution inner; single component and precinct). layers[li][id]
-// gives the cumulative pass count of global block id through layer li; ids
-// enumerate bands in dwt.Subbands order, blocks raster-scan within a band.
+// EncodeTilePackets assembles all packets of one single-component tile in
+// LRCP order (layer outer, resolution inner; single precinct). layers[li][id]
+// gives the cumulative pass count of block id through layer li; ids enumerate
+// bands in dwt.Subbands order, blocks raster-scan within a band.
 func EncodeTilePackets(bands []BandBlocks, levels int, layers [][]int) []byte {
 	return NewTileCoder(bands).EncodeTilePackets(bands, levels, layers, nil)
 }
 
-// EncodeTilePackets is the pooled form: the coder is Reset and the packets
-// are appended to dst (which may be a recycled buffer sliced to length 0).
+// EncodeTilePackets is the pooled single-component form: the coder is Reset
+// and the packets are appended to dst (which may be a recycled buffer sliced
+// to length 0).
 func (tc *TileCoder) EncodeTilePackets(bands []BandBlocks, levels int, layers [][]int, dst []byte) []byte {
-	tc.Reset(bands)
-	tc.seedInclusion(bands, layers)
-	for li := range layers {
+	tc.one[0] = bands
+	oneLayers := [1][][]int{layers}
+	dst = tc.EncodeTileCompsPackets(tc.one[:], levels, oneLayers[:], dst, nil)
+	tc.one[0] = nil // do not pin the caller's bands between calls
+	return dst
+}
+
+// EncodeTileCompsPackets assembles all packets of one tile in LRCP order:
+// layer outer, resolution middle, component inner (single precinct) — the
+// standard's layer-resolution-component-position progression. layers[ci][li]
+// holds component ci's cumulative pass counts per component-local block id
+// through layer li. When compBytes is non-nil it accumulates the packet bytes
+// emitted per component (for per-component rate accounting).
+func (tc *TileCoder) EncodeTileCompsPackets(comps [][]BandBlocks, levels int,
+	layers [][][]int, dst []byte, compBytes []int) []byte {
+
+	tc.ResetComps(comps)
+	nlayers := 0
+	for ci := range comps {
+		tc.seedInclusion(ci, comps[ci], layers[ci])
+		if len(layers[ci]) > nlayers {
+			nlayers = len(layers[ci])
+		}
+	}
+	for li := 0; li < nlayers; li++ {
 		for r := 0; r <= levels; r++ {
-			dst = tc.encodePacket(dst, bands, dwt.BandsOfResolution(levels, r), li, layers[li])
+			bandIdx := dwt.BandsOfResolution(levels, r)
+			for ci := range comps {
+				// A component with fewer layers than the progression still
+				// contributes one (empty) packet per remaining layer: its
+				// last cumulative targets carry no new passes (nil for a
+				// component with no layers at all).
+				var target []int
+				if n := len(layers[ci]); n > 0 {
+					target = layers[ci][min(li, n-1)]
+				}
+				before := len(dst)
+				dst = tc.encodePacket(ci, dst, comps[ci], bandIdx, li, target)
+				if compBytes != nil {
+					compBytes[ci] += len(dst) - before
+				}
+			}
 		}
 	}
 	return dst
 }
 
-// DecodeTilePackets parses nlayers * (levels+1) packets from data. bands
-// carries the grid geometry and Mb per band (Blocks entries are ignored).
-// Returns per-global-block accumulated segments and the bytes consumed.
+// DecodeTilePackets parses nlayers * (levels+1) packets of a single-component
+// tile from data. bands carries the grid geometry and Mb per band (Blocks
+// entries are ignored). Returns per-block accumulated segments and the bytes
+// consumed.
 func DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte) ([]DecodedBlock, int, error) {
-	return newTileCoder(bands).DecodeTilePackets(bands, levels, nlayers, data, nil)
+	return NewTileCoder(bands).DecodeTilePackets(bands, levels, nlayers, data, nil)
 }
 
-// DecodeTilePackets is the pooled form: the coder is Reset over the tile's
-// band geometry and dec (which may be a recycled slice from a previous tile)
-// is regrown to the tile's block count with each block's Data capacity
-// retained, so steady-state decoding of same-shaped tiles performs no
-// per-packet allocations. Returns the (possibly regrown) dec slice and the
+// DecodeTilePackets is the pooled single-component form: the coder is Reset
+// over the tile's band geometry and dec (which may be a recycled slice from a
+// previous tile) is regrown to the tile's block count with each block's Data
+// capacity retained, so steady-state decoding of same-shaped tiles performs
+// no per-packet allocations. Returns the (possibly regrown) dec slice and the
 // bytes consumed.
 func (tc *TileCoder) DecodeTilePackets(bands []BandBlocks, levels, nlayers int, data []byte, dec []DecodedBlock) ([]DecodedBlock, int, error) {
-	tc.Reset(bands)
-	if cap(dec) < tc.nblocks {
-		grown := make([]DecodedBlock, tc.nblocks)
+	tc.one[0] = bands
+	oneDec := [1][]DecodedBlock{dec}
+	decs, pos, err := tc.DecodeTileCompsPackets(tc.one[:], levels, nlayers, data, oneDec[:])
+	tc.one[0] = nil // do not pin the caller's bands between calls
+	if err != nil {
+		return nil, 0, err
+	}
+	return decs[0], pos, nil
+}
+
+// resetDec regrows dec to n blocks with each block's Data capacity retained.
+func resetDec(dec []DecodedBlock, n int) []DecodedBlock {
+	if cap(dec) < n {
+		grown := make([]DecodedBlock, n)
 		for i := range dec {
 			grown[i].Data = dec[i].Data // keep warmed byte buffers
 		}
 		dec = grown
 	} else {
-		dec = dec[:tc.nblocks]
+		dec = dec[:n]
 	}
 	for i := range dec {
 		dec[i].Passes = 0
 		dec[i].NumBitplanes = 0
 		dec[i].Data = dec[i].Data[:0]
 	}
+	return dec
+}
+
+// DecodeTileCompsPackets parses nlayers * (levels+1) * len(comps) packets in
+// the LRCP interleaving EncodeTileCompsPackets emits. dec[ci] (which may be
+// recycled, or nil) accumulates component ci's block segments, indexed by
+// component-local block id. Returns the (possibly regrown) per-component dec
+// slices and the bytes consumed. dec must have len(comps) entries.
+func (tc *TileCoder) DecodeTileCompsPackets(comps [][]BandBlocks, levels, nlayers int,
+	data []byte, dec [][]DecodedBlock) ([][]DecodedBlock, int, error) {
+
+	tc.ResetComps(comps)
+	for ci := range comps {
+		dec[ci] = resetDec(dec[ci], tc.comps[ci].nblocks)
+	}
 	pos := 0
 	for li := 0; li < nlayers; li++ {
 		for r := 0; r <= levels; r++ {
-			n, err := tc.decodePacket(bands, dwt.BandsOfResolution(levels, r), li, data[pos:], dec, true)
-			if err != nil {
-				return nil, 0, fmt.Errorf("t2: layer %d resolution %d: %w", li, r, err)
+			bandIdx := dwt.BandsOfResolution(levels, r)
+			for ci := range comps {
+				n, err := tc.decodePacket(ci, comps[ci], bandIdx, li, data[pos:], dec[ci], true)
+				if err != nil {
+					return nil, 0, fmt.Errorf("t2: layer %d resolution %d component %d: %w", li, r, ci, err)
+				}
+				pos += n
 			}
-			pos += n
 		}
 	}
 	return dec, pos, nil
@@ -415,15 +531,16 @@ type pendingSeg struct {
 	segLen int
 }
 
-// decodePacket parses one packet for (layer, resolution), appending segment
-// bytes and pass counts to dec (indexed by global block id). NumBitplanes of
-// first-included blocks is stored into dec. With copyBody false the body
-// bytes are skipped rather than accumulated — the header-only walk the
-// codestream Index uses to locate packet boundaries without touching block
-// payloads. Returns the bytes consumed.
-func (tc *TileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
+// decodePacket parses component ci's packet for (layer, resolution),
+// appending segment bytes and pass counts to dec (indexed by component-local
+// block id). NumBitplanes of first-included blocks is stored into dec. With
+// copyBody false the body bytes are skipped rather than accumulated — the
+// header-only walk the codestream Index uses to locate packet boundaries
+// without touching block payloads. Returns the bytes consumed.
+func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 	layer int, data []byte, dec []decodedBlock, copyBody bool) (int, error) {
 
+	cc := &tc.comps[ci]
 	r := &tc.hr
 	r.Reset(data)
 	bit, err := r.ReadBit()
@@ -436,9 +553,9 @@ func (tc *TileCoder) decodePacket(bands []BandBlocks, bandIdx []int,
 	body := tc.pend[:0]
 	for _, bi := range bandIdx {
 		b := bands[bi]
-		st := tc.states[bi]
+		st := cc.states[bi]
 		for k := range st.passesCum {
-			id := tc.blockBase[bi] + k
+			id := cc.blockBase[bi] + k
 			gx, gy := k%b.Grid.GW, k/b.Grid.GW
 			firstInclusion := false
 			if !st.included[k] {

@@ -228,7 +228,7 @@ func TestCodestreamRoundTrip(t *testing.T) {
 		Width: 517, Height: 311, TileW: 517, TileH: 311,
 		BitDepth: 8, Levels: 5, Layers: 3, CBW: 64, CBH: 32,
 		Kernel: dwt.Rev53, GuardBits: 2,
-		Mb: []int{10, 11, 11, 12, 9, 9, 10},
+		Mb: [][]int{{10, 11, 11, 12, 9, 9, 10}},
 	}
 	tiles := [][]byte{{1, 2, 3, 4, 5}}
 	cs := WriteCodestream(p, tiles)
@@ -238,15 +238,15 @@ func TestCodestreamRoundTrip(t *testing.T) {
 	}
 	if q.Width != p.Width || q.Height != p.Height || q.BitDepth != 8 ||
 		q.Levels != 5 || q.Layers != 3 || q.CBW != 64 || q.CBH != 32 ||
-		q.Kernel != dwt.Rev53 || q.GuardBits != 2 {
+		q.Kernel != dwt.Rev53 || q.GuardBits != 2 || q.NComp != 1 {
 		t.Fatalf("params mismatch: %+v", q)
 	}
-	if len(q.Mb) != len(p.Mb) {
-		t.Fatalf("Mb count %d", len(q.Mb))
+	if len(q.Mb) != 1 || len(q.Mb[0]) != len(p.Mb[0]) {
+		t.Fatalf("Mb shape %d", len(q.Mb))
 	}
-	for i := range p.Mb {
-		if q.Mb[i] != p.Mb[i] {
-			t.Fatalf("Mb[%d] = %d want %d", i, q.Mb[i], p.Mb[i])
+	for i := range p.Mb[0] {
+		if q.Mb[0][i] != p.Mb[0][i] {
+			t.Fatalf("Mb[0][%d] = %d want %d", i, q.Mb[0][i], p.Mb[0][i])
 		}
 	}
 	if len(gotTiles) != 1 || !bytes.Equal(gotTiles[0], tiles[0]) {
@@ -259,23 +259,23 @@ func TestCodestreamIrreversibleSteps(t *testing.T) {
 		Width: 64, Height: 64, TileW: 64, TileH: 64,
 		BitDepth: 8, Levels: 2, Layers: 1, CBW: 32, CBH: 32,
 		Kernel: dwt.Irr97, GuardBits: 1,
-		Mb:    []int{9, 10, 10, 11, 8, 8, 9},
-		Steps: make([]quant.Step, 7),
+		Mb:    [][]int{{9, 10, 10, 11, 8, 8, 9}},
+		Steps: [][]quant.Step{make([]quant.Step, 7)},
 	}
-	for i := range p.Steps {
-		p.Steps[i] = quant.StepFor(0.003 * float64(i+1))
+	for i := range p.Steps[0] {
+		p.Steps[0][i] = quant.StepFor(0.003 * float64(i+1))
 	}
 	cs := WriteCodestream(p, [][]byte{{0xAA}})
 	q, _, err := ReadCodestream(cs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.Kernel != dwt.Irr97 || len(q.Steps) != 7 {
+	if q.Kernel != dwt.Irr97 || len(q.Steps) != 1 || len(q.Steps[0]) != 7 {
 		t.Fatalf("bad params %+v", q)
 	}
-	for i := range p.Steps {
-		if q.Steps[i] != p.Steps[i] {
-			t.Fatalf("step %d: %+v want %+v", i, q.Steps[i], p.Steps[i])
+	for i := range p.Steps[0] {
+		if q.Steps[0][i] != p.Steps[0][i] {
+			t.Fatalf("step %d: %+v want %+v", i, q.Steps[0][i], p.Steps[0][i])
 		}
 	}
 }
@@ -284,7 +284,7 @@ func TestCodestreamMultiTile(t *testing.T) {
 	p := Params{
 		Width: 100, Height: 100, TileW: 50, TileH: 50,
 		BitDepth: 8, Levels: 1, Layers: 1, CBW: 64, CBH: 64,
-		Kernel: dwt.Rev53, GuardBits: 2, Mb: []int{8, 9, 9, 10},
+		Kernel: dwt.Rev53, GuardBits: 2, Mb: [][]int{{8, 9, 9, 10}},
 	}
 	tiles := [][]byte{{1}, {2, 2}, {3, 3, 3}, {}}
 	cs := WriteCodestream(p, tiles)
@@ -311,7 +311,7 @@ func TestCodestreamErrors(t *testing.T) {
 		t.Fatal("want error for missing SOC")
 	}
 	p := Params{Width: 8, Height: 8, TileW: 8, TileH: 8, BitDepth: 8,
-		Levels: 1, Layers: 1, CBW: 64, CBH: 64, Kernel: dwt.Rev53, GuardBits: 2, Mb: []int{8, 8, 8, 8}}
+		Levels: 1, Layers: 1, CBW: 64, CBH: 64, Kernel: dwt.Rev53, GuardBits: 2, Mb: [][]int{{8, 8, 8, 8}}}
 	cs := WriteCodestream(p, [][]byte{{1, 2, 3}})
 	if _, _, err := ReadCodestream(cs[:len(cs)-4]); err == nil {
 		t.Fatal("want error for truncated stream")

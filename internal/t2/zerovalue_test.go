@@ -1,0 +1,12 @@
+package t2
+
+import "testing"
+
+func TestWriteCodestreamZeroValueMb(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panicked: %v", r)
+		}
+	}()
+	WriteCodestream(Params{Width: 8, Height: 8, TileW: 8, TileH: 8, Layers: 1, CBW: 64, CBH: 64}, [][]byte{{1}})
+}
