@@ -258,6 +258,7 @@ func BenchmarkEncodeWorkers(b *testing.B) {
 		b.Run(byName("w", w), func(b *testing.B) {
 			opts := jp2k.Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: w, VertMode: dwt.VertBlocked}
 			enc := jp2k.NewEncoder()
+			defer enc.Close()
 			b.SetBytes(int64(im.Width * im.Height))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -296,6 +297,7 @@ func BenchmarkDecode(b *testing.B) {
 		for _, reduce := range []int{0, 2} {
 			b.Run(byName("w", w)+"/"+byName("reduce", reduce), func(b *testing.B) {
 				dec := jp2k.NewDecoder()
+				defer dec.Close()
 				opts := jp2k.DecodeOptions{Workers: w, DiscardLevels: reduce, VertMode: dwt.VertBlocked}
 				b.SetBytes(int64(im.Width * im.Height))
 				b.ReportAllocs()
@@ -342,6 +344,7 @@ func BenchmarkEncodeColor(b *testing.B) {
 				Workers: w, VertMode: dwt.VertBlocked,
 			}
 			enc := jp2k.NewEncoder()
+			defer enc.Close()
 			b.SetBytes(int64(3 * im.Width * im.Height))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -365,6 +368,7 @@ func BenchmarkDecodeColor(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		b.Run(byName("w", w), func(b *testing.B) {
 			dec := jp2k.NewDecoder()
+			defer dec.Close()
 			opts := jp2k.DecodeOptions{Workers: w, VertMode: dwt.VertBlocked}
 			b.SetBytes(int64(3 * im.Width * im.Height))
 			b.ReportAllocs()
@@ -393,6 +397,7 @@ func BenchmarkDecodeRegion(b *testing.B) {
 	for _, w := range []int{1, 4} {
 		b.Run(byName("w", w), func(b *testing.B) {
 			dec := jp2k.NewDecoder()
+			defer dec.Close()
 			opts := jp2k.DecodeOptions{Workers: w, VertMode: dwt.VertBlocked}
 			b.SetBytes(int64(region.Dx() * region.Dy()))
 			b.ReportAllocs()

@@ -30,6 +30,7 @@ func main() {
 	var ref []byte
 	var serial time.Duration
 	enc := jp2k.NewEncoder() // pooled pipeline: repeated encodes don't churn the allocator
+	defer enc.Close()        // joins the encoder's resident workers
 	for w := 1; w <= runtime.NumCPU(); w *= 2 {
 		opts.Workers = w
 		t0 := time.Now()

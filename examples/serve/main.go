@@ -3,8 +3,9 @@
 // registers both with the serve subsystem, starts an HTTP server, and then
 // plays the requests a zoomable viewer would issue — a thumbnail, a viewport
 // at full resolution, the same viewport again (cache hit), a color viewport
-// served as PPM, and a layer-truncated codestream for a client that decodes
-// locally — printing what each request cost the server.
+// served as PPM, a raw window whose sample width the client negotiates from
+// the X-PJ2K-Max-Value header, and a layer-truncated codestream for a client
+// that decodes locally — printing what each request cost the server.
 //
 // Run with: go run ./examples/serve
 package main
@@ -16,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"time"
 
 	"pj2k/internal/dwt"
@@ -70,6 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := serve.New(store, serve.Options{CacheBytes: 64 << 20})
+	defer srv.Close() // joins the server's resident decode workers
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	fmt.Printf("serving at %s\n\n", ts.URL)
@@ -123,7 +126,27 @@ func main() {
 	fmt.Printf("color viewport 400x400: %d bytes of PPM in %v (packet bytes: %s)\n",
 		len(body), el.Round(time.Microsecond), hdr.Get("X-PJ2K-Packet-Bytes"))
 
-	// 6. Progressive refinement for a remote decoder: a valid codestream
+	// 6. A raw window for a pixel-pushing client: headerless planar samples
+	// whose width the client negotiates from X-PJ2K-Max-Value — 1 byte per
+	// sample when maxval <= 255, big-endian 2 bytes otherwise. The headers
+	// alone fully describe the payload.
+	body, el, hdr = get("/img/demo?x0=0&y0=0&x1=64&y1=64&format=raw")
+	maxval, err := strconv.Atoi(hdr.Get("X-PJ2K-Max-Value"))
+	if err != nil {
+		log.Fatalf("raw response missing X-PJ2K-Max-Value: %v", err)
+	}
+	bytesPerSample := 1
+	if maxval > 255 {
+		bytesPerSample = 2
+	}
+	first := int(body[0])
+	if bytesPerSample == 2 {
+		first = int(body[0])<<8 | int(body[1])
+	}
+	fmt.Printf("raw 64x64 window: %d bytes = %d samples x %d byte(s) (maxval %d, first sample %d) in %v\n",
+		len(body), len(body)/bytesPerSample, bytesPerSample, maxval, first, el.Round(time.Microsecond))
+
+	// 7. Progressive refinement for a remote decoder: a valid codestream
 	// holding only the first quality layer, sliced from the packet index.
 	body, el, _ = get("/img/demo/stream?layers=1")
 	lowQ, err := jp2k.Decode(body, jp2k.DecodeOptions{})
@@ -133,7 +156,7 @@ func main() {
 	fmt.Printf("layer-1 stream: %d of %d bytes in %v, decodes to %dx%d\n",
 		len(body), len(cs), el.Round(time.Microsecond), lowQ.Width, lowQ.Height)
 
-	// 7. The server's own accounting.
+	// 8. The server's own accounting.
 	body, _, _ = get("/stats")
 	fmt.Printf("\nstats:\n%s", body)
 }

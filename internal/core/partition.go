@@ -5,10 +5,7 @@
 // load-balance fix for tier-1 coding), and a worker pool.
 package core
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // Workers normalizes a worker-count request: w <= 0 selects GOMAXPROCS.
 func Workers(w int) int {
@@ -19,46 +16,21 @@ func Workers(w int) int {
 }
 
 // ParallelFor splits the index range [0, n) into at most p contiguous chunks
-// and runs fn(lo, hi) for each chunk, using p-1 extra goroutines. It returns
-// after all chunks complete (a barrier, as required between the vertical and
-// horizontal filtering of each DWT level). With p == 1 or tiny n it runs
-// inline with zero goroutine overhead.
+// and runs fn(lo, hi) for each chunk on the shared default pool's resident
+// workers. It returns after all chunks complete (a barrier, as required
+// between the vertical and horizontal filtering of each DWT level). With
+// p == 1 or tiny n it runs inline with zero dispatch overhead.
 func ParallelFor(p, n int, fn func(lo, hi int)) {
-	ParallelForID(p, n, func(_, lo, hi int) { fn(lo, hi) })
+	Default().ForMax(Workers(p), n, fn)
 }
 
 // ParallelForID is ParallelFor with the chunk's worker index passed to fn,
 // so callers can hand each worker private scratch state (the paper's threads
 // keep per-processor buffers for exactly this reason). Worker indices are
-// dense in [0, min(p, n)).
+// dense in [0, min(p, n)). One-shot wrapper over the shared default Pool;
+// callers dispatching repeatedly should hold their own Pool.
 func ParallelForID(p, n int, fn func(worker, lo, hi int)) {
-	p = Workers(p)
-	if p > n {
-		p = n
-	}
-	if p <= 1 {
-		if n > 0 {
-			fn(0, 0, n)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := n / p
-	rem := n % p
-	lo := 0
-	for i := 0; i < p; i++ {
-		hi := lo + chunk
-		if i < rem {
-			hi++
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(i, lo, hi)
-		lo = hi
-	}
-	wg.Wait()
+	Default().ForIDMax(Workers(p), n, fn)
 }
 
 // StaggeredRoundRobin assigns n tasks to p workers the way the paper assigns
@@ -112,27 +84,8 @@ func RunTasks(n, p int, task func(i int)) {
 // per-worker pooled state (reusable tier-1 coders, scratch arenas). Worker
 // indices are dense in [0, min(p, n)). The staggered assignment is iterated
 // arithmetically (worker w runs w, w+p, w+2p, ...) rather than materialized,
-// so dispatch itself does not allocate.
+// so dispatch itself does not allocate. One-shot wrapper over the shared
+// default Pool; callers dispatching repeatedly should hold their own Pool.
 func RunTasksID(n, p int, task func(worker, i int)) {
-	p = Workers(p)
-	if p > n {
-		p = n
-	}
-	if p <= 1 {
-		for i := 0; i < n; i++ {
-			task(0, i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += p {
-				task(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	Default().TasksIDMax(Workers(p), n, task)
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent set of worker goroutines executing the package's
+// dispatch shapes — chunked parallel-for barriers and staggered round-robin
+// task sets — without the per-call fork/join of spawning goroutines. The
+// paper's thread pool is created once per process and reused for every stage
+// of every image; Pool is that object: encoders, decoders and the tile server
+// each hold one (or share one) across calls, so steady-state dispatch costs a
+// few channel operations instead of goroutine spawns.
+//
+// Worker identity is per dispatch, not per goroutine: each dispatch of width
+// q hands out dense ids in [0, q) to whichever resident workers claim its
+// shares, so callers can index per-worker scratch exactly as they did with
+// spawn-per-call dispatch, and the task-to-id assignment (worker w runs tasks
+// w, w+q, w+2q, ...) is byte-for-byte the one ParallelForID/RunTasksID used —
+// pooling cannot perturb deterministic output.
+//
+// Dispatches may overlap freely (a server fans out many requests over one
+// Pool) and may nest (a unit-level dispatch whose tasks dispatch DWT level
+// barriers): a dispatcher waiting for its own batch helps drain the queue, so
+// nested dispatch cannot deadlock even when every resident worker is busy.
+type Pool struct {
+	size    int
+	work    chan *batch
+	batches sync.Pool
+	start   sync.Once // workers spawn on first non-inline dispatch
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// batch is one dispatch in flight: the function to run, the width q, the id
+// allocator and the completion signal. Batches are recycled through the
+// pool's sync.Pool, so steady-state dispatch does not allocate.
+type batch struct {
+	rng    func(worker, lo, hi int) // chunked barrier (ForID): chunk id of q
+	task   func(worker, i int)      // strided tasks (TasksID): ids i, i+q, ...
+	n, q   int
+	next   atomic.Int64 // dense worker-id allocator
+	undone atomic.Int64 // shares not yet finished
+	done   chan struct{}
+}
+
+// run claims the next dense worker id and executes that id's share of the
+// batch, signalling done when it is the last share to finish.
+func (b *batch) run() {
+	id := int(b.next.Add(1)) - 1
+	if b.rng != nil {
+		chunk, rem := b.n/b.q, b.n%b.q
+		lo := id*chunk + min(id, rem)
+		hi := lo + chunk
+		if id < rem {
+			hi++
+		}
+		b.rng(id, lo, hi)
+	} else {
+		for i := id; i < b.n; i += b.q {
+			b.task(id, i)
+		}
+	}
+	if b.undone.Add(-1) == 0 {
+		b.done <- struct{}{}
+	}
+}
+
+// NewPool returns a pool of the given size (<= 0 selects GOMAXPROCS). The
+// worker goroutines start lazily on the first dispatch that needs them, so an
+// unused pool costs nothing; Close joins whatever was started.
+func NewPool(size int) *Pool {
+	p := &Pool{size: Workers(size), work: make(chan *batch, 64)}
+	p.batches.New = func() any { return &batch{done: make(chan struct{}, 1)} }
+	return p
+}
+
+// Size returns the number of resident workers.
+func (p *Pool) Size() int { return p.size }
+
+// Close joins every worker goroutine; it returns once all have exited. Close
+// must not race with an in-flight dispatch, and dispatching on a closed pool
+// panics. Closing a never-used or already-closed pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.closed.Swap(true) {
+		return
+	}
+	p.start.Do(func() {}) // a later dispatch must not spawn workers
+	close(p.work)
+	p.wg.Wait()
+}
+
+func (p *Pool) spawn() {
+	p.start.Do(func() {
+		for i := 0; i < p.size; i++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for b := range p.work {
+					b.run()
+				}
+			}()
+		}
+	})
+}
+
+// dispatch enqueues q-1 shares for the resident workers, runs one share on
+// the calling goroutine, and waits for the rest — helping with other queued
+// batches rather than blocking, which is what makes nested and concurrent
+// dispatch on a saturated pool deadlock-free: both the enqueue (sendShare)
+// and the wait below drain the queue instead of parking, so a thread parks
+// only when the queue is momentarily empty and its own shares are running
+// elsewhere.
+func (p *Pool) dispatch(q, n int, rng func(worker, lo, hi int), task func(worker, i int)) {
+	p.spawn()
+	b := p.batches.Get().(*batch)
+	b.rng, b.task, b.n, b.q = rng, task, n, q
+	b.next.Store(0)
+	b.undone.Store(int64(q))
+	for i := 1; i < q; i++ {
+		p.sendShare(b)
+	}
+	b.run()
+	for b.undone.Load() != 0 {
+		select {
+		case ob := <-p.work:
+			ob.run()
+		case <-b.done:
+			b.rng, b.task = nil, nil
+			p.batches.Put(b)
+			return
+		}
+	}
+	<-b.done // consume the completion token before recycling
+	b.rng, b.task = nil, nil
+	p.batches.Put(b)
+}
+
+// sendShare enqueues one share of b, running other queued shares whenever
+// the channel is full. A plain blocking send here can deadlock a saturated
+// pool: with every resident worker parked in a nested send and every
+// dispatcher still in its enqueue loop, no goroutine would ever receive.
+// This select never parks without progress — the send is ready whenever the
+// queue has room, the receive is ready whenever it does not.
+func (p *Pool) sendShare(b *batch) {
+	for {
+		select {
+		case p.work <- b:
+			return
+		case ob := <-p.work:
+			ob.run()
+		}
+	}
+}
+
+// ForID runs fn over [0, n) in at most Size contiguous chunks on the resident
+// workers, returning after all complete (a barrier). Semantics match the
+// package-level ParallelForID with p = Size.
+func (p *Pool) ForID(n int, fn func(worker, lo, hi int)) {
+	p.ForIDMax(p.size, n, fn)
+}
+
+// ForIDMax is ForID with the chunk count capped at w instead of the pool
+// size (w <= 0 selects the pool size, mirroring Workers): the index range
+// splits into q = min(w, n) chunks with dense worker ids in [0, q), exactly
+// as ParallelForID(w, n, fn) splits it, so per-worker scratch sized for
+// min(w, n) workers stays valid. When w exceeds the pool size the resident
+// workers multiplex the extra shares; the chunking — and therefore any
+// worker-indexed state use — is unchanged.
+func (p *Pool) ForIDMax(w, n int, fn func(worker, lo, hi int)) {
+	q := w
+	if q <= 0 {
+		q = p.size
+	}
+	if q > n {
+		q = n
+	}
+	if q <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	p.dispatch(q, n, fn, nil)
+}
+
+// ForMax is ForIDMax without the worker id.
+func (p *Pool) ForMax(w, n int, fn func(lo, hi int)) {
+	p.ForIDMax(w, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// TasksID runs n tasks under the staggered round-robin assignment on the
+// resident workers: worker w runs tasks w, w+q, w+2q, ... Semantics match the
+// package-level RunTasksID with p = Size.
+func (p *Pool) TasksID(n int, fn func(worker, i int)) {
+	p.TasksIDMax(p.size, n, fn)
+}
+
+// TasksIDMax is TasksID with the assignment width capped at w (w <= 0
+// selects the pool size): the staggered assignment uses stride q = min(w, n)
+// with dense worker ids in [0, q), exactly as RunTasksID(n, w, fn) assigns
+// tasks, whatever the pool size.
+func (p *Pool) TasksIDMax(w, n int, fn func(worker, i int)) {
+	q := w
+	if q <= 0 {
+		q = p.size
+	}
+	if q > n {
+		q = n
+	}
+	if q <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	p.dispatch(q, n, nil, fn)
+}
+
+// defaultPool backs the package-level one-shot dispatch functions: one shared
+// GOMAXPROCS-sized pool per process, created on first use and never closed
+// (its parked workers are the process's resident parallelism, like the Go
+// runtime's own worker threads).
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the shared process-wide pool, creating it on first use.
+// Callers that want an isolated worker set (for Close semantics or fairness)
+// should hold their own NewPool.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}

@@ -43,6 +43,21 @@ type Strategy struct {
 	// allocate-per-call behavior. Must be sized (NewScratch) for at least
 	// this strategy's worker count.
 	Scratch *Scratch
+	// Pool supplies resident workers for the level barriers, so each level's
+	// horizontal/vertical dispatch costs channel operations instead of
+	// goroutine spawns. Nil dispatches on the shared core.Default pool. The
+	// chunking is identical either way; Workers bounds the width in both.
+	Pool *core.Pool
+}
+
+// forID runs one level barrier: fn over [0, n) in at most st.Workers chunks
+// on the strategy's pool (or the shared default pool).
+func (st Strategy) forID(n int, fn func(worker, lo, hi int)) {
+	if st.Pool != nil {
+		st.Pool.ForIDMax(core.Workers(st.Workers), n, fn)
+		return
+	}
+	core.ParallelForID(st.Workers, n, fn)
 }
 
 // DefaultBlockWidth is the column-block width used when Strategy.BlockWidth
@@ -96,7 +111,7 @@ func horizontalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 	if cw < 2 {
 		return
 	}
-	core.ParallelForID(st.Workers, ch, func(worker, lo, hi int) {
+	st.forID(ch, func(worker, lo, hi int) {
 		tmp := st.Scratch.i32(worker, 0, cw)
 		for y := lo; y < hi; y++ {
 			row := im.Pix[y*im.Stride : y*im.Stride+cw]
@@ -121,7 +136,7 @@ func verticalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 	}
 	switch st.VertMode {
 	case VertNaive:
-		core.ParallelForID(st.Workers, cw, func(worker, lo, hi int) {
+		st.forID(cw, func(worker, lo, hi int) {
 			col := st.Scratch.i32(worker, 0, ch)
 			for x := lo; x < hi; x++ {
 				// Gather the column with strided reads (the original
@@ -154,7 +169,7 @@ func verticalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 		if bw > cw {
 			bw = cw
 		}
-		core.ParallelForID(st.Workers, len(blocks), func(worker, lo, hi int) {
+		st.forID(len(blocks), func(worker, lo, hi int) {
 			tmp := st.Scratch.i32(worker, 0, bw*ch)
 			for bi := lo; bi < hi; bi++ {
 				x0, x1 := blocks[bi][0], blocks[bi][1]

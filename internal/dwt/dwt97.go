@@ -84,7 +84,7 @@ func horizontalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 	if cw < 2 {
 		return
 	}
-	core.ParallelForID(st.Workers, ch, func(worker, lo, hi int) {
+	st.forID(ch, func(worker, lo, hi int) {
 		tmp := st.Scratch.f64(worker, 0, cw)
 		for y := lo; y < hi; y++ {
 			row := p.Data[y*p.Stride : y*p.Stride+cw]
@@ -107,7 +107,7 @@ func verticalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 	}
 	switch st.VertMode {
 	case VertNaive:
-		core.ParallelForID(st.Workers, cw, func(worker, lo, hi int) {
+		st.forID(cw, func(worker, lo, hi int) {
 			col := st.Scratch.f64(worker, 0, ch)
 			buf := st.Scratch.f64(worker, 1, ch)
 			for x := lo; x < hi; x++ {
@@ -132,7 +132,7 @@ func verticalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 		if bw > cw {
 			bw = cw
 		}
-		core.ParallelForID(st.Workers, len(blocks), func(worker, lo, hi int) {
+		st.forID(len(blocks), func(worker, lo, hi int) {
 			tmp := st.Scratch.f64(worker, 0, bw*ch)
 			for bi := lo; bi < hi; bi++ {
 				x0, x1 := blocks[bi][0], blocks[bi][1]

@@ -83,14 +83,14 @@ func decodeLegacyColor(data []byte, opts DecodeOptions) (r, g, b *raster.Image, 
 		}
 	}
 	if kernel == dwt.Rev53 {
-		if err := mct.InverseRCT(comps[0], comps[1], comps[2], opts.Workers); err != nil {
+		if err := mct.InverseRCT(comps[0], comps[1], comps[2], opts.Workers, nil); err != nil {
 			return nil, nil, nil, err
 		}
 	} else {
 		fy := planeToFloat(comps[0])
 		fcb := planeToFloat(comps[1])
 		fcr := planeToFloat(comps[2])
-		mct.InverseICT(fy, fcb, fcr, opts.Workers)
+		mct.InverseICT(fy, fcb, fcr, opts.Workers, nil)
 		floatToPlane(fy, comps[0])
 		floatToPlane(fcb, comps[1])
 		floatToPlane(fcr, comps[2])

@@ -76,6 +76,9 @@ type Decoder struct {
 	colW, rowH   []int
 	sel          []int
 	mctFloats    [][]float64 // pooled float planes for the inverse ICT
+
+	pool    *core.Pool // resident workers for every stage dispatch
+	ownPool bool       // created by this Decoder; released by Close
 }
 
 // decSlot is one kept (entropy-decoded) code-block of a tile component.
@@ -118,7 +121,32 @@ type tileDec struct {
 }
 
 // NewDecoder returns an empty Decoder; pooled buffers are sized on first use.
-func NewDecoder() *Decoder { return &Decoder{} }
+// The Decoder owns a persistent worker pool (its workers start on the first
+// parallel decode); call Close when done with the Decoder to release them.
+func NewDecoder() *Decoder {
+	return &Decoder{pool: core.NewPool(0), ownPool: true}
+}
+
+// NewDecoderWithPool returns a Decoder dispatching on a shared worker pool —
+// the tile-server shape, where every request's decodes fan into one resident
+// worker set. The caller keeps ownership of the pool: Close releases only the
+// Decoder's buffers, never the shared workers.
+func NewDecoderWithPool(p *core.Pool) *Decoder {
+	if p == nil {
+		p = core.Default()
+	}
+	return &Decoder{pool: p}
+}
+
+// Close releases the Decoder's worker pool (when owned) and drops the pooled
+// buffers, so a retained reference to a closed Decoder pins neither workers
+// nor arenas. The Decoder must not be used after Close.
+func (d *Decoder) Close() {
+	if d.ownPool {
+		d.pool.Close()
+	}
+	*d = Decoder{}
+}
 
 // ensureWorkers sizes the per-worker pools, mirroring Encoder.ensureWorkers:
 // outer unit-level workers each carry DWT scratch for inner within-unit
@@ -261,7 +289,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	// LRCP-interleaved) and accumulate the code-block segments, in parallel
 	// across tiles with pooled per-tile coding state.
 	nbands := 1 + 3*p.Levels
-	core.RunTasksID(nsel, outerW, func(_, si int) {
+	d.pool.TasksIDMax(outerW, nsel, func(_, si int) {
 		ti := sel[si]
 		tx, ty := ti%ntx, ti/ntx
 		te := d.tiles[si]
@@ -354,7 +382,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	d.blockErrs = grow(d.blockErrs, njobs)
 	blockErrs := d.blockErrs
 	clear(blockErrs)
-	core.RunTasksID(njobs, workers, func(worker, i int) {
+	d.pool.TasksIDMax(workers, njobs, func(worker, i int) {
 		te := d.tiles[jobs[i].ti]
 		cd := &te.comps[jobs[i].ci]
 		s := &cd.slots[jobs[i].si]
@@ -381,7 +409,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	if mctActive {
 		outShift = 0
 	}
-	core.RunTasksID(nunits, outerA, func(worker, u int) {
+	d.pool.TasksIDMax(outerA, nunits, func(worker, u int) {
 		te := d.tiles[u/ncomp]
 		ci := u % ncomp
 		cd := &te.comps[ci]
@@ -392,7 +420,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 		}
 		st := dwt.Strategy{
 			VertMode: opts.VertMode, BlockWidth: opts.VertBlockWidth,
-			Workers: innerW, Scratch: d.scratch[worker],
+			Workers: innerW, Scratch: d.scratch[worker], Pool: d.pool,
 		}
 		// The tile window to copy out, in tile-local reduced coordinates.
 		lx0, ly0 := max(win.X0-te.ox, 0), max(win.Y0-te.oy, 0)
@@ -447,15 +475,15 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	// operates on the rounded integer samples) and apply the shift once.
 	if mctActive {
 		if p.Kernel == dwt.Rev53 {
-			if err := mct.InverseRCT(out.Comps[0], out.Comps[1], out.Comps[2], opts.Workers); err != nil {
+			if err := mct.InverseRCT(out.Comps[0], out.Comps[1], out.Comps[2], workers, d.pool); err != nil {
 				return nil, err
 			}
 		} else {
-			rotateICT(out.Comps, &d.mctFloats, opts.Workers, mct.InverseICT)
+			rotateICT(out.Comps, &d.mctFloats, workers, d.pool, mct.InverseICT)
 		}
 		for _, c := range out.Comps {
 			pix := c.Pix
-			core.ParallelFor(opts.Workers, len(pix), func(lo, hi int) {
+			d.pool.ForMax(workers, len(pix), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					pix[i] += shift
 				}

@@ -36,6 +36,7 @@ func crop(im *raster.Image, r Rect) *raster.Image {
 func TestDecodeRegionMatchesCrop(t *testing.T) {
 	im := raster.Synthetic(230, 190, 99)
 	dec := NewDecoder()
+	defer dec.Close()
 	for ci, o := range regionCases() {
 		o.Workers = 2
 		cs, _, err := Encode(im, o)
@@ -109,6 +110,7 @@ func TestDecoderReuseDeterministic(t *testing.T) {
 		}
 	}
 	dec := NewDecoder()
+	defer dec.Close()
 	for round := 0; round < 3; round++ {
 		for ii := range images {
 			for ci := range cases {
@@ -145,6 +147,7 @@ func TestDecoderSteadyStateAllocs(t *testing.T) {
 		}
 	})
 	dec := NewDecoder()
+	defer dec.Close()
 	for i := 0; i < 3; i++ { // warm the pools
 		if _, err := dec.Decode(cs, opts); err != nil {
 			t.Fatal(err)
@@ -170,6 +173,7 @@ func TestDecodeRegionRobustness(t *testing.T) {
 		t.Fatal(err)
 	}
 	dec := NewDecoder()
+	defer dec.Close()
 	region := Rect{X0: 10, Y0: 10, X1: 60, Y1: 60}
 	try := func(data []byte, label string) {
 		defer func() {

@@ -72,6 +72,7 @@ func TestEncoderReuseDeterministic(t *testing.T) {
 		}
 	}
 	enc := NewEncoder()
+	defer enc.Close()
 	for round := 0; round < 3; round++ {
 		for ii, im := range images {
 			for ci, o := range cases {
@@ -95,6 +96,7 @@ func TestEncoderReuseDeterministic(t *testing.T) {
 func TestEncoderReuseDecodes(t *testing.T) {
 	im := raster.Synthetic(160, 120, 31)
 	enc := NewEncoder()
+	defer enc.Close()
 	for round := 0; round < 3; round++ {
 		cs, _, err := enc.Encode(im, Options{Kernel: dwt.Rev53, Workers: 3, TileW: 80, TileH: 60})
 		if err != nil {
@@ -113,6 +115,7 @@ func TestEncoderReuseDecodes(t *testing.T) {
 func ExampleEncoder() {
 	im := raster.Synthetic(64, 64, 1)
 	enc := NewEncoder()
+	defer enc.Close()
 	opts := Options{Kernel: dwt.Rev53, Workers: 2}
 	a, _, _ := enc.Encode(im, opts)
 	b, _, _ := enc.Encode(im, opts) // pooled buffers reused, same output

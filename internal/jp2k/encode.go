@@ -1,6 +1,7 @@
 package jp2k
 
 import (
+	"pj2k/internal/core"
 	"pj2k/internal/dwt"
 	"pj2k/internal/quant"
 	"pj2k/internal/raster"
@@ -41,17 +42,19 @@ type tileEnc struct {
 }
 
 // Encode compresses a single-component image into a JPEG2000 codestream.
-// It is a convenience wrapper over a throwaway Encoder; callers encoding
-// repeatedly should hold an Encoder to amortize its pooled state.
+// It is a convenience wrapper over a throwaway Encoder dispatching on the
+// shared default worker pool (so one-shot calls neither spawn nor leak
+// workers); callers encoding repeatedly should hold an Encoder to amortize
+// its pooled state.
 func Encode(im *raster.Image, opts Options) ([]byte, *EncodeStats, error) {
-	return NewEncoder().Encode(im, opts)
+	return NewEncoderWithPool(core.Default()).Encode(im, opts)
 }
 
 // EncodePlanar compresses a multi-component image into a single standard
 // Csiz=N codestream. One-shot wrapper over a throwaway Encoder; see
 // Encoder.EncodePlanar.
 func EncodePlanar(pl *raster.Planar, opts Options) ([]byte, *EncodeStats, error) {
-	return NewEncoder().EncodePlanar(pl, opts)
+	return NewEncoderWithPool(core.Default()).EncodePlanar(pl, opts)
 }
 
 func min(a, b int) int {

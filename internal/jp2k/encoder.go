@@ -63,6 +63,9 @@ type Encoder struct {
 	mctPlanes []*raster.Image // pooled level-shifted inter-component planes
 	mctFloats [][]float64     // pooled float planes for the ICT rotation
 	one       [1]*raster.Image
+
+	pool    *core.Pool // resident workers for every stage dispatch
+	ownPool bool       // created by this Encoder; released by Close
 }
 
 // tileTiming collects one unit's stage timings so the parallel loop writes
@@ -74,7 +77,32 @@ type tileTiming struct {
 }
 
 // NewEncoder returns an empty Encoder; pooled buffers are sized on first use.
-func NewEncoder() *Encoder { return &Encoder{} }
+// The Encoder owns a persistent worker pool (its workers start on the first
+// parallel encode); call Close when done with the Encoder to release them.
+func NewEncoder() *Encoder {
+	return &Encoder{pool: core.NewPool(0), ownPool: true}
+}
+
+// NewEncoderWithPool returns an Encoder dispatching on a shared worker pool —
+// the shape for servers running many codec instances over one resident worker
+// set. The caller keeps ownership of the pool: Close releases only the
+// Encoder's buffers, never the shared workers.
+func NewEncoderWithPool(p *core.Pool) *Encoder {
+	if p == nil {
+		p = core.Default()
+	}
+	return &Encoder{pool: p}
+}
+
+// Close releases the Encoder's worker pool (when owned) and drops the pooled
+// buffers, so a retained reference to a closed Encoder pins neither workers
+// nor arenas. The Encoder must not be used after Close.
+func (e *Encoder) Close() {
+	if e.ownPool {
+		e.pool.Close()
+	}
+	*e = Encoder{}
+}
 
 // grow returns s with length n, reallocating only when capacity is short.
 // Retained elements are stale from the previous encode and must be
@@ -181,7 +209,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 		for ci, c := range comps {
 			p := reuseImage(e.mctPlanes[ci], width, height)
 			e.mctPlanes[ci] = p
-			core.ParallelFor(o.Workers, height, func(lo, hi int) {
+			e.pool.ForMax(o.Workers, height, func(lo, hi int) {
 				for y := lo; y < hi; y++ {
 					src := c.Row(y)
 					dst := p.Row(y)
@@ -192,11 +220,11 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 			})
 		}
 		if o.Kernel == dwt.Rev53 {
-			if err := mct.ForwardRCT(e.mctPlanes[0], e.mctPlanes[1], e.mctPlanes[2], o.Workers); err != nil {
+			if err := mct.ForwardRCT(e.mctPlanes[0], e.mctPlanes[1], e.mctPlanes[2], o.Workers, e.pool); err != nil {
 				return nil, nil, err
 			}
 		} else {
-			rotateICT(e.mctPlanes[:3], &e.mctFloats, o.Workers, mct.ForwardICT)
+			rotateICT(e.mctPlanes[:3], &e.mctFloats, o.Workers, e.pool, mct.ForwardICT)
 		}
 		srcs = e.mctPlanes[:3]
 		srcShift = 0
@@ -265,12 +293,12 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	}
 	e.timings = grow(e.timings, nunits)
 	nbands := 1 + 3*o.Levels
-	core.RunTasksID(nunits, outerW, func(worker, u int) {
+	e.pool.TasksIDMax(outerW, nunits, func(worker, u int) {
 		te := units[u]
 		tt := &e.timings[u]
 		st := dwt.Strategy{
 			VertMode: o.VertMode, BlockWidth: o.VertBlockWidth,
-			Workers: innerW, Scratch: e.scratch[worker],
+			Workers: innerW, Scratch: e.scratch[worker], Pool: e.pool,
 		}
 		tDWT := time.Now()
 		var fp *dwt.FPlane
@@ -316,7 +344,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 			te.bandInts[bi] = buf
 		}
 		if len(te.qjobs) > 0 {
-			quant.ForwardBands(fp.Data, fp.Stride, te.qjobs, innerW)
+			quant.ForwardBands(fp.Data, fp.Stride, te.qjobs, innerW, e.pool)
 		}
 		tt.quant = time.Since(tQ)
 	})
@@ -369,7 +397,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	e.ensureCoders(min(o.Workers, max(nblocks, 1)))
 	e.results = grow(e.results, nblocks)
 	results := e.results
-	core.RunTasksID(nblocks, o.Workers, func(worker, i int) {
+	e.pool.TasksIDMax(o.Workers, nblocks, func(worker, i int) {
 		j := jobs[i]
 		results[i] = e.coders[worker].Encode(j.data, j.w, j.h, j.stride, j.band)
 	})
@@ -619,19 +647,19 @@ func imageToFloat(im *raster.Image, dst []float64) {
 
 // rotateICT applies the irreversible color rotation to three integer planes
 // in place: pooled float copies, the rotation, and the round-back, each
-// parallel over rows. The same helper serves the encoder (ForwardICT) and
-// decoder (InverseICT), so the legacy-compatible rounding arithmetic cannot
-// diverge between the two.
-func rotateICT(planes []*raster.Image, pool *[][]float64, workers int, rotate func(a, b, c []float64, workers int)) {
+// parallel over rows on the codec's resident workers. The same helper serves
+// the encoder (ForwardICT) and decoder (InverseICT), so the legacy-compatible
+// rounding arithmetic cannot diverge between the two.
+func rotateICT(planes []*raster.Image, floats *[][]float64, workers int, pool *core.Pool, rotate func(a, b, c []float64, workers int, pool *core.Pool)) {
 	n := planes[0].Width * planes[0].Height
-	for len(*pool) < 3 {
-		*pool = append(*pool, nil)
+	for len(*floats) < 3 {
+		*floats = append(*floats, nil)
 	}
-	fl := *pool
+	fl := *floats
 	for ci := 0; ci < 3; ci++ {
 		fl[ci] = grow(fl[ci], n)
 		im, dst := planes[ci], fl[ci]
-		core.ParallelFor(workers, im.Height, func(lo, hi int) {
+		pool.ForMax(workers, im.Height, func(lo, hi int) {
 			for y := lo; y < hi; y++ {
 				row := im.Row(y)
 				for x, v := range row {
@@ -640,10 +668,10 @@ func rotateICT(planes []*raster.Image, pool *[][]float64, workers int, rotate fu
 			}
 		})
 	}
-	rotate(fl[0], fl[1], fl[2], workers)
+	rotate(fl[0], fl[1], fl[2], workers, pool)
 	for ci := 0; ci < 3; ci++ {
 		src, im := fl[ci], planes[ci]
-		core.ParallelFor(workers, im.Height, func(lo, hi int) {
+		pool.ForMax(workers, im.Height, func(lo, hi int) {
 			for y := lo; y < hi; y++ {
 				row := im.Row(y)
 				for x := range row {

@@ -94,7 +94,9 @@ func TestColorPooledReuseDeterministic(t *testing.T) {
 		}
 	}
 	enc := NewEncoder()
+	defer enc.Close()
 	dec := NewDecoder()
+	defer dec.Close()
 	for round := 0; round < 3; round++ {
 		for i, j := range jobs {
 			o := j.opts
@@ -132,14 +134,14 @@ func legacyEncodeColor(t *testing.T, r, g, b *raster.Image, opts Options) []byte
 		}
 	}
 	if o.Kernel == dwt.Rev53 {
-		if err := mct.ForwardRCT(comps[0], comps[1], comps[2], o.Workers); err != nil {
+		if err := mct.ForwardRCT(comps[0], comps[1], comps[2], o.Workers, nil); err != nil {
 			t.Fatal(err)
 		}
 	} else {
 		fr := planeToFloat(comps[0])
 		fg := planeToFloat(comps[1])
 		fb := planeToFloat(comps[2])
-		mct.ForwardICT(fr, fg, fb, o.Workers)
+		mct.ForwardICT(fr, fg, fb, o.Workers, nil)
 		floatToPlane(fr, comps[0])
 		floatToPlane(fg, comps[1])
 		floatToPlane(fb, comps[2])
@@ -161,6 +163,7 @@ func legacyEncodeColor(t *testing.T, r, g, b *raster.Image, opts Options) []byte
 	}
 	var streams [3][]byte
 	enc := NewEncoder()
+	defer enc.Close()
 	for ci, c := range comps {
 		if len(o.LayerBPP) > 0 {
 			perComp.LayerBPP = budgets[ci]
@@ -226,6 +229,7 @@ func TestColorMatchesLegacyContainer(t *testing.T) {
 func TestDecodeRegionPlanarMatchesCrop(t *testing.T) {
 	pl := colorPlanar(230, 190)
 	dec := NewDecoder()
+	defer dec.Close()
 	for ci, o := range []Options{
 		{Kernel: dwt.Rev53, MCT: true, TileW: 64, TileH: 96, Levels: 3},
 		{Kernel: dwt.Irr97, MCT: true, LayerBPP: []float64{0.75, 3.0}, TileW: 100, TileH: 90},
@@ -366,7 +370,11 @@ func TestColorSteadyStateAllocs(t *testing.T) {
 	}
 
 	genc, cenc := NewEncoder(), NewEncoder()
+	defer genc.Close()
+	defer cenc.Close()
 	gdec, cdec := NewDecoder(), NewDecoder()
+	defer gdec.Close()
+	defer cdec.Close()
 	gopts := Options{Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: 1}
 	dopts := DecodeOptions{Workers: 1}
 	for i := 0; i < 3; i++ { // warm the pools

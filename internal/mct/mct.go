@@ -12,6 +12,16 @@ import (
 	"pj2k/internal/raster"
 )
 
+// forMax dispatches a row/sample barrier on pool (nil selects the shared
+// default pool), so codecs can keep every MCT stage on their own resident
+// workers.
+func forMax(pool *core.Pool, workers, n int, fn func(lo, hi int)) {
+	if pool == nil {
+		pool = core.Default()
+	}
+	pool.ForMax(core.Workers(workers), n, fn)
+}
+
 // check validates that the three planes agree in size.
 func check(r, g, b *raster.Image) error {
 	if r.Width != g.Width || r.Width != b.Width ||
@@ -27,12 +37,13 @@ func check(r, g, b *raster.Image) error {
 //	Y  = floor((R + 2G + B) / 4),  Cb = B - G,  Cr = R - G
 //
 // It is exactly invertible in integer arithmetic (ISO 15444-1 G.2).
-// workers parallelizes over rows.
-func ForwardRCT(r, g, b *raster.Image, workers int) error {
+// workers parallelizes over rows on pool's resident workers (nil selects
+// the shared default pool).
+func ForwardRCT(r, g, b *raster.Image, workers int, pool *core.Pool) error {
 	if err := check(r, g, b); err != nil {
 		return err
 	}
-	core.ParallelFor(workers, r.Height, func(lo, hi int) {
+	forMax(pool, workers, r.Height, func(lo, hi int) {
 		for y := lo; y < hi; y++ {
 			rr, gr, br := r.Row(y), g.Row(y), b.Row(y)
 			for x := range rr {
@@ -48,11 +59,11 @@ func ForwardRCT(r, g, b *raster.Image, workers int) error {
 }
 
 // InverseRCT inverts ForwardRCT in place (planes hold Y, Cb, Cr).
-func InverseRCT(yp, cb, cr *raster.Image, workers int) error {
+func InverseRCT(yp, cb, cr *raster.Image, workers int, pool *core.Pool) error {
 	if err := check(yp, cb, cr); err != nil {
 		return err
 	}
-	core.ParallelFor(workers, yp.Height, func(lo, hi int) {
+	forMax(pool, workers, yp.Height, func(lo, hi int) {
 		for y := lo; y < hi; y++ {
 			yr, br, rr := yp.Row(y), cb.Row(y), cr.Row(y)
 			for x := range yr {
@@ -80,8 +91,8 @@ const (
 
 // ForwardICT applies the irreversible YCbCr transform in place on float
 // planes (the 9/7 path operates on floats anyway).
-func ForwardICT(r, g, b []float64, workers int) {
-	core.ParallelFor(workers, len(r), func(lo, hi int) {
+func ForwardICT(r, g, b []float64, workers int, pool *core.Pool) {
+	forMax(pool, workers, len(r), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			R, G, B := r[i], g[i], b[i]
 			Y := ictYR*R + ictYG*G + ictYB*B
@@ -93,8 +104,8 @@ func ForwardICT(r, g, b []float64, workers int) {
 }
 
 // InverseICT inverts ForwardICT in place (planes hold Y, Cb, Cr).
-func InverseICT(yp, cb, cr []float64, workers int) {
-	core.ParallelFor(workers, len(yp), func(lo, hi int) {
+func InverseICT(yp, cb, cr []float64, workers int, pool *core.Pool) {
+	forMax(pool, workers, len(yp), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			Y, Cb, Cr := yp[i], cb[i], cr[i]
 			yp[i] = Y + ictInvCrR*Cr

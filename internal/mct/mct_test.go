@@ -23,10 +23,10 @@ func TestRCTPerfectReconstruction(t *testing.T) {
 	g := randPlane(37, 21, 2)
 	b := randPlane(37, 21, 3)
 	r0, g0, b0 := r.Clone(), g.Clone(), b.Clone()
-	if err := ForwardRCT(r, g, b, 1); err != nil {
+	if err := ForwardRCT(r, g, b, 1, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := InverseRCT(r, g, b, 1); err != nil {
+	if err := InverseRCT(r, g, b, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !raster.Equal(r, r0) || !raster.Equal(g, g0) || !raster.Equal(b, b0) {
@@ -38,7 +38,7 @@ func TestRCTDecorrelatesGray(t *testing.T) {
 	// For a gray image (R=G=B) the chroma planes must be exactly zero.
 	g := randPlane(16, 16, 4)
 	r, b := g.Clone(), g.Clone()
-	if err := ForwardRCT(r, g, b, 1); err != nil {
+	if err := ForwardRCT(r, g, b, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := range g.Pix {
@@ -49,7 +49,7 @@ func TestRCTDecorrelatesGray(t *testing.T) {
 }
 
 func TestRCTSizeMismatch(t *testing.T) {
-	if err := ForwardRCT(raster.New(4, 4), raster.New(5, 4), raster.New(4, 4), 1); err == nil {
+	if err := ForwardRCT(raster.New(4, 4), raster.New(5, 4), raster.New(4, 4), 1, nil); err == nil {
 		t.Fatal("want size-mismatch error")
 	}
 }
@@ -60,8 +60,8 @@ func TestRCTParallelMatchesSerial(t *testing.T) {
 	}
 	r1, g1, b1 := mk()
 	r2, g2, b2 := mk()
-	ForwardRCT(r1, g1, b1, 1)
-	ForwardRCT(r2, g2, b2, 8)
+	ForwardRCT(r1, g1, b1, 1, nil)
+	ForwardRCT(r2, g2, b2, 8, nil)
 	if !raster.Equal(r1, r2) || !raster.Equal(g1, g2) || !raster.Equal(b1, b2) {
 		t.Fatal("parallel RCT differs from serial")
 	}
@@ -82,8 +82,8 @@ func TestICTRoundTrip(t *testing.T) {
 		b[i] = rng.Float64()*255 - 128
 		r0[i], g0[i], b0[i] = r[i], g[i], b[i]
 	}
-	ForwardICT(r, g, b, 1)
-	InverseICT(r, g, b, 1)
+	ForwardICT(r, g, b, 1, nil)
+	InverseICT(r, g, b, 1, nil)
 	for i := 0; i < n; i++ {
 		if math.Abs(r[i]-r0[i]) > 1e-3 || math.Abs(g[i]-g0[i]) > 1e-3 || math.Abs(b[i]-b0[i]) > 1e-3 {
 			t.Fatalf("ICT round trip error at %d: (%g,%g,%g) vs (%g,%g,%g)",
@@ -97,7 +97,7 @@ func TestICTLumaWeights(t *testing.T) {
 	r := []float64{100}
 	g := []float64{100}
 	b := []float64{100}
-	ForwardICT(r, g, b, 1)
+	ForwardICT(r, g, b, 1, nil)
 	if math.Abs(r[0]-100) > 1e-9 || math.Abs(g[0]) > 1e-9 || math.Abs(b[0]) > 1e-9 {
 		t.Fatalf("white pixel: Y=%g Cb=%g Cr=%g", r[0], g[0], b[0])
 	}
@@ -107,8 +107,8 @@ func TestQuickRCTRoundTrip(t *testing.T) {
 	f := func(R, G, B int16) bool {
 		r, g, b := raster.New(1, 1), raster.New(1, 1), raster.New(1, 1)
 		r.Pix[0], g.Pix[0], b.Pix[0] = int32(R), int32(G), int32(B)
-		ForwardRCT(r, g, b, 1)
-		InverseRCT(r, g, b, 1)
+		ForwardRCT(r, g, b, 1, nil)
+		InverseRCT(r, g, b, 1, nil)
 		return r.Pix[0] == int32(R) && g.Pix[0] == int32(G) && b.Pix[0] == int32(B)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

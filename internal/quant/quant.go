@@ -93,18 +93,22 @@ type BandJob struct {
 }
 
 // ForwardBands quantizes several bands of one float plane under a single
-// fork/join: every band contributes up to `workers` row chunks to one task
-// pool, staggered across workers like the tier-1 code-blocks, so the many
+// dispatch: every band contributes up to `workers` row chunks to one task
+// set, staggered across workers like the tier-1 code-blocks, so the many
 // small deep bands do not each pay their own dispatch. The task list is
 // addressed arithmetically (task t is chunk t%p of band t/p), so dispatch
 // does not allocate. Empty bands are skipped; the output is identical to
-// calling Forward per band for any worker count.
-func ForwardBands(src []float64, stride int, jobs []BandJob, workers int) {
+// calling Forward per band for any worker count. The tasks run on pool's
+// resident workers (nil selects the shared core.Default pool).
+func ForwardBands(src []float64, stride int, jobs []BandJob, workers int, pool *core.Pool) {
 	if len(jobs) == 0 {
 		return
 	}
+	if pool == nil {
+		pool = core.Default()
+	}
 	p := core.Workers(workers)
-	core.RunTasks(len(jobs)*p, workers, func(t int) {
+	pool.TasksIDMax(p, len(jobs)*p, func(_, t int) {
 		bj := jobs[t/p]
 		h := bj.Band.Height()
 		pc := p

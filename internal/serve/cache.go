@@ -131,16 +131,22 @@ func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Planar, error)) 
 			for _, comp := range call.pl.Comps {
 				bytes += int64(len(comp.Pix)) * 4
 			}
-			e := &tileEntry{key: key, pl: call.pl, bytes: bytes}
-			c.entries[key] = e
-			c.pushFront(e)
-			c.size += e.bytes
-			for c.size > c.maxBytes && c.head.prev != e {
-				lru := c.head.prev
-				c.unlink(lru)
-				delete(c.entries, lru.key)
-				c.size -= lru.bytes
-				c.evictions.Add(1)
+			// Admission never violates the budget: an entry that alone
+			// exceeds it bypasses the cache entirely (it would pin the cache
+			// over budget until an unrelated miss evicted it), and any other
+			// admission evicts LRU entries until the budget holds again.
+			if bytes <= c.maxBytes {
+				e := &tileEntry{key: key, pl: call.pl, bytes: bytes}
+				c.entries[key] = e
+				c.pushFront(e)
+				c.size += e.bytes
+				for c.size > c.maxBytes {
+					lru := c.head.prev
+					c.unlink(lru)
+					delete(c.entries, lru.key)
+					c.size -= lru.bytes
+					c.evictions.Add(1)
+				}
 			}
 		}
 		c.mu.Unlock()

@@ -127,7 +127,8 @@ func TestServerColorFormatsAndInfo(t *testing.T) {
 		t.Fatalf("format=pgm on color: status %d, want 400", resp.StatusCode)
 	}
 
-	// raw is planar big-endian with a component-count header.
+	// raw is planar with a component-count header; this 8-bit stream
+	// (X-PJ2K-Max-Value 255) packs one byte per sample.
 	resp, err = ts.Client().Get(ts.URL + "/img/color?format=raw&x1=20&y1=10")
 	if err != nil {
 		t.Fatal(err)
@@ -140,8 +141,11 @@ func TestServerColorFormatsAndInfo(t *testing.T) {
 	if c := resp.Header.Get("X-PJ2K-Components"); c != "3" {
 		t.Fatalf("X-PJ2K-Components = %q, want 3", c)
 	}
-	if len(raw) != 20*10*3*2 {
-		t.Fatalf("raw payload %d bytes, want %d", len(raw), 20*10*3*2)
+	if mv := resp.Header.Get("X-PJ2K-Max-Value"); mv != "255" {
+		t.Fatalf("X-PJ2K-Max-Value = %q, want 255", mv)
+	}
+	if len(raw) != 20*10*3 {
+		t.Fatalf("raw payload %d bytes, want %d (1 byte/sample at maxval 255)", len(raw), 20*10*3)
 	}
 
 	// info reports the component count and MCT flag.

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -84,6 +85,50 @@ func TestCacheLRUEviction(t *testing.T) {
 	})
 	if decoded != 1 {
 		t.Fatalf("%d decodes after eviction round, want 1", decoded)
+	}
+}
+
+// TestCacheBudgetNeverExceeded is the admission-policy regression test: no
+// insert may leave the cache over budget. The old admission cached a new
+// entry even when it alone exceeded maxBytes (the eviction loop refused to
+// evict the entry it had just linked), pinning the cache over budget until
+// some later miss happened to shrink it.
+func TestCacheBudgetNeverExceeded(t *testing.T) {
+	per := int64(400 + tileOverhead) // one 10x10 tile
+	c := NewCache(2 * per)
+	check := func(when string) {
+		t.Helper()
+		if st := c.Stats(); st.Bytes > st.MaxBytes {
+			t.Fatalf("%s: cache %d bytes over budget %d", when, st.Bytes, st.MaxBytes)
+		}
+	}
+	insert := func(key TileKey, w, h int) {
+		t.Helper()
+		if _, err := c.GetOrDecode(key, func() (*raster.Planar, error) { return tile(w, h), nil }); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("after %dx%d insert", w, h))
+	}
+	insert(TileKey{Image: "a", TX: 0}, 10, 10)
+	insert(TileKey{Image: "a", TX: 1}, 10, 10)
+	// An entry larger than the whole budget must bypass admission entirely —
+	// and must not evict the resident entries to make room for nothing.
+	insert(TileKey{Image: "a", TX: 2}, 40, 40)
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 2*per {
+		t.Fatalf("oversized insert disturbed the cache: %d entries, %d bytes; want 2 entries, %d bytes",
+			st.Entries, st.Bytes, 2*per)
+	}
+	// An entry that fits only alone evicts everything else, not nothing.
+	insert(TileKey{Image: "a", TX: 3}, 14, 14) // 784+160 bytes < 2*per, > per
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("near-budget insert kept %d entries resident, want 1", st.Entries)
+	}
+	// The oversized variant decodes every time (never cached) but stays
+	// correct and budget-clean.
+	insert(TileKey{Image: "a", TX: 2}, 40, 40)
+	if st := c.Stats(); st.Misses != 5 {
+		t.Fatalf("oversized entry was cached: %d misses, want 5", st.Misses)
 	}
 }
 
@@ -344,6 +389,153 @@ func TestServerConcurrentRegions(t *testing.T) {
 								t.Errorf("%s: pixel (%d,%d) mismatch", path, x, y)
 								return
 							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// fetchRaw fetches a format=raw window and decodes the payload per the
+// response headers: 1 byte/sample when X-PJ2K-Max-Value <= 255, big-endian
+// 2 bytes/sample otherwise — the negotiation every raw client must do.
+func fetchRaw(t *testing.T, ts *httptest.Server, path string) (*raster.Planar, int) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %d: %s", path, resp.StatusCode, body)
+	}
+	atoi := func(name string) int {
+		v, err := strconv.Atoi(resp.Header.Get(name))
+		if err != nil {
+			t.Fatalf("%s: bad %s header %q", path, name, resp.Header.Get(name))
+		}
+		return v
+	}
+	w, h, ncomp, maxval := atoi("X-PJ2K-Width"), atoi("X-PJ2K-Height"), atoi("X-PJ2K-Components"), atoi("X-PJ2K-Max-Value")
+	width := 1
+	if maxval > 255 {
+		width = 2
+	}
+	if len(body) != w*h*ncomp*width {
+		t.Fatalf("%s: %d payload bytes for %dx%dx%d at %d bytes/sample", path, len(body), w, h, ncomp, width)
+	}
+	pl := raster.NewPlanar(w, h, ncomp)
+	for ci := 0; ci < ncomp; ci++ {
+		for i := 0; i < w*h; i++ {
+			off := (ci*w*h + i) * width
+			v := int32(body[off])
+			if width == 2 {
+				v = v<<8 | int32(body[off+1])
+			}
+			pl.Comps[ci].Pix[i] = v
+		}
+	}
+	return pl, maxval
+}
+
+// TestServerRawBothWidths pins the raw wire format at both sample widths: an
+// 8-bit stream ships 1 byte/sample, a 12-bit stream ships 2 bytes/sample,
+// and both decode (per the headers alone) to the reference decode's pixels.
+func TestServerRawBothWidths(t *testing.T) {
+	im8 := testImage()
+	deep := raster.Synthetic(120, 90, 7)
+	for i, v := range deep.Pix {
+		deep.Pix[i] = v << 4 // spread the 8-bit synthetic ramp over 12 bits
+	}
+	cs12, _, err := jp2k.Encode(deep, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{2.0}, BitDepth: 12, Levels: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	if _, err := store.Add("gray8", encodeTest(t, im8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Add("gray12", cs12); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{CacheBytes: 1 << 20})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	pl8, maxval8 := fetchRaw(t, ts, "/img/gray8?format=raw&x0=3&y0=5&x1=83&y1=45")
+	if maxval8 != 255 {
+		t.Fatalf("8-bit stream: maxval %d, want 255", maxval8)
+	}
+	ref8 := fetchPGM(t, ts, "/img/gray8?x0=3&y0=5&x1=83&y1=45")
+	if !raster.Equal(pl8.Comps[0], ref8) {
+		t.Fatal("8-bit raw pixels differ from the PGM response")
+	}
+
+	pl12, maxval12 := fetchRaw(t, ts, "/img/gray12?format=raw")
+	if maxval12 != 4095 {
+		t.Fatalf("12-bit stream: maxval %d, want 4095", maxval12)
+	}
+	ref12, err := jp2k.Decode(cs12, jp2k.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ref12.Pix {
+		ref12.Pix[i] = min(max(v, 0), 4095)
+	}
+	if !raster.Equal(pl12.Comps[0], ref12) {
+		t.Fatal("12-bit raw pixels differ from the reference decode")
+	}
+}
+
+// TestServerSharedPoolConcurrentRequests drives overlapping window requests
+// through a server whose tile decodes run at TileWorkers > 1, so every
+// request's tier-1/DWT dispatches land concurrently on the server's one
+// shared worker pool — under -race this is the gate for concurrent
+// Pool.TasksID use from independent HTTP requests.
+func TestServerSharedPoolConcurrentRequests(t *testing.T) {
+	cs := encodeTest(t, testImage())
+	store := NewStore()
+	if _, err := store.Add("test", cs); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{CacheBytes: -1, TileWorkers: 3}) // no cache: every request decodes
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ref, err := jp2k.Decode(cs, jp2k.DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.ClampTo8()
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				x0, y0 := (g*17+i*11)%120, (g*13+i*7)%100
+				path := fmt.Sprintf("/img/test?x0=%d&y0=%d&x1=%d&y1=%d", x0, y0, x0+64, y0+48)
+				resp, err := ts.Client().Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				im, _, err := raster.ReadPGM(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				for y := 0; y < im.Height; y++ {
+					for x := 0; x < im.Width; x++ {
+						if im.At(x, y) != ref.At(x0+x, y0+y) {
+							t.Errorf("%s: pixel (%d,%d) mismatch", path, x, y)
+							return
 						}
 					}
 				}

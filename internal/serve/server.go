@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pj2k/internal/core"
 	"pj2k/internal/dwt"
 	"pj2k/internal/jp2k"
 	"pj2k/internal/raster"
@@ -62,7 +63,8 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 
-	decoders sync.Pool // *jp2k.Decoder, pooled across requests
+	pool     *core.Pool // resident decode workers shared by every request
+	decoders sync.Pool  // *jp2k.Decoder, pooled across requests
 
 	started     time.Time
 	requests    atomic.Int64
@@ -70,7 +72,10 @@ type Server struct {
 	tileDecodes atomic.Int64
 }
 
-// New returns a Server over the given store.
+// New returns a Server over the given store. The server owns one persistent
+// worker pool shared by every request's tile decodes — concurrent requests
+// multiplex onto the same resident workers instead of each fanning out its
+// own goroutines; Close releases them.
 func New(store *Store, opts Options) *Server {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = DefaultCacheBytes
@@ -86,15 +91,20 @@ func New(store *Store, opts Options) *Server {
 		cache:   NewCache(opts.CacheBytes),
 		opts:    opts,
 		mux:     http.NewServeMux(),
+		pool:    core.NewPool(0),
 		started: time.Now(),
 	}
-	s.decoders.New = func() any { return jp2k.NewDecoder() }
+	s.decoders.New = func() any { return jp2k.NewDecoderWithPool(s.pool) }
 	s.mux.HandleFunc("GET /img/{id}", s.handleRegion)
 	s.mux.HandleFunc("GET /img/{id}/info", s.handleInfo)
 	s.mux.HandleFunc("GET /img/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
+
+// Close releases the server's worker pool. It must only be called once no
+// request is in flight (after the HTTP server has shut down).
+func (s *Server) Close() { s.pool.Close() }
 
 // Cache exposes the tile cache (for tests and ops tooling).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -266,12 +276,22 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case "raw":
-		// Headerless big-endian samples, planar component order.
+		// Headerless samples in planar component order: 1 byte/sample when
+		// every sample fits a byte (maxval <= 255), big-endian 2 bytes/sample
+		// otherwise. X-PJ2K-Max-Value tells the client which — without it a
+		// raw payload is uninterpretable (the old responses always wrote two
+		// bytes but never said so, and wasted half the bytes of 8-bit images).
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("X-PJ2K-Width", strconv.Itoa(out.Width()))
 		w.Header().Set("X-PJ2K-Height", strconv.Itoa(out.Height()))
 		w.Header().Set("X-PJ2K-Components", strconv.Itoa(ncomp))
-		buf := make([]byte, 0, out.Width()*out.Height()*ncomp*2)
+		w.Header().Set("X-PJ2K-Max-Value", strconv.Itoa(maxval))
+		wide := maxval > 255
+		width := 1
+		if wide {
+			width = 2
+		}
+		buf := make([]byte, 0, out.Width()*out.Height()*ncomp*width)
 		for _, comp := range out.Comps {
 			for y := 0; y < comp.Height; y++ {
 				for _, v := range comp.Row(y) {
@@ -280,11 +300,17 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 					} else if v > int32(maxval) {
 						v = int32(maxval)
 					}
-					buf = append(buf, byte(v>>8), byte(v))
+					if wide {
+						buf = append(buf, byte(v>>8), byte(v))
+					} else {
+						buf = append(buf, byte(v))
+					}
 				}
 			}
 		}
-		w.Write(buf)
+		if _, err := w.Write(buf); err != nil {
+			s.errors.Add(1)
+		}
 	default:
 		s.fail(w, http.StatusBadRequest, "unknown format %q", format)
 	}
@@ -339,7 +365,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 			Reduce: d, Width: colW[len(colW)-1], Height: rowH[len(rowH)-1],
 		})
 	}
-	writeJSON(w, info)
+	s.writeJSON(w, info)
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -357,7 +383,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	cs := img.Index.CodestreamPrefix(layers)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-PJ2K-Layers", strconv.Itoa(layers))
-	w.Write(cs)
+	if _, err := w.Write(cs); err != nil {
+		s.errors.Add(1)
+	}
 }
 
 // statsResponse is the /stats payload.
@@ -371,7 +399,7 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, statsResponse{
+	s.writeJSON(w, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Images:        s.store.Len(),
 		Requests:      s.requests.Load(),
@@ -381,9 +409,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON emits a JSON body, counting encode/write failures (a client that
+// disconnected mid-response) so /stats stays truthful — the PGM/PPM paths
+// already count their write errors; the JSON and raw paths must too.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.errors.Add(1)
+	}
 }
