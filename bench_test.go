@@ -419,6 +419,7 @@ func BenchmarkMQEncode(b *testing.B) {
 		decisions[i] = (i * 2654435761) >> 13 & 1
 	}
 	b.SetBytes(int64(len(decisions)) / 8)
+	b.ReportAllocs()
 	enc := mq.NewEncoder()
 	for i := 0; i < b.N; i++ {
 		enc.Init()
@@ -427,6 +428,41 @@ func BenchmarkMQEncode(b *testing.B) {
 			enc.Encode(d, &cx)
 		}
 		enc.Flush()
+	}
+}
+
+// BenchmarkMQDecode is the decode analogue of BenchmarkMQEncode: the same
+// pseudo-random decision stream, decoded through one pooled mq.Decoder via
+// Reset, so the Decode/byteIn fast paths are measured without per-segment
+// allocation noise.
+func BenchmarkMQDecode(b *testing.B) {
+	decisions := make([]int, 1<<16)
+	for i := range decisions {
+		decisions[i] = (i * 2654435761) >> 13 & 1
+	}
+	enc := mq.NewEncoder()
+	var cx mq.Context
+	for _, d := range decisions {
+		enc.Encode(d, &cx)
+	}
+	seg := append([]byte(nil), enc.Flush()...)
+	// Sanity: the segment must decode back to the input decisions.
+	dec := mq.NewDecoder(seg)
+	cx = mq.Context{}
+	for i, d := range decisions {
+		if got := dec.Decode(&cx); got != d {
+			b.Fatalf("decision %d: decoded %d, want %d", i, got, d)
+		}
+	}
+	b.SetBytes(int64(len(decisions)) / 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Reset(seg)
+		cx = mq.Context{}
+		for range decisions {
+			dec.Decode(&cx)
+		}
 	}
 }
 

@@ -56,24 +56,6 @@ func StaggeredRoundRobin(n, p int) [][]int {
 	return out
 }
 
-// BlockRanges splits [0, n) into blocks of the given width; used by the
-// improved (blocked) vertical filtering to hand each worker whole column
-// blocks. The final block may be short.
-func BlockRanges(n, width int) [][2]int {
-	if width <= 0 {
-		width = n
-	}
-	var out [][2]int
-	for lo := 0; lo < n; lo += width {
-		hi := lo + width
-		if hi > n {
-			hi = n
-		}
-		out = append(out, [2]int{lo, hi})
-	}
-	return out
-}
-
 // RunTasks executes tasks under a staggered round-robin assignment on p
 // workers. Each worker runs its tasks in sequence; workers run concurrently.
 func RunTasks(n, p int, task func(i int)) {

@@ -73,19 +73,6 @@ func TestStaggeredRoundRobinEdgeCases(t *testing.T) {
 	}
 }
 
-func TestBlockRanges(t *testing.T) {
-	br := BlockRanges(100, 32)
-	if len(br) != 4 {
-		t.Fatalf("%d blocks", len(br))
-	}
-	if br[3] != [2]int{96, 100} {
-		t.Fatalf("last block %v", br[3])
-	}
-	if got := BlockRanges(10, 0); len(got) != 1 || got[0] != [2]int{0, 10} {
-		t.Fatalf("width<=0 must give one block: %v", got)
-	}
-}
-
 func TestRunTasksExecutesAll(t *testing.T) {
 	for _, p := range []int{1, 2, 4} {
 		n := 37

@@ -25,17 +25,19 @@ import (
 // barriers): a dispatcher waiting for its own batch helps drain the queue, so
 // nested dispatch cannot deadlock even when every resident worker is busy.
 type Pool struct {
-	size    int
-	work    chan *batch
-	batches sync.Pool
-	start   sync.Once // workers spawn on first non-inline dispatch
-	wg      sync.WaitGroup
-	closed  atomic.Bool
+	size   int
+	work   chan *batch
+	free   chan *batch // recycled batches; unlike sync.Pool, immune to GC purges
+	start  sync.Once   // workers spawn on first non-inline dispatch
+	wg     sync.WaitGroup
+	closed atomic.Bool
 }
 
 // batch is one dispatch in flight: the function to run, the width q, the id
 // allocator and the completion signal. Batches are recycled through the
-// pool's sync.Pool, so steady-state dispatch does not allocate.
+// pool's free list (a buffered channel, so recycling survives GC cycles —
+// a sync.Pool here leaked ~1 batch+channel alloc per GC back into the
+// steady state), so warm dispatch does not allocate.
 type batch struct {
 	rng    func(worker, lo, hi int) // chunked barrier (ForID): chunk id of q
 	task   func(worker, i int)      // strided tasks (TasksID): ids i, i+q, ...
@@ -71,9 +73,26 @@ func (b *batch) run() {
 // worker goroutines start lazily on the first dispatch that needs them, so an
 // unused pool costs nothing; Close joins whatever was started.
 func NewPool(size int) *Pool {
-	p := &Pool{size: Workers(size), work: make(chan *batch, 64)}
-	p.batches.New = func() any { return &batch{done: make(chan struct{}, 1)} }
-	return p
+	return &Pool{size: Workers(size), work: make(chan *batch, 64), free: make(chan *batch, 64)}
+}
+
+// getBatch pops a recycled batch or allocates a fresh one.
+func (p *Pool) getBatch() *batch {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		return &batch{done: make(chan struct{}, 1)}
+	}
+}
+
+// putBatch recycles a finished batch, dropping it when the free list is full.
+func (p *Pool) putBatch(b *batch) {
+	b.rng, b.task = nil, nil
+	select {
+	case p.free <- b:
+	default:
+	}
 }
 
 // Size returns the number of resident workers.
@@ -114,7 +133,7 @@ func (p *Pool) spawn() {
 // elsewhere.
 func (p *Pool) dispatch(q, n int, rng func(worker, lo, hi int), task func(worker, i int)) {
 	p.spawn()
-	b := p.batches.Get().(*batch)
+	b := p.getBatch()
 	b.rng, b.task, b.n, b.q = rng, task, n, q
 	b.next.Store(0)
 	b.undone.Store(int64(q))
@@ -127,14 +146,12 @@ func (p *Pool) dispatch(q, n int, rng func(worker, lo, hi int), task func(worker
 		case ob := <-p.work:
 			ob.run()
 		case <-b.done:
-			b.rng, b.task = nil, nil
-			p.batches.Put(b)
+			p.putBatch(b)
 			return
 		}
 	}
 	<-b.done // consume the completion token before recycling
-	b.rng, b.task = nil, nil
-	p.batches.Put(b)
+	p.putBatch(b)
 }
 
 // sendShare enqueues one share of b, running other queued shares whenever

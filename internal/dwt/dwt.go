@@ -164,15 +164,19 @@ func verticalLevel53(im *raster.Image, cw, ch int, st Strategy, fwd bool) {
 			}
 		})
 	case VertBlocked:
-		blocks := core.BlockRanges(cw, st.blockWidth())
-		bw := st.blockWidth()
+		// Block bi covers columns [bi*width, min((bi+1)*width, cw)): computed
+		// arithmetically instead of materializing a range slice per level.
+		width := st.blockWidth()
+		nblocks := (cw + width - 1) / width
+		bw := width
 		if bw > cw {
 			bw = cw
 		}
-		st.forID(len(blocks), func(worker, lo, hi int) {
+		st.forID(nblocks, func(worker, lo, hi int) {
 			tmp := st.Scratch.i32(worker, 0, bw*ch)
 			for bi := lo; bi < hi; bi++ {
-				x0, x1 := blocks[bi][0], blocks[bi][1]
+				x0 := bi * width
+				x1 := min(x0+width, cw)
 				if fwd {
 					vertBlockFwd53(im, x0, x1, ch, tmp)
 				} else {

@@ -1,7 +1,6 @@
 package dwt
 
 import (
-	"pj2k/internal/core"
 	"pj2k/internal/raster"
 )
 
@@ -127,15 +126,19 @@ func verticalLevel97(p *FPlane, cw, ch int, st Strategy, fwd bool) {
 			}
 		})
 	case VertBlocked:
-		blocks := core.BlockRanges(cw, st.blockWidth())
-		bw := st.blockWidth()
+		// Block bi covers columns [bi*width, min((bi+1)*width, cw)): computed
+		// arithmetically instead of materializing a range slice per level.
+		width := st.blockWidth()
+		nblocks := (cw + width - 1) / width
+		bw := width
 		if bw > cw {
 			bw = cw
 		}
-		st.forID(len(blocks), func(worker, lo, hi int) {
+		st.forID(nblocks, func(worker, lo, hi int) {
 			tmp := st.Scratch.f64(worker, 0, bw*ch)
 			for bi := lo; bi < hi; bi++ {
-				x0, x1 := blocks[bi][0], blocks[bi][1]
+				x0 := bi * width
+				x1 := min(x0+width, cw)
 				if fwd {
 					vertBlockFwd97(p, x0, x1, ch, tmp)
 				} else {

@@ -105,7 +105,12 @@ func decodeLegacyColor(data []byte, opts DecodeOptions) (r, g, b *raster.Image, 
 
 func planeToFloat(im *raster.Image) []float64 {
 	out := make([]float64, im.Width*im.Height)
-	imageToFloat(im, out)
+	for y := 0; y < im.Height; y++ {
+		row := im.Row(y)
+		for x, v := range row {
+			out[y*im.Width+x] = float64(v)
+		}
+	}
 	return out
 }
 

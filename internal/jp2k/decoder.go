@@ -77,6 +77,27 @@ type Decoder struct {
 	sel          []int
 	mctFloats    [][]float64 // pooled float planes for the inverse ICT
 
+	// Dispatch funcs bound once at construction, so the hot TasksIDMax call
+	// sites pass a stored func instead of allocating a fresh closure per
+	// decode; the per-call parameters travel through cur.
+	walkFn  func(worker, si int)
+	blockFn func(worker, i int)
+	asmFn   func(worker, u int)
+	cur     struct {
+		p        t2.Params
+		tiles    [][]byte
+		out      *raster.Planar
+		win      Rect
+		ncomp    int
+		nlayers  int
+		discard  int
+		keep     int
+		ntx      int
+		innerW   int
+		outShift int32
+		opts     DecodeOptions
+	}
+
 	pool    *core.Pool // resident workers for every stage dispatch
 	ownPool bool       // created by this Decoder; released by Close
 }
@@ -115,16 +136,24 @@ type tileDec struct {
 	gridKey  gridKey
 	ncomp    int
 	comps    []compDec
-	bandsV   [][]t2.BandBlocks  // per-component views for the packet walk
+	bandsV   [][]t2.BandBlocks // per-component views for the packet walk
 	decV     [][]t2.DecodedBlock
 	tc       *t2.TileCoder
+}
+
+func newDecoder(p *core.Pool, own bool) *Decoder {
+	d := &Decoder{pool: p, ownPool: own}
+	d.walkFn = d.walkTask
+	d.blockFn = d.blockTask
+	d.asmFn = d.asmTask
+	return d
 }
 
 // NewDecoder returns an empty Decoder; pooled buffers are sized on first use.
 // The Decoder owns a persistent worker pool (its workers start on the first
 // parallel decode); call Close when done with the Decoder to release them.
 func NewDecoder() *Decoder {
-	return &Decoder{pool: core.NewPool(0), ownPool: true}
+	return newDecoder(core.NewPool(0), true)
 }
 
 // NewDecoderWithPool returns a Decoder dispatching on a shared worker pool —
@@ -135,7 +164,7 @@ func NewDecoderWithPool(p *core.Pool) *Decoder {
 	if p == nil {
 		p = core.Default()
 	}
-	return &Decoder{pool: p}
+	return newDecoder(p, false)
 }
 
 // Close releases the Decoder's worker pool (when owned) and drops the pooled
@@ -204,7 +233,165 @@ func (d *Decoder) DecodeRegionPlanar(data []byte, region Rect, opts DecodeOption
 	return d.decode(data, opts, &region, false)
 }
 
+// walkTask parses one selected tile's packet headers and accumulates its
+// code-block segments — the body of the cross-tile tier-2 dispatch.
+func (d *Decoder) walkTask(_, si int) {
+	p := &d.cur.p
+	ncomp, nlayers, discard, ntx := d.cur.ncomp, d.cur.nlayers, d.cur.discard, d.cur.ntx
+	nbands := 1 + 3*p.Levels
+	ti := d.sel[si]
+	tx, ty := ti%ntx, ti/ntx
+	te := d.tiles[si]
+	te.data = d.cur.tiles[ti]
+	x0, y0 := tx*p.TileW, ty*p.TileH
+	te.w = min(x0+p.TileW, p.Width) - x0
+	te.h = min(y0+p.TileH, p.Height) - y0
+	te.rtw, te.rth = reduceDim(te.w, discard), reduceDim(te.h, discard)
+	te.ox, te.oy = d.colW[tx], d.rowH[ty]
+
+	if len(te.comps) < ncomp {
+		te.comps = append(te.comps, make([]compDec, ncomp-len(te.comps))...)
+	}
+	te.bandsV = grow(te.bandsV, ncomp)
+	te.decV = grow(te.decV, ncomp)
+	key := gridKey{te.w, te.h, p.Levels, p.CBW, p.CBH}
+	if te.gridKey != key || te.ncomp != ncomp {
+		te.gridKey = key
+		te.ncomp = ncomp
+		te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, p.Levels)
+		for bi, b := range te.subbands {
+			g := t2.MakeGrid(b, p.CBW, p.CBH)
+			for ci := 0; ci < ncomp; ci++ {
+				cd := &te.comps[ci]
+				cd.bands = grow(cd.bands, nbands)
+				cd.bands[bi] = t2.BandBlocks{Grid: g}
+			}
+		}
+	}
+	for ci := 0; ci < ncomp; ci++ {
+		cd := &te.comps[ci]
+		for bi := range cd.bands {
+			cd.bands[bi].Mb = p.Mb[ci][bi]
+		}
+		te.bandsV[ci] = cd.bands
+		te.decV[ci] = cd.dec
+	}
+	if te.tc == nil {
+		te.tc = t2.NewTileCoderComps(te.bandsV[:ncomp])
+	}
+	decV, _, err := te.tc.DecodeTileCompsPackets(te.bandsV[:ncomp], p.Levels, nlayers, te.data, te.decV[:ncomp])
+	if err != nil {
+		d.tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
+		return
+	}
+
+	// Enumerate the blocks to entropy-decode: bands of discarded
+	// resolutions were parsed (the packet walk needs their headers) but
+	// are skipped here.
+	for ci := 0; ci < ncomp; ci++ {
+		cd := &te.comps[ci]
+		cd.dec = decV[ci]
+		cd.slots = cd.slots[:0]
+		id := 0
+		for bi := range cd.bands {
+			keep := bi == 0 || te.subbands[bi].Level > discard
+			for _, r := range cd.bands[bi].Grid.Rects {
+				if keep {
+					cd.slots = append(cd.slots, decSlot{bi: bi, rect: r, id: id})
+				}
+				id++
+			}
+		}
+	}
+}
+
+// blockTask entropy-decodes one kept code-block on the dispatching worker's
+// pooled BlockDecoder.
+func (d *Decoder) blockTask(worker, i int) {
+	te := d.tiles[d.jobs[i].ti]
+	cd := &te.comps[d.jobs[i].ci]
+	s := &cd.slots[d.jobs[i].si]
+	blk := &cd.dec[s.id]
+	s.vals, d.blockErrs[i] = d.bds[worker].DecodeSegment(
+		s.rect.X1-s.rect.X0, s.rect.Y1-s.rect.Y0,
+		te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes)
+}
+
+// asmTask assembles one (selected tile, component) unit's coefficient plane,
+// runs the inverse transform and copies the window into the output.
+func (d *Decoder) asmTask(worker, u int) {
+	p := &d.cur.p
+	ncomp, win, opts := d.cur.ncomp, d.cur.win, &d.cur.opts
+	te := d.tiles[u/ncomp]
+	ci := u % ncomp
+	cd := &te.comps[ci]
+	if p.ROIShift > 0 {
+		for _, s := range cd.slots {
+			unscaleROI(s.vals, p.ROIShift)
+		}
+	}
+	st := dwt.Strategy{
+		VertMode: opts.VertMode, BlockWidth: opts.VertBlockWidth,
+		Workers: d.cur.innerW, Scratch: d.scratch[worker], Pool: d.pool,
+	}
+	// The tile window to copy out, in tile-local reduced coordinates.
+	lx0, ly0 := max(win.X0-te.ox, 0), max(win.Y0-te.oy, 0)
+	lx1, ly1 := min(win.X1-te.ox, te.rtw), min(win.Y1-te.oy, te.rth)
+	ox, oy := te.ox+lx0-win.X0, te.oy+ly0-win.Y0
+	dst := d.cur.out.Comps[ci]
+	outShift := d.cur.outShift
+	if p.Kernel == dwt.Rev53 {
+		cd.plane = reuseImage(cd.plane, te.rtw, te.rth)
+		for _, s := range cd.slots {
+			b := te.subbands[s.bi]
+			w := s.rect.X1 - s.rect.X0
+			for y := s.rect.Y0; y < s.rect.Y1; y++ {
+				copy(cd.plane.Pix[(b.Y0+y)*cd.plane.Stride+b.X0+s.rect.X0:(b.Y0+y)*cd.plane.Stride+b.X0+s.rect.X1],
+					s.vals[(y-s.rect.Y0)*w:(y-s.rect.Y0+1)*w])
+			}
+		}
+		dwt.Inverse53(cd.plane, d.cur.keep, st)
+		for y := ly0; y < ly1; y++ {
+			src := cd.plane.Row(y)[lx0:lx1]
+			drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
+			for x, v := range src {
+				drow[x] = v + outShift
+			}
+		}
+	} else {
+		cd.fplane = reuseFPlane(cd.fplane, te.rtw, te.rth)
+		fp := cd.fplane
+		for _, s := range cd.slots {
+			b := te.subbands[s.bi]
+			w := s.rect.X1 - s.rect.X0
+			sub := dwt.Subband{X0: b.X0 + s.rect.X0, Y0: b.Y0 + s.rect.Y0, X1: b.X0 + s.rect.X1, Y1: b.Y0 + s.rect.Y1}
+			quant.Inverse(s.vals, w, sub, p.Steps[ci][s.bi].Value(), fp.Data, fp.Stride, 1)
+		}
+		dwt.Inverse97(fp, d.cur.keep, st)
+		for y := ly0; y < ly1; y++ {
+			src := fp.Data[y*fp.Stride+lx0 : y*fp.Stride+lx1]
+			drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
+			for x, v := range src {
+				if v >= 0 {
+					drow[x] = int32(v+0.5) + outShift
+				} else {
+					drow[x] = int32(v-0.5) + outShift
+				}
+			}
+		}
+	}
+}
+
 func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOnly bool) (*raster.Planar, error) {
+	// The task parameters and the pooled per-tile state alias the caller's
+	// codestream and the result; drop them on the way out so a pooled
+	// Decoder pins neither between calls.
+	defer func() {
+		d.cur.tiles, d.cur.out = nil, nil
+		for _, te := range d.tiles {
+			te.data = nil
+		}
+	}()
 	p, tiles, err := t2.ReadCodestream(data)
 	if err != nil {
 		return nil, err
@@ -288,73 +475,17 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	// --- Tier-2: walk each selected tile's packet headers (all components,
 	// LRCP-interleaved) and accumulate the code-block segments, in parallel
 	// across tiles with pooled per-tile coding state.
-	nbands := 1 + 3*p.Levels
-	d.pool.TasksIDMax(outerW, nsel, func(_, si int) {
-		ti := sel[si]
-		tx, ty := ti%ntx, ti/ntx
-		te := d.tiles[si]
-		te.data = tiles[ti]
-		x0, y0 := tx*p.TileW, ty*p.TileH
-		te.w = min(x0+p.TileW, p.Width) - x0
-		te.h = min(y0+p.TileH, p.Height) - y0
-		te.rtw, te.rth = reduceDim(te.w, discard), reduceDim(te.h, discard)
-		te.ox, te.oy = colW[tx], rowH[ty]
-
-		if len(te.comps) < ncomp {
-			te.comps = append(te.comps, make([]compDec, ncomp-len(te.comps))...)
-		}
-		te.bandsV = grow(te.bandsV, ncomp)
-		te.decV = grow(te.decV, ncomp)
-		key := gridKey{te.w, te.h, p.Levels, p.CBW, p.CBH}
-		if te.gridKey != key || te.ncomp != ncomp {
-			te.gridKey = key
-			te.ncomp = ncomp
-			te.subbands = dwt.SubbandsAppend(te.subbands[:0], te.w, te.h, p.Levels)
-			for bi, b := range te.subbands {
-				g := t2.MakeGrid(b, p.CBW, p.CBH)
-				for ci := 0; ci < ncomp; ci++ {
-					cd := &te.comps[ci]
-					cd.bands = grow(cd.bands, nbands)
-					cd.bands[bi] = t2.BandBlocks{Grid: g}
-				}
-			}
-		}
-		for ci := 0; ci < ncomp; ci++ {
-			cd := &te.comps[ci]
-			for bi := range cd.bands {
-				cd.bands[bi].Mb = p.Mb[ci][bi]
-			}
-			te.bandsV[ci] = cd.bands
-			te.decV[ci] = cd.dec
-		}
-		if te.tc == nil {
-			te.tc = t2.NewTileCoderComps(te.bandsV[:ncomp])
-		}
-		decV, _, err := te.tc.DecodeTileCompsPackets(te.bandsV[:ncomp], p.Levels, nlayers, te.data, te.decV[:ncomp])
-		if err != nil {
-			tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
-			return
-		}
-
-		// Enumerate the blocks to entropy-decode: bands of discarded
-		// resolutions were parsed (the packet walk needs their headers) but
-		// are skipped here.
-		for ci := 0; ci < ncomp; ci++ {
-			cd := &te.comps[ci]
-			cd.dec = decV[ci]
-			cd.slots = cd.slots[:0]
-			id := 0
-			for bi := range cd.bands {
-				keep := bi == 0 || te.subbands[bi].Level > discard
-				for _, r := range cd.bands[bi].Grid.Rects {
-					if keep {
-						cd.slots = append(cd.slots, decSlot{bi: bi, rect: r, id: id})
-					}
-					id++
-				}
-			}
-		}
-	})
+	d.cur.p = p
+	d.cur.tiles = tiles
+	d.cur.win = win
+	d.cur.ncomp = ncomp
+	d.cur.nlayers = nlayers
+	d.cur.discard = discard
+	d.cur.keep = keepLevels
+	d.cur.ntx = ntx
+	d.cur.innerW = innerW
+	d.cur.opts = opts
+	d.pool.TasksIDMax(outerW, nsel, d.walkFn)
 	for _, err := range tileErrs {
 		if err != nil {
 			return nil, err
@@ -382,15 +513,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	d.blockErrs = grow(d.blockErrs, njobs)
 	blockErrs := d.blockErrs
 	clear(blockErrs)
-	d.pool.TasksIDMax(workers, njobs, func(worker, i int) {
-		te := d.tiles[jobs[i].ti]
-		cd := &te.comps[jobs[i].ci]
-		s := &cd.slots[jobs[i].si]
-		blk := &cd.dec[s.id]
-		s.vals, blockErrs[i] = d.bds[worker].DecodeSegment(
-			s.rect.X1-s.rect.X0, s.rect.Y1-s.rect.Y0,
-			te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes)
-	})
+	d.pool.TasksIDMax(workers, njobs, d.blockFn)
 	for i, err := range blockErrs {
 		if err != nil {
 			return nil, fmt.Errorf("jp2k: tile %d component %d block %d: %w",
@@ -409,65 +532,9 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	if mctActive {
 		outShift = 0
 	}
-	d.pool.TasksIDMax(outerA, nunits, func(worker, u int) {
-		te := d.tiles[u/ncomp]
-		ci := u % ncomp
-		cd := &te.comps[ci]
-		if p.ROIShift > 0 {
-			for _, s := range cd.slots {
-				unscaleROI(s.vals, p.ROIShift)
-			}
-		}
-		st := dwt.Strategy{
-			VertMode: opts.VertMode, BlockWidth: opts.VertBlockWidth,
-			Workers: innerW, Scratch: d.scratch[worker], Pool: d.pool,
-		}
-		// The tile window to copy out, in tile-local reduced coordinates.
-		lx0, ly0 := max(win.X0-te.ox, 0), max(win.Y0-te.oy, 0)
-		lx1, ly1 := min(win.X1-te.ox, te.rtw), min(win.Y1-te.oy, te.rth)
-		ox, oy := te.ox+lx0-win.X0, te.oy+ly0-win.Y0
-		dst := out.Comps[ci]
-		if p.Kernel == dwt.Rev53 {
-			cd.plane = reuseImage(cd.plane, te.rtw, te.rth)
-			for _, s := range cd.slots {
-				b := te.subbands[s.bi]
-				w := s.rect.X1 - s.rect.X0
-				for y := s.rect.Y0; y < s.rect.Y1; y++ {
-					copy(cd.plane.Pix[(b.Y0+y)*cd.plane.Stride+b.X0+s.rect.X0:(b.Y0+y)*cd.plane.Stride+b.X0+s.rect.X1],
-						s.vals[(y-s.rect.Y0)*w:(y-s.rect.Y0+1)*w])
-				}
-			}
-			dwt.Inverse53(cd.plane, keepLevels, st)
-			for y := ly0; y < ly1; y++ {
-				src := cd.plane.Row(y)[lx0:lx1]
-				drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
-				for x, v := range src {
-					drow[x] = v + outShift
-				}
-			}
-		} else {
-			cd.fplane = reuseFPlane(cd.fplane, te.rtw, te.rth)
-			fp := cd.fplane
-			for _, s := range cd.slots {
-				b := te.subbands[s.bi]
-				w := s.rect.X1 - s.rect.X0
-				sub := dwt.Subband{X0: b.X0 + s.rect.X0, Y0: b.Y0 + s.rect.Y0, X1: b.X0 + s.rect.X1, Y1: b.Y0 + s.rect.Y1}
-				quant.Inverse(s.vals, w, sub, p.Steps[ci][s.bi].Value(), fp.Data, fp.Stride, 1)
-			}
-			dwt.Inverse97(fp, keepLevels, st)
-			for y := ly0; y < ly1; y++ {
-				src := fp.Data[y*fp.Stride+lx0 : y*fp.Stride+lx1]
-				drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
-				for x, v := range src {
-					if v >= 0 {
-						drow[x] = int32(v+0.5) + outShift
-					} else {
-						drow[x] = int32(v-0.5) + outShift
-					}
-				}
-			}
-		}
-	})
+	d.cur.out = out
+	d.cur.outShift = outShift
+	d.pool.TasksIDMax(outerA, nunits, d.asmFn)
 
 	// --- Inverse inter-component transform, when the stream flags MCT: the
 	// decoded planes hold Y/Cb/Cr (assembled without the level shift); rotate

@@ -24,17 +24,21 @@ import (
 // stream.
 //
 // Multi-component images pipeline natively: the component x tile grid is the
-// parallel task axis for the transform, quantization and tier-1 stages, and
-// tier-2 interleaves per-component packets into standard Csiz=N codestreams.
+// parallel task axis for the transform, quantization and tier-1 stages;
+// rate allocation fans out per component and tier-2 packet assembly per tile
+// (shrinking the serial tail the paper's Amdahl analysis charges against
+// total speedup); tier-2 interleaves per-component packets into standard
+// Csiz=N codestreams.
 //
 // An Encoder is not safe for concurrent use; pooled state does not leak
 // between calls (output is bit-identical to the one-shot Encode function for
 // any worker count).
 type Encoder struct {
-	coders       []*t1.Coder    // per tier-1 worker
-	scratch      []*dwt.Scratch // per unit-level worker
-	scratchInner int            // worker count each scratch was sized for
-	ralloc       rate.Allocator
+	coders       []*t1.Coder      // per tier-1 worker
+	scratch      []*dwt.Scratch   // per unit-level worker
+	scratchInner int              // worker count each scratch was sized for
+	rallocs      []rate.Allocator // per rate-allocation worker
+	t2scratch    []*t2Scratch     // per tier-2 worker
 
 	units        []*tileEnc      // per (component, tile): unit u = ci*ntiles + ti
 	tcoders      []*t2.TileCoder // per tile: multi-component packet assembly
@@ -51,9 +55,7 @@ type Encoder struct {
 	weights      []float64
 	bandsRef     []dwt.Subband
 	compBase     []int // first global block id of each component (+ total)
-	compBands    [][]t2.BandBlocks
-	compLayers   [][][]int
-	tileBase     []int
+	blockOff     []int // per tile: first component-local block id (+ total)
 	compBytes    []int
 	allocs       []rate.Allocation
 	headerEst    []int
@@ -64,8 +66,36 @@ type Encoder struct {
 	mctFloats [][]float64     // pooled float planes for the ICT rotation
 	one       [1]*raster.Image
 
+	// Dispatch funcs bound once at construction, so the hot TasksIDMax call
+	// sites pass a stored func instead of allocating a fresh closure per
+	// encode; the per-call parameters travel through cur.
+	unitFn  func(worker, u int)
+	blockFn func(worker, i int)
+	rateFn  func(worker, ci int)
+	t2Fn    func(worker, ti int)
+	cur     struct {
+		o       Options
+		steps   []quant.Step
+		innerW  int
+		nbands  int
+		ntiles  int
+		ncomp   int
+		nlayers int
+		npixels int
+	}
+
 	pool    *core.Pool // resident workers for every stage dispatch
 	ownPool bool       // created by this Encoder; released by Close
+}
+
+// t2Scratch is the per-worker scratch of the parallel tier-2 stage: the
+// per-component band/layer views a tile's packet assembly needs, plus a
+// per-worker byte accumulator summed (in worker order) after the dispatch —
+// so the stage writes no shared state and allocates nothing once warm.
+type t2Scratch struct {
+	compBands  [][]t2.BandBlocks
+	compLayers [][][]int
+	compBytes  []int
 }
 
 // tileTiming collects one unit's stage timings so the parallel loop writes
@@ -76,11 +106,20 @@ type tileTiming struct {
 	quant time.Duration
 }
 
+func newEncoder(p *core.Pool, own bool) *Encoder {
+	e := &Encoder{pool: p, ownPool: own}
+	e.unitFn = e.unitTask
+	e.blockFn = e.blockTask
+	e.rateFn = e.rateTask
+	e.t2Fn = e.t2Task
+	return e
+}
+
 // NewEncoder returns an empty Encoder; pooled buffers are sized on first use.
 // The Encoder owns a persistent worker pool (its workers start on the first
 // parallel encode); call Close when done with the Encoder to release them.
 func NewEncoder() *Encoder {
-	return &Encoder{pool: core.NewPool(0), ownPool: true}
+	return newEncoder(core.NewPool(0), true)
 }
 
 // NewEncoderWithPool returns an Encoder dispatching on a shared worker pool —
@@ -91,7 +130,7 @@ func NewEncoderWithPool(p *core.Pool) *Encoder {
 	if p == nil {
 		p = core.Default()
 	}
-	return &Encoder{pool: p}
+	return newEncoder(p, false)
 }
 
 // Close releases the Encoder's worker pool (when owned) and drops the pooled
@@ -146,6 +185,25 @@ func (e *Encoder) ensureCoders(n int) {
 	}
 }
 
+// ensureT2 sizes the per-worker tier-2 scratch and the per-worker rate
+// allocators for the current component/layer shape.
+func (e *Encoder) ensureT2(workers, ncomp, nlayers int) {
+	for len(e.rallocs) < workers {
+		e.rallocs = append(e.rallocs, rate.Allocator{})
+	}
+	for len(e.t2scratch) < workers {
+		e.t2scratch = append(e.t2scratch, &t2Scratch{})
+	}
+	for _, sc := range e.t2scratch[:workers] {
+		sc.compBands = grow(sc.compBands, ncomp)
+		sc.compLayers = grow(sc.compLayers, ncomp)
+		for ci := range sc.compLayers {
+			sc.compLayers[ci] = grow(sc.compLayers[ci], nlayers)
+		}
+		sc.compBytes = grow(sc.compBytes, ncomp)
+	}
+}
+
 // Encode compresses a single-component image into a JPEG2000 codestream.
 // The returned codestream is freshly allocated and caller-owned; EncodeStats
 // is valid until the next call.
@@ -173,6 +231,136 @@ func (e *Encoder) EncodePlanar(pl *raster.Planar, opts Options) ([]byte, *Encode
 // component under lossy MCT coding; luma carries most of the perceptual
 // weight.
 const chromaShare = 0.15
+
+// unitTask transforms and quantizes one (component, tile) unit: the DWT over
+// the unit's plane, then per-band quantization into the unit's arena. It is
+// the body of the intra-component TasksIDMax dispatch (the paper's Fig. 9
+// "improved" scaling, widened by the component axis).
+func (e *Encoder) unitTask(worker, u int) {
+	o := &e.cur.o
+	te := e.units[u]
+	tt := &e.timings[u]
+	st := dwt.Strategy{
+		VertMode: o.VertMode, BlockWidth: o.VertBlockWidth,
+		Workers: e.cur.innerW, Scratch: e.scratch[worker], Pool: e.pool,
+	}
+	tDWT := time.Now()
+	var fp *dwt.FPlane
+	if o.Kernel == dwt.Rev53 {
+		tt.dwt = dwt.Forward53Timed(te.intPlane, o.Levels, st)
+	} else {
+		te.fplane = dwt.FromImageReuse(te.fplane, te.intPlane)
+		fp = te.fplane
+		tt.dwt = dwt.Forward97Timed(fp, o.Levels, st)
+	}
+	tt.intra = time.Since(tDWT)
+
+	// Quantization (9/7 only): per band into dense int32 views of the unit's
+	// pooled arena (bands partition the tile, so the arena is exactly
+	// tile-sized).
+	tQ := time.Now()
+	key := gridKey{te.w, te.h, o.Levels, o.CBW, o.CBH}
+	if te.gridKey != key {
+		te.gridKey = key
+		te.bands = grow(te.bands, e.cur.nbands)
+		for bi, b := range te.subbands {
+			g := t2.MakeGrid(b, o.CBW, o.CBH)
+			te.bands[bi] = t2.BandBlocks{Grid: g, Blocks: grow(te.bands[bi].Blocks, len(g.Rects))}
+		}
+	}
+	te.bandInts = grow(te.bandInts, e.cur.nbands)
+	if cap(te.bandArena) < te.w*te.h {
+		te.bandArena = make([]int32, te.w*te.h)
+	}
+	te.qjobs = te.qjobs[:0]
+	off := 0
+	for bi, b := range te.subbands {
+		te.bandInts[bi] = nil
+		if b.Empty() || o.Kernel != dwt.Irr97 {
+			continue
+		}
+		n := b.Width() * b.Height()
+		buf := te.bandArena[off : off+n : off+n]
+		off += n
+		te.qjobs = append(te.qjobs, quant.BandJob{
+			Band: b, Step: e.cur.steps[bi].Value(), Dst: buf, DstStride: b.Width(),
+		})
+		te.bandInts[bi] = buf
+	}
+	if len(te.qjobs) > 0 {
+		quant.ForwardBands(fp.Data, fp.Stride, te.qjobs, e.cur.innerW, e.pool)
+	}
+	tt.quant = time.Since(tQ)
+}
+
+// blockTask entropy-codes one code-block on the dispatching worker's pooled
+// tier-1 Coder ("no synchronization is necessary due to the processing of
+// independent code-blocks").
+func (e *Encoder) blockTask(worker, i int) {
+	j := e.jobs[i]
+	e.results[i] = e.coders[worker].Encode(j.data, j.w, j.h, j.stride, j.band)
+}
+
+// rateTask runs component ci's PCRD allocation on the dispatching worker's
+// pooled allocator — the per-component axis of the parallel rate stage.
+func (e *Encoder) rateTask(worker, ci int) {
+	o := &e.cur.o
+	crb := e.rblocks[e.compBase[ci]:e.compBase[ci+1]]
+	if len(o.LayerBPP) == 0 {
+		// Single layer carrying every coding pass: PCRD hulls would drop
+		// zero-gain final passes, so build the full allocation directly.
+		np := make([]int, len(crb))
+		for i := range crb {
+			np[i] = len(crb[i].Rates)
+		}
+		e.allocs[ci] = rate.Allocation{NPasses: [][]int{np}, BodyBytes: []int{rate.TotalBytes(crb)}}
+		return
+	}
+	share := 1.0
+	if e.cur.ncomp > 1 {
+		if o.MCT {
+			share = chromaShare
+			if ci == 0 {
+				share = 1 - 2*chromaShare
+			}
+		} else {
+			share = 1 / float64(e.cur.ncomp)
+		}
+	}
+	e.budgets[ci] = e.budgets[ci][:0]
+	for _, bpp := range o.LayerBPP {
+		e.budgets[ci] = append(e.budgets[ci], int(bpp*share*float64(e.cur.npixels)/8))
+	}
+	// Headers shrink the body budget; estimate here, assemble, and adjust
+	// in the tier-2 rounds until the stream fits (at most three rounds).
+	e.headerEst[ci] = 70 + e.cur.ntiles*(14+e.cur.nlayers*(o.Levels+1))
+	e.allocs[ci] = allocate(&e.rallocs[worker], crb, e.budgets[ci], e.headerEst[ci])
+}
+
+// t2Task assembles one tile's packets (all components, LRCP-interleaved) on
+// the dispatching worker's scratch views — the cross-tile axis of the
+// parallel tier-2 stage. Per-tile coding state (tag trees, packet buffers)
+// lives in e.tcoders[ti]; the only worker-shared writes are to per-worker
+// scratch.
+func (e *Encoder) t2Task(worker, ti int) {
+	sc := e.t2scratch[worker]
+	ncomp, ntiles, nlayers := e.cur.ncomp, e.cur.ntiles, e.cur.nlayers
+	base := e.blockOff[ti]
+	n := e.blockOff[ti+1] - base
+	for ci := 0; ci < ncomp; ci++ {
+		te := e.units[ci*ntiles+ti]
+		sc.compBands[ci] = te.bands
+		for li := 0; li < nlayers; li++ {
+			sc.compLayers[ci][li] = e.allocs[ci].NPasses[li][base : base+n]
+		}
+	}
+	if e.tcoders[ti] == nil {
+		e.tcoders[ti] = t2.NewTileCoderComps(sc.compBands[:ncomp])
+	}
+	e.tileStreams[ti] = e.tcoders[ti].EncodeTileCompsPackets(
+		sc.compBands[:ncomp], e.cur.o.Levels, sc.compLayers[:ncomp],
+		e.tileStreams[ti][:0], sc.compBytes)
+}
 
 func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeStats, error) {
 	o := opts.withDefaults()
@@ -293,61 +481,19 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	}
 	e.timings = grow(e.timings, nunits)
 	nbands := 1 + 3*o.Levels
-	e.pool.TasksIDMax(outerW, nunits, func(worker, u int) {
-		te := units[u]
-		tt := &e.timings[u]
-		st := dwt.Strategy{
-			VertMode: o.VertMode, BlockWidth: o.VertBlockWidth,
-			Workers: innerW, Scratch: e.scratch[worker], Pool: e.pool,
-		}
-		tDWT := time.Now()
-		var fp *dwt.FPlane
-		if o.Kernel == dwt.Rev53 {
-			tt.dwt = dwt.Forward53Timed(te.intPlane, o.Levels, st)
-		} else {
-			te.fplane = dwt.FromImageReuse(te.fplane, te.intPlane)
-			fp = te.fplane
-			tt.dwt = dwt.Forward97Timed(fp, o.Levels, st)
-		}
-		tt.intra = time.Since(tDWT)
-
-		// --- Quantization (9/7 only): per band into dense int32 views of
-		// the unit's pooled arena (bands partition the tile, so the arena is
-		// exactly tile-sized).
-		tQ := time.Now()
-		key := gridKey{te.w, te.h, o.Levels, o.CBW, o.CBH}
-		if te.gridKey != key {
-			te.gridKey = key
-			te.bands = grow(te.bands, nbands)
-			for bi, b := range te.subbands {
-				g := t2.MakeGrid(b, o.CBW, o.CBH)
-				te.bands[bi] = t2.BandBlocks{Grid: g, Blocks: grow(te.bands[bi].Blocks, len(g.Rects))}
-			}
-		}
-		te.bandInts = grow(te.bandInts, nbands)
-		if cap(te.bandArena) < te.w*te.h {
-			te.bandArena = make([]int32, te.w*te.h)
-		}
-		te.qjobs = te.qjobs[:0]
-		off := 0
-		for bi, b := range te.subbands {
-			te.bandInts[bi] = nil
-			if b.Empty() || o.Kernel != dwt.Irr97 {
-				continue
-			}
-			n := b.Width() * b.Height()
-			buf := te.bandArena[off : off+n : off+n]
-			off += n
-			te.qjobs = append(te.qjobs, quant.BandJob{
-				Band: b, Step: steps[bi].Value(), Dst: buf, DstStride: b.Width(),
-			})
-			te.bandInts[bi] = buf
-		}
-		if len(te.qjobs) > 0 {
-			quant.ForwardBands(fp.Data, fp.Stride, te.qjobs, innerW, e.pool)
-		}
-		tt.quant = time.Since(tQ)
-	})
+	nlayers := len(o.LayerBPP)
+	if nlayers == 0 {
+		nlayers = 1
+	}
+	e.cur.o = o
+	e.cur.steps = steps
+	e.cur.innerW = innerW
+	e.cur.nbands = nbands
+	e.cur.ntiles = ntiles
+	e.cur.ncomp = ncomp
+	e.cur.nlayers = nlayers
+	e.cur.npixels = width * height
+	e.pool.TasksIDMax(outerW, nunits, e.unitFn)
 	for u := range units {
 		tt := &e.timings[u]
 		stats.Timings.DWTDetail.Horizontal += tt.dwt.Horizontal
@@ -365,8 +511,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 
 	// --- Tier-1: gather every code-block of every unit, encode in parallel
 	// with the paper's staggered round-robin worker assignment; each worker
-	// codes with its own pooled Coder ("no synchronization is necessary due
-	// to the processing of independent code-blocks").
+	// codes with its own pooled Coder.
 	tT1 := time.Now()
 	jobs := e.jobs[:0]
 	for _, te := range units {
@@ -396,11 +541,8 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	nblocks := len(jobs)
 	e.ensureCoders(min(o.Workers, max(nblocks, 1)))
 	e.results = grow(e.results, nblocks)
+	e.pool.TasksIDMax(o.Workers, nblocks, e.blockFn)
 	results := e.results
-	e.pool.TasksIDMax(o.Workers, nblocks, func(worker, i int) {
-		j := jobs[i]
-		results[i] = e.coders[worker].Encode(j.data, j.w, j.h, j.stride, j.band)
-	})
 	stats.CodeBlocks = nblocks
 	// Distribute results back to units in order.
 	k := 0
@@ -456,7 +598,9 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	// --- BlockStream wiring and rate-allocator inputs, in one pass. The
 	// per-pass rate list is built once in the shared arena and aliased by
 	// both consumers. Blocks stay component-major, so each component's
-	// allocator inputs are one contiguous slice.
+	// allocator inputs are one contiguous slice; blockOff records each
+	// tile's slice of a component's blocks for the parallel tier-2 stage
+	// (identical for every component — they share the tile geometry).
 	totalPasses := 0
 	for _, eb := range results {
 		totalPasses += len(eb.Passes)
@@ -466,11 +610,15 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	e.blockStreams = grow(e.blockStreams, nblocks)
 	e.rblocks = grow(e.rblocks, nblocks)
 	e.compBase = grow(e.compBase, ncomp+1)
+	e.blockOff = grow(e.blockOff, ntiles+1)
 	k = 0
 	for u, te := range units {
 		ci := u / ntiles
 		if u%ntiles == 0 {
 			e.compBase[ci] = k
+		}
+		if ci == 0 {
+			e.blockOff[u] = k
 		}
 		kt := 0 // unit-local block index; k stays global for the arenas
 		for bi := range te.bands {
@@ -493,92 +641,44 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 		}
 	}
 	e.compBase[ncomp] = k
+	e.blockOff[ntiles] = e.compBase[1] // component 0's total = per-component total
 	e.rates, e.dists = rates, dists
 
-	// --- Rate allocation, per component (the legacy color container ran
-	// PCRD per component stream; keeping the same budgets, header estimate
-	// and adjustment policy keeps the decoded pixels identical). Under MCT
-	// the budget splits luma-heavy; other multi-component streams split
-	// evenly.
-	npixels := width * height
-	nlayers := len(o.LayerBPP)
-	if nlayers == 0 {
-		nlayers = 1
-	}
+	// --- Rate allocation, parallel per component (the legacy color container
+	// ran PCRD per component stream; keeping the same budgets, header
+	// estimate and adjustment policy keeps the decoded pixels identical).
+	// Under MCT the budget splits luma-heavy; other multi-component streams
+	// split evenly.
 	e.allocs = grow(e.allocs, ncomp)
 	e.headerEst = grow(e.headerEst, ncomp)
 	e.budgets = grow(e.budgets, ncomp)
-	for ci := 0; ci < ncomp; ci++ {
-		crb := e.rblocks[e.compBase[ci]:e.compBase[ci+1]]
-		if len(o.LayerBPP) == 0 {
-			// Single layer carrying every coding pass: PCRD hulls would drop
-			// zero-gain final passes, so build the full allocation directly.
-			np := make([]int, len(crb))
-			for i := range crb {
-				np[i] = len(crb[i].Rates)
-			}
-			e.allocs[ci] = rate.Allocation{NPasses: [][]int{np}, BodyBytes: []int{rate.TotalBytes(crb)}}
-			continue
-		}
-		share := 1.0
-		if ncomp > 1 {
-			if o.MCT {
-				share = chromaShare
-				if ci == 0 {
-					share = 1 - 2*chromaShare
-				}
-			} else {
-				share = 1 / float64(ncomp)
-			}
-		}
-		e.budgets[ci] = e.budgets[ci][:0]
-		for _, bpp := range o.LayerBPP {
-			e.budgets[ci] = append(e.budgets[ci], int(bpp*share*float64(npixels)/8))
-		}
-		// Headers shrink the body budget; estimate, assemble, and adjust
-		// below until the stream fits (at most three rounds).
-		e.headerEst[ci] = 70 + ntiles*(14+nlayers*(o.Levels+1))
-		e.allocs[ci] = e.allocate(crb, e.budgets[ci], e.headerEst[ci])
-	}
+	t2W := min(o.Workers, max(ntiles, 1))
+	e.ensureT2(max(t2W, min(o.Workers, ncomp)), ncomp, nlayers)
+	e.pool.TasksIDMax(o.Workers, ncomp, e.rateFn)
 	stats.Timings.RateAlloc = time.Since(tRA)
 
-	// --- Tier-2 packet assembly (+ final budget adjustment rounds), with
-	// per-tile pooled coding state and recycled stream buffers. Packets
-	// interleave components within each (layer, resolution) — the standard's
-	// LRCP progression.
+	// --- Tier-2 packet assembly (+ final budget adjustment rounds), parallel
+	// ACROSS tiles with per-tile pooled coding state, per-worker scratch
+	// views and recycled stream buffers — the stage the paper leaves in the
+	// serial tail. Packets interleave components within each (layer,
+	// resolution) — the standard's LRCP progression.
 	tT2 := time.Now()
 	e.tileStreams = grow(e.tileStreams, ntiles)
-	tileStreams := e.tileStreams
 	for len(e.tcoders) < ntiles {
 		e.tcoders = append(e.tcoders, nil)
 	}
-	e.compBands = grow(e.compBands, ncomp)
-	e.compLayers = grow(e.compLayers, ncomp)
-	for ci := range e.compLayers[:ncomp] {
-		e.compLayers[ci] = grow(e.compLayers[ci], nlayers)
-	}
-	e.tileBase = grow(e.tileBase, ncomp)
 	e.compBytes = grow(e.compBytes, ncomp)
 	compBytes := e.compBytes
 	for round := 0; ; round++ {
+		for _, sc := range e.t2scratch[:t2W] {
+			clear(sc.compBytes)
+		}
+		e.pool.TasksIDMax(t2W, ntiles, e.t2Fn)
 		clear(compBytes)
-		clear(e.tileBase)
-		for ti := 0; ti < ntiles; ti++ {
+		for _, sc := range e.t2scratch[:t2W] {
 			for ci := 0; ci < ncomp; ci++ {
-				te := units[ci*ntiles+ti]
-				e.compBands[ci] = te.bands
-				n := len(te.blocks)
-				for li := 0; li < nlayers; li++ {
-					e.compLayers[ci][li] = e.allocs[ci].NPasses[li][e.tileBase[ci] : e.tileBase[ci]+n]
-				}
-				e.tileBase[ci] += n
+				compBytes[ci] += sc.compBytes[ci]
 			}
-			if e.tcoders[ti] == nil {
-				e.tcoders[ti] = t2.NewTileCoderComps(e.compBands[:ncomp])
-			}
-			s := e.tcoders[ti].EncodeTileCompsPackets(
-				e.compBands[:ncomp], o.Levels, e.compLayers[:ncomp], tileStreams[ti][:0], compBytes)
-			tileStreams[ti] = s
 		}
 		if len(o.LayerBPP) == 0 || round >= 2 {
 			break
@@ -589,7 +689,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 			if compBytes[ci]+e.headerEst[ci] > target {
 				e.headerEst[ci] += compBytes[ci] + e.headerEst[ci] - target
 				crb := e.rblocks[e.compBase[ci]:e.compBase[ci+1]]
-				e.allocs[ci] = e.allocate(crb, e.budgets[ci], e.headerEst[ci])
+				e.allocs[ci] = allocate(&e.rallocs[0], crb, e.budgets[ci], e.headerEst[ci])
 				over = true
 			}
 		}
@@ -615,16 +715,16 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 		CBW: o.CBW, CBH: o.CBH, MCT: o.MCT, Kernel: o.Kernel, GuardBits: 2,
 		Steps: stepsAll, Mb: mb[:ncomp], ROIShift: roiShift,
 	}
-	out := t2.WriteCodestream(params, tileStreams)
+	out := t2.WriteCodestream(params, e.tileStreams[:ntiles])
 	stats.Timings.StreamIO = time.Since(tIO)
 	stats.Bytes = len(out)
-	stats.BPP = float64(len(out)) * 8 / float64(npixels)
+	stats.BPP = float64(len(out)) * 8 / float64(e.cur.npixels)
 	return out, stats, nil
 }
 
-// allocate runs PCRD with the header estimate subtracted from each layer
-// budget.
-func (e *Encoder) allocate(blocks []rate.BlockPasses, budgets []int, headerEst int) rate.Allocation {
+// allocate runs PCRD on the given allocator with the header estimate
+// subtracted from each layer budget.
+func allocate(a *rate.Allocator, blocks []rate.BlockPasses, budgets []int, headerEst int) rate.Allocation {
 	adj := make([]int, len(budgets))
 	for i, b := range budgets {
 		adj[i] = b - headerEst
@@ -632,17 +732,7 @@ func (e *Encoder) allocate(blocks []rate.BlockPasses, budgets []int, headerEst i
 			adj[i] = 0
 		}
 	}
-	return e.ralloc.Allocate(blocks, adj)
-}
-
-// imageToFloat copies an image's visible samples into a dense float plane.
-func imageToFloat(im *raster.Image, dst []float64) {
-	for y := 0; y < im.Height; y++ {
-		row := im.Row(y)
-		for x, v := range row {
-			dst[y*im.Width+x] = float64(v)
-		}
-	}
+	return a.Allocate(blocks, adj)
 }
 
 // rotateICT applies the irreversible color rotation to three integer planes

@@ -110,36 +110,42 @@ func (e *Encoder) Init() {
 	e.out[0] = 0 // sentinel "B" byte; never 0xFF so ct starts at 12
 }
 
-// Encode codes decision d (0 or 1) in context cx, updating the context.
+// Encode codes decision d (0 or 1) in context cx, updating the context. The
+// MPS and LPS flows are split so the dominant no-renormalization MPS case —
+// the vast majority of tier-1 decisions once contexts adapt — costs one
+// compare, one subtract and one add before returning.
 func (e *Encoder) Encode(d int, cx *Context) {
 	q := &qeTable[cx.index]
+	a := e.a - q.qe
 	if uint8(d) == cx.mps {
 		// CODEMPS
-		e.a -= q.qe
-		if e.a&0x8000 == 0 {
-			if e.a < q.qe {
-				e.a = q.qe
-			} else {
-				e.c += q.qe
-			}
-			cx.index = q.nmps
-			e.renorm()
+		if a&0x8000 != 0 {
+			// Fast path: interval still normalized, no state transition.
+			e.a = a
+			e.c += q.qe
+			return
+		}
+		if a < q.qe {
+			a = q.qe
 		} else {
 			e.c += q.qe
 		}
+		cx.index = q.nmps
+		e.a = a
+		e.renorm()
 		return
 	}
-	// CODELPS
-	e.a -= q.qe
-	if e.a < q.qe {
+	// CODELPS (conditional exchange: the LPS keeps the larger subinterval).
+	if a < q.qe {
 		e.c += q.qe
 	} else {
-		e.a = q.qe
+		a = q.qe
 	}
 	if q.swtch {
 		cx.mps = 1 - cx.mps
 	}
 	cx.index = q.nlps
+	e.a = a
 	e.renorm()
 }
 
@@ -254,8 +260,30 @@ func (d *Decoder) byteAt(i int) byte {
 	return 0xFF
 }
 
-// byteIn is BYTEIN with unstuffing and end-of-segment synthesis.
+// byteIn is BYTEIN with unstuffing and end-of-segment synthesis. The common
+// case — both the current and the next byte are inside the segment — reads
+// the slice directly; only reads at or past the end go through the byteAt
+// synthesis of trailing 0xFF bytes.
 func (d *Decoder) byteIn() {
+	if bp := d.bp; bp+1 < len(d.data) {
+		b0 := d.data[bp]
+		b1 := d.data[bp+1]
+		if b0 != 0xFF {
+			d.bp = bp + 1
+			d.c += uint32(b1) << 8
+			d.ct = 8
+			return
+		}
+		if b1 > 0x8F {
+			d.c += 0xFF00
+			d.ct = 8
+			return
+		}
+		d.bp = bp + 1
+		d.c += uint32(b1) << 9
+		d.ct = 7
+		return
+	}
 	if d.byteAt(d.bp) == 0xFF {
 		if d.byteAt(d.bp+1) > 0x8F {
 			d.c += 0xFF00
@@ -272,44 +300,49 @@ func (d *Decoder) byteIn() {
 	}
 }
 
-// Decode returns the next decision in context cx, updating the context.
+// Decode returns the next decision in context cx, updating the context. As
+// in Encode, the dominant path — MPS with the interval still normalized —
+// returns after one compare, one subtract and one masked test.
 func (d *Decoder) Decode(cx *Context) int {
 	q := &qeTable[cx.index]
-	d.a -= q.qe
-	var bit uint8
-	if (d.c >> 16) < q.qe {
-		// LPS exchange
-		if d.a < q.qe {
-			bit = cx.mps
-			cx.index = q.nmps
-		} else {
+	a := d.a - q.qe
+	if (d.c >> 16) >= q.qe {
+		d.c -= q.qe << 16
+		if a&0x8000 != 0 {
+			// Fast path: no renormalization, no state transition.
+			d.a = a
+			return int(cx.mps)
+		}
+		// MPS exchange
+		var bit uint8
+		if a < q.qe {
 			bit = 1 - cx.mps
 			if q.swtch {
 				cx.mps = 1 - cx.mps
 			}
 			cx.index = q.nlps
-		}
-		d.a = q.qe
-		d.renorm()
-	} else {
-		d.c -= q.qe << 16
-		if d.a&0x8000 == 0 {
-			// MPS exchange
-			if d.a < q.qe {
-				bit = 1 - cx.mps
-				if q.swtch {
-					cx.mps = 1 - cx.mps
-				}
-				cx.index = q.nlps
-			} else {
-				bit = cx.mps
-				cx.index = q.nmps
-			}
-			d.renorm()
 		} else {
 			bit = cx.mps
+			cx.index = q.nmps
 		}
+		d.a = a
+		d.renorm()
+		return int(bit)
 	}
+	// LPS exchange
+	var bit uint8
+	if a < q.qe {
+		bit = cx.mps
+		cx.index = q.nmps
+	} else {
+		bit = 1 - cx.mps
+		if q.swtch {
+			cx.mps = 1 - cx.mps
+		}
+		cx.index = q.nlps
+	}
+	d.a = q.qe
+	d.renorm()
 	return int(bit)
 }
 

@@ -7,13 +7,6 @@ import (
 	"pj2k/internal/mq"
 )
 
-// decoder carries the decode-side state threaded through the shared pass
-// routines.
-type decoder struct {
-	mq        *mq.Decoder
-	lastPlane []uint8 // per bordered sample: (last updated plane)+1, 0 = never
-}
-
 // Decode reconstructs a code-block from the first npasses coding passes of
 // eb. For truncated decodes (npasses < len(eb.Passes)) the remaining
 // uncertainty interval is compensated with a midpoint offset, the standard
@@ -42,10 +35,10 @@ func Decode(eb *EncodedBlock, npasses int) ([]int32, error) {
 // stay valid until Release, which reclaims every slice handed out since the
 // previous Release. A BlockDecoder is not safe for concurrent use.
 type BlockDecoder struct {
-	c   coder
-	mq  mq.Decoder
-	dec decoder
-	out []int32
+	c         coder
+	mq        mq.Decoder
+	lastPlane []uint8 // per bordered sample: (last updated plane)+1, 0 = never
+	out       []int32
 }
 
 // NewBlockDecoder returns an empty BlockDecoder; buffers are sized on first
@@ -94,24 +87,16 @@ func (bd *BlockDecoder) DecodeSegment(w, h int, band dwt.BandType, numBitplanes 
 		return out, nil
 	}
 	c := &bd.c
-	c.w, c.h, c.bw, c.band = w, h, w+2, band
+	c.reset(w, h, band)
 	n := (w + 2) * (h + 2)
-	if cap(c.mag) < n {
-		c.mag = make([]int32, n)
-		c.flags = make([]uint8, n)
-		bd.dec.lastPlane = make([]uint8, n)
+	if cap(bd.lastPlane) < n {
+		bd.lastPlane = make([]uint8, n)
 	} else {
-		c.mag = c.mag[:n]
-		c.flags = c.flags[:n]
-		bd.dec.lastPlane = bd.dec.lastPlane[:n]
-		clear(c.mag)
-		clear(c.flags)
-		clear(bd.dec.lastPlane)
+		bd.lastPlane = bd.lastPlane[:n]
+		clear(bd.lastPlane)
 	}
 	c.resetContexts()
 	bd.mq.Reset(data)
-	bd.dec.mq = &bd.mq
-	dec := &bd.dec
 
 	pass := 0
 	nbp := numBitplanes
@@ -122,22 +107,20 @@ planes:
 			if pass == npasses {
 				break planes
 			}
-			c.sigPropPass(nil, plane, dec)
+			bd.decSigProp(plane)
 			pass++
 			if pass == npasses {
 				break planes
 			}
-			c.refinePass(nil, plane, dec)
+			bd.decRefine(plane)
 			pass++
 		}
 		if pass == npasses {
 			break planes
 		}
-		c.cleanupPass(nil, plane, dec)
+		bd.decCleanup(plane)
 		pass++
-		for i := range c.flags {
-			c.flags[i] &^= fVisited
-		}
+		c.clearVisited()
 	}
 
 	for y := 0; y < h; y++ {
@@ -147,7 +130,7 @@ planes:
 				continue
 			}
 			v := c.mag[i]
-			if lp := dec.lastPlane[i]; lp >= 2 {
+			if lp := bd.lastPlane[i]; lp >= 2 {
 				v += 1 << (lp - 2) // midpoint of the undecoded interval
 			}
 			if c.flags[i]&fNeg != 0 {
@@ -159,12 +142,112 @@ planes:
 	return out, nil
 }
 
-// TotalPasses returns the number of coding passes for a block with the given
-// number of bit-planes (3 per plane, minus the two skipped passes of the
-// most significant plane).
-func TotalPasses(numBitplanes int) int {
-	if numBitplanes <= 0 {
-		return 0
+// decSigProp mirrors encSigProp on the decode side.
+func (bd *BlockDecoder) decSigProp(plane uint) {
+	c := &bd.c
+	f, bw, zc := c.flags, c.bw, c.zc
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSigOth == 0 {
+				continue // nothing in this column has a significant neighbor
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i]
+				if fl&fSig != 0 || fl&fSigOth == 0 {
+					continue
+				}
+				if bd.mq.Decode(&c.cx[zc[fl&fSigOth]]) == 1 {
+					bd.decSign(i, plane)
+				}
+				f[i] |= fVisited
+			}
+		}
 	}
-	return 3*numBitplanes - 2
+}
+
+// decSign decodes the sign of sample i which just became significant at
+// plane, marks it significant in its neighborhood, and records the plane for
+// the midpoint compensation of truncated decodes.
+func (bd *BlockDecoder) decSign(i int, plane uint) {
+	c := &bd.c
+	sc := scLUT[(c.flags[i]>>4)&0xFF]
+	bit := bd.mq.Decode(&c.cx[sc&0x1F])
+	neg := bit^int(sc>>7) == 1
+	if neg {
+		c.flags[i] |= fNeg
+	}
+	c.setSig(i, neg)
+	c.mag[i] |= 1 << plane
+	bd.lastPlane[i] = uint8(plane) + 1 // store plane+1 (0 = untouched)
+}
+
+// decRefine mirrors encRefine on the decode side.
+func (bd *BlockDecoder) decRefine(plane uint) {
+	c := &bd.c
+	f, mag, bw := c.flags, c.mag, c.bw
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSig == 0 {
+				continue // nothing significant in this column to refine
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i]
+				if fl&(fSig|fVisited) != fSig {
+					continue
+				}
+				if bd.mq.Decode(&c.cx[mrCtx(fl)]) == 1 {
+					mag[i] |= 1 << plane
+				}
+				bd.lastPlane[i] = uint8(plane) + 1
+				f[i] = fl | fRefined
+			}
+		}
+	}
+}
+
+// decCleanup mirrors encCleanup on the decode side.
+func (bd *BlockDecoder) decCleanup(plane uint) {
+	c := &bd.c
+	f, bw, zc := c.flags, c.bw, c.zc
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			y := 0
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&(fSig|fVisited|fSigOth) == 0 {
+				if bd.mq.Decode(&c.cx[ctxRL]) == 0 {
+					continue
+				}
+				first := bd.mq.Decode(&c.cx[ctxUNI])<<1 | bd.mq.Decode(&c.cx[ctxUNI])
+				bd.decSign(i+first*bw, plane)
+				y = first + 1
+			}
+			for ; y < rows; y++ {
+				ii := i + y*bw
+				fl := f[ii]
+				if fl&(fSig|fVisited) != 0 {
+					continue
+				}
+				if bd.mq.Decode(&c.cx[zc[fl&fSigOth]]) == 1 {
+					bd.decSign(ii, plane)
+				}
+			}
+		}
+	}
 }

@@ -4,6 +4,11 @@
 // refinement, cleanup) driven by the MQ arithmetic coder, with per-pass rate
 // and distortion tracking for the PCRD rate allocator.
 //
+// The coding contexts are table-driven: each sample carries a neighborhood
+// flag word (see lut.go) kept current incrementally, so the per-sample cost
+// of a pass is one flag load and one LUT index instead of eight neighbor
+// loads and a branchy per-band switch.
+//
 // Code-blocks are strictly independent — the property the paper's parallel
 // encoding stage exploits: "no synchronization is necessary due to the
 // processing of independent code-blocks."
@@ -47,24 +52,36 @@ type EncodedBlock struct {
 	Data         []byte
 }
 
-// flags per sample, stored in a bordered (w+2)x(h+2) array.
-const (
-	fSig     uint8 = 1 << iota // became significant
-	fVisited                   // coded in the current plane's sig-prop pass
-	fRefined                   // has been refined at least once
-	fNeg                       // sign bit (negative)
-)
-
+// coder holds the per-block state shared by the encode and decode pass
+// machinery: bordered magnitude and flag-word arrays plus the MQ contexts.
 type coder struct {
 	w, h  int
 	bw    int // bordered width
 	mag   []int32
-	flags []uint8
+	flags []uint32
 	cx    [nctx]mq.Context
 	band  dwt.BandType
+	zc    *[256]uint8 // zcLUT[band], rebound per block
 }
 
 func (c *coder) idx(x, y int) int { return (y+1)*c.bw + (x + 1) }
+
+// reset sizes the bordered arrays for a w x h block of the given band and
+// clears all per-block state.
+func (c *coder) reset(w, h int, band dwt.BandType) {
+	c.w, c.h, c.bw, c.band = w, h, w+2, band
+	c.zc = &zcLUT[band]
+	n := (w + 2) * (h + 2)
+	if cap(c.mag) < n {
+		c.mag = make([]int32, n)
+		c.flags = make([]uint32, n)
+	} else {
+		c.mag = c.mag[:n]
+		c.flags = c.flags[:n]
+		clear(c.mag)
+		clear(c.flags)
+	}
+}
 
 func (c *coder) resetContexts() {
 	for i := range c.cx {
@@ -75,154 +92,12 @@ func (c *coder) resetContexts() {
 	c.cx[ctxUNI].Reset(46, 0)
 }
 
-// zcContext returns the zero-coding context from the neighbour significance
-// counts, per the band-orientation tables of Annex D.
-func (c *coder) zcContext(i int) int {
-	f := c.flags
-	bw := c.bw
-	h := int(f[i-1]&fSig) + int(f[i+1]&fSig)
-	v := int(f[i-bw]&fSig) + int(f[i+bw]&fSig)
-	d := int(f[i-bw-1]&fSig) + int(f[i-bw+1]&fSig) + int(f[i+bw-1]&fSig) + int(f[i+bw+1]&fSig)
-	if c.band == dwt.HL {
-		h, v = v, h
+// clearVisited drops the per-plane visited bits. Only interior samples ever
+// set fVisited, but clearing the whole bordered array is branch-free.
+func (c *coder) clearVisited() {
+	for i := range c.flags {
+		c.flags[i] &^= fVisited
 	}
-	switch c.band {
-	case dwt.HH:
-		switch {
-		case d >= 3:
-			return 8
-		case d == 2:
-			if h+v >= 1 {
-				return 7
-			}
-			return 6
-		case d == 1:
-			switch {
-			case h+v >= 2:
-				return 5
-			case h+v == 1:
-				return 4
-			default:
-				return 3
-			}
-		default:
-			switch {
-			case h+v >= 2:
-				return 2
-			case h+v == 1:
-				return 1
-			default:
-				return 0
-			}
-		}
-	default: // LL, LH (and HL after the swap above)
-		switch {
-		case h == 2:
-			return 8
-		case h == 1:
-			switch {
-			case v >= 1:
-				return 7
-			case d >= 1:
-				return 6
-			default:
-				return 5
-			}
-		default:
-			switch {
-			case v == 2:
-				return 4
-			case v == 1:
-				return 3
-			case d >= 2:
-				return 2
-			case d == 1:
-				return 1
-			default:
-				return 0
-			}
-		}
-	}
-}
-
-// scContext returns the sign-coding context and XOR bit from the signs of
-// the significant horizontal/vertical neighbours.
-func (c *coder) scContext(i int) (ctx int, xorbit int) {
-	f := c.flags
-	bw := c.bw
-	contrib := func(j int) int {
-		if f[j]&fSig == 0 {
-			return 0
-		}
-		if f[j]&fNeg != 0 {
-			return -1
-		}
-		return 1
-	}
-	h := contrib(i-1) + contrib(i+1)
-	if h > 1 {
-		h = 1
-	} else if h < -1 {
-		h = -1
-	}
-	v := contrib(i-bw) + contrib(i+bw)
-	if v > 1 {
-		v = 1
-	} else if v < -1 {
-		v = -1
-	}
-	// Table D.3.
-	switch {
-	case h == 1:
-		switch v {
-		case 1:
-			return 13, 0
-		case 0:
-			return 12, 0
-		default:
-			return 11, 0
-		}
-	case h == 0:
-		switch v {
-		case 1:
-			return 10, 0
-		case 0:
-			return 9, 0
-		default:
-			return 10, 1
-		}
-	default: // h == -1
-		switch v {
-		case 1:
-			return 11, 1
-		case 0:
-			return 12, 1
-		default:
-			return 13, 1
-		}
-	}
-}
-
-// mrContext returns the magnitude-refinement context.
-func (c *coder) mrContext(i int) int {
-	if c.flags[i]&fRefined != 0 {
-		return 16
-	}
-	f := c.flags
-	bw := c.bw
-	any := f[i-1] | f[i+1] | f[i-bw] | f[i+bw] | f[i-bw-1] | f[i-bw+1] | f[i+bw-1] | f[i+bw+1]
-	if any&fSig != 0 {
-		return 15
-	}
-	return 14
-}
-
-// hasSigNeighbor reports whether any 8-neighbour is significant.
-func (c *coder) hasSigNeighbor(i int) bool {
-	f := c.flags
-	bw := c.bw
-	any := f[i-1] | f[i+1] | f[i-bw] | f[i+bw] | f[i-bw-1] | f[i-bw+1] | f[i+bw-1] | f[i+bw+1]
-	return any&fSig != 0
 }
 
 // recon is the decoder's reconstruction of magnitude v after its last update
@@ -343,22 +218,11 @@ func (co *Coder) takeData(n int) []byte {
 // lifetime of the result.
 func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
 	c := &co.c
-	c.w, c.h, c.bw, c.band = w, h, w+2, band
-	n := (w + 2) * (h + 2)
-	if cap(c.mag) < n {
-		c.mag = make([]int32, n)
-		c.flags = make([]uint8, n)
-	} else {
-		c.mag = c.mag[:n]
-		c.flags = c.flags[:n]
-		clear(c.mag)
-		clear(c.flags)
-	}
+	c.reset(w, h, band)
 	var maxMag int32
 	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			v := data[y*stride+x]
-			i := c.idx(x, y)
+		i := c.idx(0, y)
+		for _, v := range data[y*stride : y*stride+w] {
 			if v < 0 {
 				c.flags[i] |= fNeg
 				v = -v
@@ -367,6 +231,7 @@ func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *Enco
 			if v > maxMag {
 				maxMag = v
 			}
+			i++
 		}
 	}
 	eb := co.takeBlock()
@@ -387,17 +252,14 @@ func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *Enco
 	for p := nbp - 1; p >= 0; p-- {
 		plane := uint(p)
 		if p != nbp-1 {
-			d := c.sigPropPass(enc, plane, nil)
+			d := c.encSigProp(enc, plane)
 			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
-			d = c.refinePass(enc, plane, nil)
+			d = c.encRefine(enc, plane)
 			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
 		}
-		d := c.cleanupPass(enc, plane, nil)
+		d := c.encCleanup(enc, plane)
 		eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
-		// Clear per-plane visited flags.
-		for i := range c.flags {
-			c.flags[i] &^= fVisited
-		}
+		c.clearVisited()
 	}
 	seg := enc.Flush()
 	eb.Data = co.takeData(len(seg))
@@ -417,132 +279,130 @@ func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *Enco
 	return eb
 }
 
-// sigPropPass runs the significance-propagation pass at the given plane.
-// When dec is nil it encodes using c.enc conventions via the closure below;
-// the decode path passes a decoder. Returns the distortion reduction.
-func (c *coder) sigPropPass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
+// encSigProp runs the significance-propagation pass at the given plane:
+// insignificant samples with at least one significant neighbor are zero-coded
+// (and sign-coded on becoming significant). Returns the distortion reduction.
+func (c *coder) encSigProp(enc *mq.Encoder, plane uint) float64 {
 	var dist float64
-	c.forEachStripeSample(func(x, y, i int) {
-		if c.flags[i]&fSig != 0 || !c.hasSigNeighbor(i) {
-			return
-		}
-		ctx := c.zcContext(i)
-		var bit int
-		if dec == nil {
-			bit = int(c.mag[i] >> plane & 1)
-			enc.Encode(bit, &c.cx[ctx])
-		} else {
-			bit = dec.mq.Decode(&c.cx[ctx])
-		}
-		if bit == 1 {
-			dist += c.codeSign(enc, dec, i, plane)
-		}
-		c.flags[i] |= fVisited
-	})
-	return dist
-}
-
-// codeSign codes/decodes the sign of sample i which just became significant
-// at plane, marks it significant, and returns the significance distortion.
-func (c *coder) codeSign(enc *mq.Encoder, dec *decoder, i int, plane uint) float64 {
-	ctx, xorbit := c.scContext(i)
-	if dec == nil {
-		s := 0
-		if c.flags[i]&fNeg != 0 {
-			s = 1
-		}
-		enc.Encode(s^xorbit, &c.cx[ctx])
-		c.flags[i] |= fSig
-		return distSig(c.mag[i], plane)
-	}
-	bit := dec.mq.Decode(&c.cx[ctx])
-	if bit^xorbit == 1 {
-		c.flags[i] |= fNeg
-	}
-	c.flags[i] |= fSig
-	c.mag[i] |= 1 << plane
-	dec.lastPlane[i] = uint8(plane) + 1 // store plane+1 (0 = untouched)
-	return 0
-}
-
-// refinePass runs the magnitude-refinement pass.
-func (c *coder) refinePass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
-	var dist float64
-	c.forEachStripeSample(func(x, y, i int) {
-		if c.flags[i]&fSig == 0 || c.flags[i]&fVisited != 0 {
-			return
-		}
-		ctx := c.mrContext(i)
-		if dec == nil {
-			bit := int(c.mag[i] >> plane & 1)
-			enc.Encode(bit, &c.cx[ctx])
-			dist += distRef(c.mag[i], plane)
-		} else {
-			bit := dec.mq.Decode(&c.cx[ctx])
-			if bit == 1 {
-				c.mag[i] |= 1 << plane
-			}
-			dec.lastPlane[i] = uint8(plane) + 1
-		}
-		c.flags[i] |= fRefined
-	})
-	return dist
-}
-
-// cleanupPass runs the cleanup pass with run-length coding.
-func (c *coder) cleanupPass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
-	var dist float64
+	f, mag, bw, zc := c.flags, c.mag, c.bw, c.zc
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
 			rows = 4
 		}
+		i0 := (y0+1)*bw + 1
 		for x := 0; x < c.w; x++ {
-			y := 0
-			// Run-length mode: full column of four, all insignificant,
-			// unvisited, with no significant neighbours.
-			if rows == 4 && c.rlEligible(x, y0) {
-				var first int
-				if dec == nil {
-					first = 4 // position of first 1-bit, 4 = none
-					for k := 0; k < 4; k++ {
-						if c.mag[c.idx(x, y0+k)]>>plane&1 == 1 {
-							first = k
-							break
-						}
-					}
-					if first == 4 {
-						enc.Encode(0, &c.cx[ctxRL])
-						continue
-					}
-					enc.Encode(1, &c.cx[ctxRL])
-					enc.Encode(first>>1&1, &c.cx[ctxUNI])
-					enc.Encode(first&1, &c.cx[ctxUNI])
-				} else {
-					if dec.mq.Decode(&c.cx[ctxRL]) == 0 {
-						continue
-					}
-					first = dec.mq.Decode(&c.cx[ctxUNI])<<1 | dec.mq.Decode(&c.cx[ctxUNI])
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSigOth == 0 {
+				continue // nothing in this column has a significant neighbor
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i]
+				if fl&fSig != 0 || fl&fSigOth == 0 {
+					continue
 				}
-				// The sample at `first` is significant: code its sign.
-				dist += c.codeSign(enc, dec, c.idx(x, y0+first), plane)
+				bit := int(mag[i] >> plane & 1)
+				enc.Encode(bit, &c.cx[zc[fl&fSigOth]])
+				if bit == 1 {
+					dist += c.encSign(enc, i, plane)
+				}
+				f[i] |= fVisited
+			}
+		}
+	}
+	return dist
+}
+
+// encSign codes the sign of sample i which just became significant at plane,
+// marks it significant in its neighborhood, and returns the significance
+// distortion.
+func (c *coder) encSign(enc *mq.Encoder, i int, plane uint) float64 {
+	sc := scLUT[(c.flags[i]>>4)&0xFF]
+	s := 0
+	if c.flags[i]&fNeg != 0 {
+		s = 1
+	}
+	enc.Encode(s^int(sc>>7), &c.cx[sc&0x1F])
+	c.setSig(i, s == 1)
+	return distSig(c.mag[i], plane)
+}
+
+// encRefine runs the magnitude-refinement pass: samples already significant
+// before this plane (and not coded by this plane's sig-prop pass) emit one
+// magnitude bit.
+func (c *coder) encRefine(enc *mq.Encoder, plane uint) float64 {
+	var dist float64
+	f, mag, bw := c.flags, c.mag, c.bw
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSig == 0 {
+				continue // nothing significant in this column to refine
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i]
+				if fl&(fSig|fVisited) != fSig {
+					continue
+				}
+				enc.Encode(int(mag[i]>>plane&1), &c.cx[mrCtx(fl)])
+				dist += distRef(mag[i], plane)
+				f[i] = fl | fRefined
+			}
+		}
+	}
+	return dist
+}
+
+// encCleanup runs the cleanup pass with run-length coding: full 4-sample
+// columns with no significant state or neighborhood take the run-length
+// shortcut; everything else left uncoded this plane is zero-coded.
+func (c *coder) encCleanup(enc *mq.Encoder, plane uint) float64 {
+	var dist float64
+	f, mag, bw, zc := c.flags, c.mag, c.bw, c.zc
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			y := 0
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&(fSig|fVisited|fSigOth) == 0 {
+				// Run-length mode: column of four, all insignificant,
+				// unvisited, with no significant neighbours.
+				first := 4 // position of first 1-bit, 4 = none
+				for k := 0; k < 4; k++ {
+					if mag[i+k*bw]>>plane&1 == 1 {
+						first = k
+						break
+					}
+				}
+				if first == 4 {
+					enc.Encode(0, &c.cx[ctxRL])
+					continue
+				}
+				enc.Encode(1, &c.cx[ctxRL])
+				enc.Encode(first>>1&1, &c.cx[ctxUNI])
+				enc.Encode(first&1, &c.cx[ctxUNI])
+				dist += c.encSign(enc, i+first*bw, plane)
 				y = first + 1
 			}
 			for ; y < rows; y++ {
-				i := c.idx(x, y0+y)
-				if c.flags[i]&(fSig|fVisited) != 0 {
+				ii := i + y*bw
+				fl := f[ii]
+				if fl&(fSig|fVisited) != 0 {
 					continue
 				}
-				ctx := c.zcContext(i)
-				var bit int
-				if dec == nil {
-					bit = int(c.mag[i] >> plane & 1)
-					enc.Encode(bit, &c.cx[ctx])
-				} else {
-					bit = dec.mq.Decode(&c.cx[ctx])
-				}
+				bit := int(mag[ii] >> plane & 1)
+				enc.Encode(bit, &c.cx[zc[fl&fSigOth]])
 				if bit == 1 {
-					dist += c.codeSign(enc, dec, i, plane)
+					dist += c.encSign(enc, ii, plane)
 				}
 			}
 		}
@@ -550,31 +410,12 @@ func (c *coder) cleanupPass(enc *mq.Encoder, plane uint, dec *decoder) float64 {
 	return dist
 }
 
-// rlEligible reports whether the 4-sample column at (x, y0) qualifies for
-// run-length mode.
-func (c *coder) rlEligible(x, y0 int) bool {
-	for k := 0; k < 4; k++ {
-		i := c.idx(x, y0+k)
-		if c.flags[i]&(fSig|fVisited) != 0 || c.hasSigNeighbor(i) {
-			return false
-		}
+// TotalPasses returns the number of coding passes for a block with the given
+// number of bit-planes (3 per plane, minus the two skipped passes of the
+// most significant plane).
+func TotalPasses(numBitplanes int) int {
+	if numBitplanes <= 0 {
+		return 0
 	}
-	return true
-}
-
-// forEachStripeSample visits samples in the standard scan order: stripes of
-// four rows, column by column, top to bottom within the column.
-func (c *coder) forEachStripeSample(fn func(x, y, i int)) {
-	for y0 := 0; y0 < c.h; y0 += 4 {
-		rows := c.h - y0
-		if rows > 4 {
-			rows = 4
-		}
-		for x := 0; x < c.w; x++ {
-			for k := 0; k < rows; k++ {
-				y := y0 + k
-				fn(x, y, c.idx(x, y))
-			}
-		}
-	}
+	return 3*numBitplanes - 2
 }
