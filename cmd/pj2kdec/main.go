@@ -1,7 +1,13 @@
 // Command pj2kdec decompresses a JPEG2000 codestream produced by pj2kenc
 // back into a PGM (grayscale) or PPM (color, for Csiz=3 streams) image.
 //
-//	pj2kdec -in image.j2k -out image.pgm|image.ppm [-layers 0] [-reduce 0] [-workers 0]
+//	pj2kdec -in image.j2k -out image.pgm|image.ppm [-layers 0] [-reduce 0] \
+//	        [-workers 0] [-resilient]
+//
+// With -resilient, a damaged codestream decodes best-effort: corrupt packets
+// and code-blocks are concealed, a damage summary goes to stderr, and the
+// exit status stays 0 as long as an image came out (only an unrecoverable
+// stream — nothing to decode at all — exits nonzero).
 package main
 
 import (
@@ -22,6 +28,7 @@ func main() {
 	reduce := flag.Int("reduce", 0, "discard the N highest resolution levels, decoding at 1/2^N scale")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 	depth := flag.Int("depth", 8, "output bit depth (8 or 12/16 for medical imagery)")
+	resilient := flag.Bool("resilient", false, "conceal damaged packets/code-blocks instead of failing; damage report on stderr")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
@@ -31,11 +38,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pl, err := jp2k.DecodePlanar(data, jp2k.DecodeOptions{
+	dec := jp2k.NewDecoder()
+	pl, err := dec.DecodePlanar(data, jp2k.DecodeOptions{
 		MaxLayers:     *layers,
 		DiscardLevels: *reduce,
 		Workers:       *workers,
 		VertMode:      dwt.VertBlocked,
+		Resilient:     *resilient,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,6 +70,17 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *resilient {
+		if dmg := dec.Damage(); dmg.Damaged() {
+			fmt.Fprintf(os.Stderr, "pj2kdec: %s: %s\n", *in, dmg)
+			for _, td := range dmg.Tiles {
+				fmt.Fprintf(os.Stderr, "  tile %d: %d bad packets, %d resynced, %d lost, "+
+					"%d blocks concealed, %d passes dropped\n",
+					td.Tile, td.BadPackets, td.PacketsResynced, td.PacketsLost,
+					td.BlocksConcealed, td.PassesDropped)
+			}
+		}
 	}
 	fmt.Printf("%s: %dx%dx%d decoded\n", *out, pl.Width(), pl.Height(), pl.NComp())
 }

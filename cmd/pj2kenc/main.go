@@ -3,7 +3,13 @@
 // the inter-component transform applied (disable with -mct=false).
 //
 //	pj2kenc -in image.pgm|image.ppm -out image.j2k [-rate 1.0] [-lossless] \
-//	        [-levels 5] [-tile 0] [-workers 0] [-mct] [-improved] [-stats]
+//	        [-levels 5] [-tile 0] [-workers 0] [-mct] [-improved] [-stats] \
+//	        [-resilient | -sop -eph -segsym]
+//
+// The resilience flags embed the JPEG2000 error-resilience tools — SOP
+// packet framing, EPH header terminators, cleanup-pass segmentation symbols
+// — so a decoder in resilient mode can detect damage, resynchronize and
+// conceal instead of discarding the stream. -resilient turns on all three.
 package main
 
 import (
@@ -28,6 +34,10 @@ func main() {
 	mct := flag.Bool("mct", true, "apply the inter-component transform to color input")
 	improved := flag.Bool("improved", true, "use the paper's improved (blocked) vertical filtering")
 	stats := flag.Bool("stats", false, "print the per-stage runtime analysis")
+	resilient := flag.Bool("resilient", false, "enable every error-resilience tool (-sop -eph -segsym)")
+	sop := flag.Bool("sop", false, "frame each packet with a numbered SOP marker (resync anchor)")
+	eph := flag.Bool("eph", false, "terminate each packet header with an EPH marker")
+	segsym := flag.Bool("segsym", false, "embed segmentation symbols after each cleanup pass (corruption detector)")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
@@ -53,6 +63,11 @@ func main() {
 		Workers:  *workers,
 		BitDepth: depth,
 		MCT:      *mct && pl.NComp() == 3,
+		Resilience: jp2k.ResilienceOptions{
+			SOP:        *sop || *resilient,
+			EPH:        *eph || *resilient,
+			SegSymbols: *segsym || *resilient,
+		},
 	}
 	if *improved {
 		opts.VertMode = dwt.VertBlocked

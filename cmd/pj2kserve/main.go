@@ -4,7 +4,14 @@
 // at startup; per-request work is bounded by the tiles a window touches and
 // amortized by the decoded-tile cache.
 //
-//	pj2kserve -dir images/ [-addr :8732] [-cache-mb 256] [-tile-workers 1]
+//	pj2kserve -dir images/ [-addr :8732] [-cache-mb 256] [-tile-workers 1] \
+//	          [-timeout 0] [-max-inflight 64] [-resilient]
+//
+// The hardening knobs: -timeout bounds each decode-bearing request (504 past
+// the deadline), -max-inflight sheds excess load with 503 + Retry-After
+// instead of queueing without bound, and -resilient serves damaged
+// codestreams degraded (concealed tiles + damage counters in /stats) instead
+// of failing them.
 //
 // Endpoints (see internal/serve for the full contract):
 //
@@ -12,6 +19,7 @@
 //	GET /img/{id}/info
 //	GET /img/{id}/stream?layers=N
 //	GET /stats
+//	GET /healthz | /readyz
 package main
 
 import (
@@ -32,6 +40,10 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "decoded-tile cache budget in MiB (0 disables caching)")
 	tileWorkers := flag.Int("tile-workers", 1, "parallel workers per tile decode (request concurrency is separate)")
 	maxMPix := flag.Int64("max-mpix", 64, "largest window in megapixels a single request may ask for")
+	timeout := flag.Duration("timeout", 0, "per-request decode deadline (0 = unbounded)")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight,
+		"max concurrently admitted decode requests before shedding with 503 (-1 = unbounded)")
+	resilient := flag.Bool("resilient", false, "serve damaged codestreams degraded instead of failing them")
 	flag.Parse()
 
 	store := serve.NewStore()
@@ -39,7 +51,12 @@ func main() {
 	if *dir != "" {
 		var err error
 		if n, err = store.LoadDir(*dir); err != nil {
-			log.Fatalf("loading %s: %v", *dir, err)
+			// In resilient mode one unindexable file degrades to a warning
+			// instead of taking the whole instance down with it.
+			if !*resilient {
+				log.Fatalf("loading %s: %v", *dir, err)
+			}
+			log.Printf("warning: loading %s stopped early: %v", *dir, err)
 		}
 	}
 	// Positional arguments are individual codestream files.
@@ -50,7 +67,11 @@ func main() {
 		}
 		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		if _, err := store.Add(id, data); err != nil {
-			log.Fatal(err)
+			if !*resilient {
+				log.Fatal(err)
+			}
+			log.Printf("warning: skipping %s: %v", path, err)
+			continue
 		}
 		n++
 	}
@@ -73,7 +94,11 @@ func main() {
 		CacheBytes:  cacheBytes,
 		TileWorkers: *tileWorkers,
 		MaxPixels:   *maxMPix << 20,
+		Timeout:     *timeout,
+		MaxInFlight: *maxInFlight,
+		Resilient:   *resilient,
 	})
-	log.Printf("listening on %s (%d images, %d MiB tile cache)", *addr, n, *cacheMB)
+	log.Printf("listening on %s (%d images, %d MiB tile cache, timeout %v, max in-flight %d, resilient %v)",
+		*addr, n, *cacheMB, *timeout, *maxInFlight, *resilient)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

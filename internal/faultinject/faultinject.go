@@ -1,0 +1,177 @@
+// Package faultinject builds deterministic damaged variants of JPEG2000
+// codestreams for resilience testing: bit flips, truncations and byte drops
+// aimed at specific byte ranges (tile-part bodies, the main header). Every
+// mutator is a pure function of (input, seed), so a failing case reproduces
+// from its seed alone — the property a fault-injection matrix and a fuzzer
+// corpus both need.
+package faultinject
+
+import "fmt"
+
+// Span is a byte range [Off, Off+Len) within a codestream.
+type Span struct {
+	Off, Len int
+}
+
+// End returns the offset one past the span.
+func (s Span) End() int { return s.Off + s.Len }
+
+// Marker codes used by the independent walk (kept local on purpose: the
+// injector must not depend on the parser it is trying to break).
+const (
+	mSOC = 0xFF4F
+	mSOT = 0xFF90
+	mSOD = 0xFF93
+	mEOC = 0xFFD9
+)
+
+func u16(data []byte, pos int) (int, bool) {
+	if pos+2 > len(data) {
+		return 0, false
+	}
+	return int(data[pos])<<8 | int(data[pos+1]), true
+}
+
+func u32(data []byte, pos int) (int, bool) {
+	if pos+4 > len(data) {
+		return 0, false
+	}
+	return int(data[pos])<<24 | int(data[pos+1])<<16 | int(data[pos+2])<<8 | int(data[pos+3]), true
+}
+
+// Header returns the main-header span: everything from SOC up to the first
+// tile-part (or the whole stream when no SOT is found).
+func Header(data []byte) Span {
+	for i := 0; i+1 < len(data); i++ {
+		if data[i] == 0xFF && data[i+1] == mSOT&0xFF {
+			return Span{Off: 0, Len: i}
+		}
+	}
+	return Span{Off: 0, Len: len(data)}
+}
+
+// TileBodies locates the tile-part body bytes (between each SOD and the end
+// of its tile-part, per the SOT's Psot) by walking the marker structure
+// independently of the codec's own parser. Streams the walk cannot follow
+// yield the spans found so far.
+func TileBodies(data []byte) []Span {
+	var spans []Span
+	if m, ok := u16(data, 0); !ok || m != mSOC {
+		return nil
+	}
+	pos := 2
+	for {
+		m, ok := u16(data, pos)
+		if !ok {
+			return spans
+		}
+		pos += 2
+		switch m {
+		case mEOC:
+			return spans
+		case mSOT:
+			start := pos - 2
+			psot, ok := u32(data, pos+4) // after Lsot, Isot
+			if !ok {
+				return spans
+			}
+			// SOT header is 12 bytes (marker + Lsot..TNsot), then SOD (2).
+			bodyOff := start + 12 + 2
+			bodyEnd := start + psot
+			if m, ok := u16(data, start+12); !ok || m != mSOD ||
+				psot < 14 || bodyEnd > len(data) {
+				return spans
+			}
+			spans = append(spans, Span{Off: bodyOff, Len: bodyEnd - bodyOff})
+			pos = bodyEnd
+		default:
+			l, ok := u16(data, pos)
+			if !ok || l < 2 || pos+l > len(data) {
+				return spans
+			}
+			pos += l
+		}
+	}
+}
+
+// splitmix64 is the deterministic PRNG behind every mutator.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// BitFlip returns a copy of data with n pseudo-random single-bit flips
+// confined to span. An empty span returns the data unchanged.
+func BitFlip(data []byte, span Span, n int, seed uint64) []byte {
+	out := append([]byte(nil), data...)
+	if span.Len <= 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		r := splitmix64(&seed)
+		idx := span.Off + int(r%uint64(span.Len))
+		out[idx] ^= 1 << ((r >> 32) % 8)
+	}
+	return out
+}
+
+// Truncate returns a copy of data cut off at a pseudo-random point inside
+// span — modelling a transfer that died mid-tile (the EOC and any following
+// tile-parts are gone too).
+func Truncate(data []byte, span Span, seed uint64) []byte {
+	if span.Len <= 0 {
+		return append([]byte(nil), data...)
+	}
+	cut := span.Off + int(splitmix64(&seed)%uint64(span.Len))
+	return append([]byte(nil), data[:cut]...)
+}
+
+// DropBytes returns a copy of data with a short pseudo-random run of bytes
+// inside span removed (the tail shifts down) — the framing damage that makes
+// everything after the drop parse at the wrong offset.
+func DropBytes(data []byte, span Span, seed uint64) []byte {
+	if span.Len <= 0 {
+		return append([]byte(nil), data...)
+	}
+	r := splitmix64(&seed)
+	start := span.Off + int(r%uint64(span.Len))
+	maxRun := span.End() - start
+	run := 1 + int((r>>32)%16)
+	if run > maxRun {
+		run = maxRun
+	}
+	out := append([]byte(nil), data[:start]...)
+	return append(out, data[start+run:]...)
+}
+
+// Mutation couples a mutator's name (stable across runs, usable as a subtest
+// name) with its damaged codestream.
+type Mutation struct {
+	Name string
+	Data []byte
+}
+
+// Mutations applies the standard mutator set — bit flips, truncation and a
+// byte drop per tile body, plus a main-header bit flip — to one codestream.
+// The same (cs, seed) always yields the same set.
+func Mutations(cs []byte, seed uint64) []Mutation {
+	var muts []Mutation
+	for ti, sp := range TileBodies(cs) {
+		if sp.Len == 0 {
+			continue
+		}
+		s := seed ^ uint64(ti+1)*0x9E3779B97F4A7C15
+		muts = append(muts,
+			Mutation{Name: fmt.Sprintf("tile%d-bitflip", ti), Data: BitFlip(cs, sp, 8, s)},
+			Mutation{Name: fmt.Sprintf("tile%d-truncate", ti), Data: Truncate(cs, sp, s)},
+			Mutation{Name: fmt.Sprintf("tile%d-drop", ti), Data: DropBytes(cs, sp, s)},
+		)
+	}
+	if h := Header(cs); h.Len > 0 {
+		muts = append(muts, Mutation{Name: "header-bitflip", Data: BitFlip(cs, h, 2, seed)})
+	}
+	return muts
+}

@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+)
+
+func encodeTiled(t *testing.T) []byte {
+	t.Helper()
+	im := raster.Synthetic(96, 96, 7)
+	cs, _, err := jp2k.Encode(im, jp2k.Options{TileW: 48, TileH: 48})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return cs
+}
+
+func TestTileBodiesOnEncodedStream(t *testing.T) {
+	cs := encodeTiled(t)
+	spans := TileBodies(cs)
+	if len(spans) != 4 {
+		t.Fatalf("got %d tile bodies, want 4 (2x2 tiling)", len(spans))
+	}
+	hdr := Header(cs)
+	if hdr.Len <= 0 || hdr.Off != 0 {
+		t.Fatalf("bad header span %+v", hdr)
+	}
+	prevEnd := hdr.End()
+	for i, sp := range spans {
+		if sp.Len <= 0 {
+			t.Fatalf("span %d empty: %+v", i, sp)
+		}
+		if sp.Off < prevEnd || sp.End() > len(cs) {
+			t.Fatalf("span %d out of order or out of range: %+v (prev end %d, len %d)",
+				i, sp, prevEnd, len(cs))
+		}
+		prevEnd = sp.End()
+	}
+}
+
+func TestTileBodiesGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{0xFF},
+		{0x00, 0x01, 0x02},
+		{0xFF, 0x4F},                         // bare SOC
+		{0xFF, 0x4F, 0xFF, 0x90, 0x00, 0x01}, // SOT with absurd Lsot
+	} {
+		if spans := TileBodies(data); len(spans) != 0 {
+			t.Fatalf("garbage %x yielded spans %+v", data, spans)
+		}
+	}
+}
+
+func TestMutatorsDeterministicAndBounded(t *testing.T) {
+	cs := encodeTiled(t)
+	spans := TileBodies(cs)
+	sp := spans[0]
+
+	a := BitFlip(cs, sp, 8, 42)
+	b := BitFlip(cs, sp, 8, 42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("BitFlip not deterministic for equal seeds")
+	}
+	if bytes.Equal(a, cs) {
+		t.Fatal("BitFlip changed nothing")
+	}
+	// Damage confined to the span: everything outside must be untouched.
+	if !bytes.Equal(a[:sp.Off], cs[:sp.Off]) || !bytes.Equal(a[sp.End():], cs[sp.End():]) {
+		t.Fatal("BitFlip leaked outside its span")
+	}
+
+	tr := Truncate(cs, sp, 42)
+	if len(tr) >= len(cs) || len(tr) < sp.Off {
+		t.Fatalf("Truncate length %d out of range (span %+v, stream %d)", len(tr), sp, len(cs))
+	}
+	if !bytes.Equal(tr, Truncate(cs, sp, 42)) {
+		t.Fatal("Truncate not deterministic")
+	}
+
+	dr := DropBytes(cs, sp, 42)
+	if len(dr) >= len(cs) || len(cs)-len(dr) > 16 {
+		t.Fatalf("DropBytes removed %d bytes, want 1..16", len(cs)-len(dr))
+	}
+	if !bytes.Equal(dr, DropBytes(cs, sp, 42)) {
+		t.Fatal("DropBytes not deterministic")
+	}
+
+	// Empty spans are no-ops that still copy.
+	if out := BitFlip(cs, Span{}, 8, 1); !bytes.Equal(out, cs) {
+		t.Fatal("BitFlip on empty span mutated data")
+	}
+}
+
+func TestMutationsSet(t *testing.T) {
+	cs := encodeTiled(t)
+	muts := Mutations(cs, 1)
+	// 4 tiles x 3 mutators + header flip.
+	if len(muts) != 13 {
+		t.Fatalf("got %d mutations, want 13", len(muts))
+	}
+	seen := make(map[string]bool)
+	for _, m := range muts {
+		if seen[m.Name] {
+			t.Fatalf("duplicate mutation name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if bytes.Equal(m.Data, cs) {
+			t.Fatalf("mutation %q left stream unchanged", m.Name)
+		}
+	}
+	again := Mutations(cs, 1)
+	for i := range muts {
+		if muts[i].Name != again[i].Name || !bytes.Equal(muts[i].Data, again[i].Data) {
+			t.Fatalf("Mutations not deterministic at %d (%s)", i, muts[i].Name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package jp2k
 
 import (
+	"context"
 	"fmt"
 
 	"pj2k/internal/core"
@@ -73,6 +74,9 @@ type Decoder struct {
 	jobs         []decJob
 	tileErrs     []error
 	blockErrs    []error
+	tileDmg      []t2.DecodeDamage // per selected tile (resilient decodes)
+	blockStats   []t1.SegStats     // per tier-1 job (resilient decodes)
+	damage       *DamageReport     // of the last resilient decode
 	colW, rowH   []int
 	sel          []int
 	mctFloats    [][]float64 // pooled float planes for the inverse ICT
@@ -177,6 +181,21 @@ func (d *Decoder) Close() {
 	*d = Decoder{}
 }
 
+// Damage returns the damage report of the most recent resilient decode: what
+// the best-effort pipeline salvaged around, concealed or lost. It returns nil
+// when the last decode was strict (DecodeOptions.Resilient false) or failed
+// outright. The report is replaced by the next decode on this Decoder.
+func (d *Decoder) Damage() *DamageReport { return d.damage }
+
+// ctxErr is the between-stages cancellation probe; a nil context means the
+// decode is unbounded.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // ensureWorkers sizes the per-worker pools, mirroring Encoder.ensureWorkers:
 // outer unit-level workers each carry DWT scratch for inner within-unit
 // workers; block-level workers carry tier-1 decoders.
@@ -279,10 +298,18 @@ func (d *Decoder) walkTask(_, si int) {
 	if te.tc == nil {
 		te.tc = t2.NewTileCoderComps(te.bandsV[:ncomp])
 	}
-	decV, _, err := te.tc.DecodeTileCompsPackets(te.bandsV[:ncomp], p.Levels, nlayers, te.data, te.decV[:ncomp])
-	if err != nil {
-		d.tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
-		return
+	te.tc.SOP, te.tc.EPH = p.UseSOP, p.UseEPH
+	var decV [][]t2.DecodedBlock
+	if d.cur.opts.Resilient {
+		decV, _, d.tileDmg[si] = te.tc.DecodeTileCompsPacketsResilient(
+			te.bandsV[:ncomp], p.Levels, nlayers, te.data, te.decV[:ncomp])
+	} else {
+		var err error
+		decV, _, err = te.tc.DecodeTileCompsPackets(te.bandsV[:ncomp], p.Levels, nlayers, te.data, te.decV[:ncomp])
+		if err != nil {
+			d.tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
+			return
+		}
 	}
 
 	// Enumerate the blocks to entropy-decode: bands of discarded
@@ -312,9 +339,13 @@ func (d *Decoder) blockTask(worker, i int) {
 	cd := &te.comps[d.jobs[i].ci]
 	s := &cd.slots[d.jobs[i].si]
 	blk := &cd.dec[s.id]
-	s.vals, d.blockErrs[i] = d.bds[worker].DecodeSegment(
+	// Segmentation symbols (when the stream carries them) are verified in
+	// strict mode too — a symbol-carrying stream is self-checking — and drive
+	// concealment in resilient mode.
+	s.vals, d.blockStats[i], d.blockErrs[i] = d.bds[worker].DecodeSegmentChecked(
 		s.rect.X1-s.rect.X0, s.rect.Y1-s.rect.Y0,
-		te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes)
+		te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes,
+		d.cur.p.SegSym, d.cur.opts.Resilient)
 }
 
 // asmTask assembles one (selected tile, component) unit's coefficient plane,
@@ -392,11 +423,25 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 			te.data = nil
 		}
 	}()
-	p, tiles, err := t2.ReadCodestream(data)
+	d.damage = nil
+	var p t2.Params
+	var tiles [][]byte
+	var cdmg t2.ContainerDamage
+	var err error
+	if opts.Resilient {
+		p, tiles, cdmg, err = t2.ReadCodestreamResilient(data)
+	} else {
+		p, tiles, err = t2.ReadCodestream(data)
+	}
 	if err != nil {
 		return nil, err
 	}
+	// Even a resilient decode needs a viable geometry: without it there is
+	// no image to degrade toward.
 	if err := p.CheckGeometry(); err != nil {
+		return nil, err
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
 	}
 	ncomp := p.Components()
@@ -420,7 +465,20 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 
 	ntx, nty := p.NumTiles()
 	if len(tiles) != ntx*nty {
-		return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
+		if !opts.Resilient {
+			return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
+		}
+		// Salvage: missing tile-parts decode as empty (gray) tiles, surplus
+		// ones are dropped.
+		if len(tiles) < ntx*nty {
+			cdmg.Truncated = true
+			for len(tiles) < ntx*nty {
+				tiles = append(tiles, nil)
+			}
+		} else {
+			cdmg.BadTileParts += len(tiles) - ntx*nty
+			tiles = tiles[:ntx*nty]
+		}
 	}
 
 	// Reduced tile geometry: per-column widths and per-row heights, plus
@@ -471,6 +529,8 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	d.tileErrs = grow(d.tileErrs, nsel)
 	tileErrs := d.tileErrs
 	clear(tileErrs)
+	d.tileDmg = grow(d.tileDmg, nsel)
+	clear(d.tileDmg)
 
 	// --- Tier-2: walk each selected tile's packet headers (all components,
 	// LRCP-interleaved) and accumulate the code-block segments, in parallel
@@ -490,6 +550,9 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
 	}
 
 	// --- Tier-1: every kept block of every selected tile component, decoded
@@ -513,12 +576,42 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	d.blockErrs = grow(d.blockErrs, njobs)
 	blockErrs := d.blockErrs
 	clear(blockErrs)
+	d.blockStats = grow(d.blockStats, njobs)
+	clear(d.blockStats)
 	d.pool.TasksIDMax(workers, njobs, d.blockFn)
 	for i, err := range blockErrs {
 		if err != nil {
 			return nil, fmt.Errorf("jp2k: tile %d component %d block %d: %w",
 				sel[jobs[i].ti], jobs[i].ci, jobs[i].si, err)
 		}
+	}
+	if opts.Resilient {
+		// Aggregate the damage report after both parallel stages are done, so
+		// the accounting never races the workers.
+		rep := &DamageReport{Container: cdmg}
+		perTile := make([]TileDamage, nsel)
+		for si := 0; si < nsel; si++ {
+			dm := d.tileDmg[si]
+			perTile[si] = TileDamage{
+				Tile: sel[si], BadPackets: dm.BadPackets,
+				PacketsResynced: dm.PacketsResynced, PacketsLost: dm.PacketsLost,
+			}
+		}
+		for i, st := range d.blockStats[:njobs] {
+			if st.Concealed {
+				perTile[jobs[i].ti].BlocksConcealed++
+				perTile[jobs[i].ti].PassesDropped += st.DroppedPasses
+			}
+		}
+		for _, td := range perTile {
+			if td.Any() {
+				rep.Tiles = append(rep.Tiles, td)
+			}
+		}
+		d.damage = rep
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
 	}
 
 	// --- Assembly + inverse transform per (selected tile, component) unit,

@@ -357,6 +357,8 @@ func (e *Encoder) t2Task(worker, ti int) {
 	if e.tcoders[ti] == nil {
 		e.tcoders[ti] = t2.NewTileCoderComps(sc.compBands[:ncomp])
 	}
+	e.tcoders[ti].SOP = e.cur.o.Resilience.SOP
+	e.tcoders[ti].EPH = e.cur.o.Resilience.EPH
 	e.tileStreams[ti] = e.tcoders[ti].EncodeTileCompsPackets(
 		sc.compBands[:ncomp], e.cur.o.Levels, sc.compLayers[:ncomp],
 		e.tileStreams[ti][:0], sc.compBytes)
@@ -540,6 +542,9 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	e.jobs = jobs
 	nblocks := len(jobs)
 	e.ensureCoders(min(o.Workers, max(nblocks, 1)))
+	for _, co := range e.coders {
+		co.SegSym = o.Resilience.SegSymbols
+	}
 	e.results = grow(e.results, nblocks)
 	e.pool.TasksIDMax(o.Workers, nblocks, e.blockFn)
 	results := e.results
@@ -714,6 +719,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 		NComp: ncomp, BitDepth: o.BitDepth, Levels: o.Levels, Layers: nlayers,
 		CBW: o.CBW, CBH: o.CBH, MCT: o.MCT, Kernel: o.Kernel, GuardBits: 2,
 		Steps: stepsAll, Mb: mb[:ncomp], ROIShift: roiShift,
+		UseSOP: o.Resilience.SOP, UseEPH: o.Resilience.EPH, SegSym: o.Resilience.SegSymbols,
 	}
 	out := t2.WriteCodestream(params, e.tileStreams[:ntiles])
 	stats.Timings.StreamIO = time.Since(tIO)

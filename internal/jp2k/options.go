@@ -7,6 +7,7 @@
 package jp2k
 
 import (
+	"context"
 	"time"
 
 	"pj2k/internal/dwt"
@@ -56,7 +57,34 @@ type Options struct {
 	// every background bit-plane, so they decode first at any truncation
 	// point. Nil disables ROI coding.
 	ROI *ROIRect
+	// Resilience selects the standard's error-resilience tools. All default
+	// off, leaving default bitstreams bit-identical.
+	Resilience ResilienceOptions
 }
+
+// ResilienceOptions selects the JPEG2000 Part 1 error-resilience tools, the
+// markers that let a resilient decoder localize damage instead of losing the
+// tile: all are signalled in the codestream (COD), so decoders need no
+// side-channel. Each costs a little rate — 6 bytes per packet for SOP, 2 for
+// EPH, roughly a byte per code-block pass for segmentation symbols.
+type ResilienceOptions struct {
+	// SOP writes a start-of-packet marker (with a wrapping sequence number)
+	// before every packet — the resync anchor resilient decoding scans for
+	// after a malformed packet.
+	SOP bool
+	// EPH writes an end-of-packet-header marker after every packet header,
+	// letting a decoder detect a corrupt header the moment its bit walk
+	// terminates in the wrong place.
+	EPH bool
+	// SegSymbols terminates every cleanup pass with the four-symbol
+	// segmentation marker, giving the tier-1 decoder a per-pass checkpoint:
+	// corruption is detected at the pass that hit it and concealment keeps
+	// every clean pass before it.
+	SegSymbols bool
+}
+
+// Any reports whether any resilience tool is enabled.
+func (r ResilienceOptions) Any() bool { return r.SOP || r.EPH || r.SegSymbols }
 
 // ROIRect is a region of interest in image coordinates ([X0,X1) x [Y0,Y1)).
 type ROIRect struct {
@@ -117,6 +145,17 @@ type EncodeStats struct {
 
 // DecodeOptions configures the decoder.
 type DecodeOptions struct {
+	// Resilient selects best-effort decoding: instead of failing the decode,
+	// container damage is salvaged around, malformed packets resync to the
+	// next SOP marker (or truncate the tile's quality), and corrupt
+	// code-blocks are concealed at their last clean coding pass. What was
+	// lost is reported through Decoder.Damage. A clean stream decodes
+	// bit-identically to strict mode with an empty report.
+	Resilient bool
+	// Ctx, when non-nil, bounds the decode: cancellation or deadline expiry
+	// is checked between pipeline stages (packet walk, tier-1, assembly), so
+	// a decode stops within one dispatch unit of the context ending.
+	Ctx context.Context
 	// MaxLayers decodes only the first n quality layers when positive.
 	MaxLayers int
 	// DiscardLevels drops the n highest resolution levels, reconstructing

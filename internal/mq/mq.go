@@ -226,11 +226,12 @@ func (e *Encoder) Flush() []byte {
 // behave as if 0xFF bytes followed, per the standard, so truncated segments
 // decode without error.
 type Decoder struct {
-	data []byte
-	bp   int
-	c    uint32
-	a    uint32
-	ct   int
+	data    []byte
+	bp      int
+	c       uint32
+	a       uint32
+	ct      int
+	overrun int
 }
 
 // NewDecoder returns a decoder over one codeword segment (INITDEC).
@@ -246,6 +247,7 @@ func (d *Decoder) Reset(data []byte) {
 	d.data = data
 	d.bp = 0
 	d.ct = 0
+	d.overrun = 0
 	d.c = uint32(d.byteAt(0)) << 16
 	d.byteIn()
 	d.c <<= 7
@@ -284,6 +286,9 @@ func (d *Decoder) byteIn() {
 		d.ct = 7
 		return
 	}
+	if d.bp >= len(d.data) {
+		d.overrun++
+	}
 	if d.byteAt(d.bp) == 0xFF {
 		if d.byteAt(d.bp+1) > 0x8F {
 			d.c += 0xFF00
@@ -299,6 +304,13 @@ func (d *Decoder) byteIn() {
 		d.ct = 8
 	}
 }
+
+// Overrun returns the number of synthetic byte reads performed past the end
+// of the segment since Reset. Clean decodes read at most a couple of
+// synthesized bytes (the flush bytes the encoder drops); a large overrun means
+// the decoder was driven far past its data — the "MQ decoder ran off its
+// segment" corruption signal resilient tier-1 decoding keys on.
+func (d *Decoder) Overrun() int { return d.overrun }
 
 // Decode returns the next decision in context cx, updating the context. As
 // in Encode, the dominant path — MPS with the interval still normalized —

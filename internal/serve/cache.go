@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -97,8 +98,11 @@ func (c *Cache) pushFront(e *tileEntry) {
 // Concurrent calls for the same missing key run decode once and share the
 // result (counted as coalesced, not hits). Successful results enter the
 // cache, evicting least-recently-used tiles past the byte budget; errors are
-// returned to every waiter and cached by nobody.
-func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Planar, error)) (*raster.Planar, error) {
+// returned to every waiter and cached by nobody. A waiter whose ctx ends
+// while the decode is in flight returns the context error immediately — the
+// decode itself continues for the remaining waiters (and the cache), bounded
+// by its own decode-side context.
+func (c *Cache) GetOrDecode(ctx context.Context, key TileKey, decode func() (*raster.Planar, error)) (*raster.Planar, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.unlink(e)
@@ -110,8 +114,12 @@ func (c *Cache) GetOrDecode(key TileKey, decode func() (*raster.Planar, error)) 
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
-		<-call.done
-		return call.pl, call.err
+		select {
+		case <-call.done:
+			return call.pl, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -51,7 +52,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	per := int64(400 + tileOverhead)
 	c := NewCache(2 * per)
 	get := func(id int) {
-		_, err := c.GetOrDecode(TileKey{Image: "a", TX: id}, func() (*raster.Planar, error) {
+		_, err := c.GetOrDecode(context.Background(), TileKey{Image: "a", TX: id}, func() (*raster.Planar, error) {
 			return tile(10, 10), nil
 		})
 		if err != nil {
@@ -75,11 +76,11 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// Tile 1 must re-decode (was evicted), tile 0 must not.
 	decoded := 0
-	c.GetOrDecode(TileKey{Image: "a", TX: 1}, func() (*raster.Planar, error) {
+	c.GetOrDecode(context.Background(), TileKey{Image: "a", TX: 1}, func() (*raster.Planar, error) {
 		decoded++
 		return tile(10, 10), nil
 	})
-	c.GetOrDecode(TileKey{Image: "a", TX: 0}, func() (*raster.Planar, error) {
+	c.GetOrDecode(context.Background(), TileKey{Image: "a", TX: 0}, func() (*raster.Planar, error) {
 		decoded++
 		return tile(10, 10), nil
 	})
@@ -104,7 +105,7 @@ func TestCacheBudgetNeverExceeded(t *testing.T) {
 	}
 	insert := func(key TileKey, w, h int) {
 		t.Helper()
-		if _, err := c.GetOrDecode(key, func() (*raster.Planar, error) { return tile(w, h), nil }); err != nil {
+		if _, err := c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { return tile(w, h), nil }); err != nil {
 			t.Fatal(err)
 		}
 		check(fmt.Sprintf("after %dx%d insert", w, h))
@@ -141,11 +142,11 @@ func TestCacheErrorNotCached(t *testing.T) {
 		}
 		return tile(4, 4), nil
 	}
-	if _, err := c.GetOrDecode(TileKey{Image: "x"}, decode); err == nil {
+	if _, err := c.GetOrDecode(context.Background(), TileKey{Image: "x"}, decode); err == nil {
 		t.Fatal("want error")
 	}
 	fail = false
-	if _, err := c.GetOrDecode(TileKey{Image: "x"}, decode); err != nil {
+	if _, err := c.GetOrDecode(context.Background(), TileKey{Image: "x"}, decode); err != nil {
 		t.Fatalf("error was cached: %v", err)
 	}
 }
@@ -158,12 +159,12 @@ func TestCachePanicSafety(t *testing.T) {
 	key := TileKey{Image: "a"}
 	func() {
 		defer func() { recover() }()
-		c.GetOrDecode(key, func() (*raster.Planar, error) { panic("decoder bug") })
+		c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { panic("decoder bug") })
 		t.Fatal("panic did not propagate")
 	}()
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.GetOrDecode(key, func() (*raster.Planar, error) { return tile(2, 2), nil })
+		_, err := c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { return tile(2, 2), nil })
 		done <- err
 	}()
 	select {
@@ -186,7 +187,7 @@ func TestCacheInvalidateInFlight(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.GetOrDecode(key, func() (*raster.Planar, error) {
+		c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) {
 			close(started)
 			<-release // decode of the OLD bytes straddles the invalidation
 			return tile(4, 4), nil
@@ -197,7 +198,7 @@ func TestCacheInvalidateInFlight(t *testing.T) {
 	close(release)
 	<-done
 	fresh := 0
-	c.GetOrDecode(key, func() (*raster.Planar, error) {
+	c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) {
 		fresh++
 		return tile(4, 4), nil
 	})
@@ -217,7 +218,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			im, err := c.GetOrDecode(TileKey{Image: "a"}, func() (*raster.Planar, error) {
+			im, err := c.GetOrDecode(context.Background(), TileKey{Image: "a"}, func() (*raster.Planar, error) {
 				decodes.Add(1)
 				<-release
 				return tile(8, 8), nil
@@ -620,26 +621,30 @@ func BenchmarkServeTileCache(b *testing.B) {
 	b.Run("hit", func(b *testing.B) {
 		srv := New(store, Options{CacheBytes: 64 << 20})
 		key := TileKey{Image: "bench", TX: 0, TY: 0}
-		decode := func() (*raster.Planar, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
-		if _, err := srv.cache.GetOrDecode(key, decode); err != nil {
+		decode := func() (*raster.Planar, error) {
+			return srv.decodeTile(context.Background(), img, colW, rowH, 0, 0, 0, 0)
+		}
+		if _, err := srv.cache.GetOrDecode(context.Background(), key, decode); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := srv.cache.GetOrDecode(key, decode); err != nil {
+			if _, err := srv.cache.GetOrDecode(context.Background(), key, decode); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("miss", func(b *testing.B) {
 		srv := New(store, Options{CacheBytes: 64 << 20})
-		decode := func() (*raster.Planar, error) { return srv.decodeTile(img, colW, rowH, 0, 0, 0, 0) }
+		decode := func() (*raster.Planar, error) {
+			return srv.decodeTile(context.Background(), img, colW, rowH, 0, 0, 0, 0)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			srv.cache.Invalidate("bench") // every lookup is a cold miss
-			if _, err := srv.cache.GetOrDecode(TileKey{Image: "bench", TX: 0, TY: 0}, decode); err != nil {
+			if _, err := srv.cache.GetOrDecode(context.Background(), TileKey{Image: "bench", TX: 0, TY: 0}, decode); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -29,12 +31,26 @@ type Options struct {
 	// (protects against accidental whole-gigapixel fetches); <= 0 uses
 	// DefaultMaxPixels.
 	MaxPixels int64
+	// Timeout bounds each decode-bearing request: past it the request fails
+	// with 504 and the decode pipeline stops at its next stage boundary.
+	// 0 means unbounded.
+	Timeout time.Duration
+	// MaxInFlight bounds concurrently admitted decode-bearing requests
+	// (/img/{id} and /img/{id}/stream); excess load is shed with
+	// 503 + Retry-After instead of queueing without bound. 0 uses
+	// DefaultMaxInFlight, negative disables shedding.
+	MaxInFlight int
+	// Resilient decodes tiles in best-effort mode: damaged codestreams
+	// degrade into partially-concealed tiles and damage counters in /stats
+	// instead of failing the request.
+	Resilient bool
 }
 
 // Defaults for Options zero values.
 const (
-	DefaultCacheBytes = 256 << 20
-	DefaultMaxPixels  = 64 << 20
+	DefaultCacheBytes  = 256 << 20
+	DefaultMaxPixels   = 64 << 20
+	DefaultMaxInFlight = 64
 )
 
 // Server answers progressive image requests over HTTP:
@@ -63,13 +79,25 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 
-	pool     *core.Pool // resident decode workers shared by every request
-	decoders sync.Pool  // *jp2k.Decoder, pooled across requests
+	pool     *core.Pool    // resident decode workers shared by every request
+	decoders sync.Pool     // *jp2k.Decoder, pooled across requests
+	inflight chan struct{} // admission semaphore; nil disables shedding
+
+	// panicHook, when set (tests), observes the recovered value of every
+	// handler panic after the 500 has been written.
+	panicHook func(any)
 
 	started     time.Time
 	requests    atomic.Int64
 	errors      atomic.Int64
 	tileDecodes atomic.Int64
+	shed        atomic.Int64
+	panics      atomic.Int64
+	timeouts    atomic.Int64
+	// Damage counters, moved only by resilient tile decodes.
+	damagedTiles    atomic.Int64
+	packetsLost     atomic.Int64
+	blocksConcealed atomic.Int64
 }
 
 // New returns a Server over the given store. The server owns one persistent
@@ -94,11 +122,20 @@ func New(store *Store, opts Options) *Server {
 		pool:    core.NewPool(0),
 		started: time.Now(),
 	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	s.opts = opts
 	s.decoders.New = func() any { return jp2k.NewDecoderWithPool(s.pool) }
 	s.mux.HandleFunc("GET /img/{id}", s.handleRegion)
 	s.mux.HandleFunc("GET /img/{id}/info", s.handleInfo)
 	s.mux.HandleFunc("GET /img/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
@@ -113,10 +150,73 @@ func (s *Server) Cache() *Cache { return s.cache }
 // served entirely from cache do not move it.
 func (s *Server) TileDecodes() int64 { return s.tileDecodes.Load() }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A panicking handler is converted into a
+// 500 (when the response has not started) plus a counter instead of relying
+// on net/http to kill the connection — the server, its worker pool and its
+// cache stay usable, and /stats shows that it happened.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			s.errors.Add(1)
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			if s.panicHook != nil {
+				s.panicHook(rec)
+			}
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// admit reserves an admission slot, reporting false when the server is at
+// capacity (the caller sheds the request). release must be called for every
+// successful admit.
+func (s *Server) admit() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// shedRequest answers an over-capacity request: 503 with a Retry-After hint,
+// counted separately from ordinary errors.
+func (s *Server) shedRequest(w http.ResponseWriter) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusServiceUnavailable, "server at capacity; retry shortly")
+}
+
+// requestCtx derives the work-bounding context of one request: the client's
+// (cancelled on disconnect) plus the server-side deadline when configured.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.Timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// failCtx maps a context-ended decode to its status: 504 for the server-side
+// deadline, 503 for a client that went away (nobody reads the body either
+// way).
+func (s *Server) failCtx(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.timeouts.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+		return
+	}
+	s.fail(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
@@ -138,22 +238,46 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 }
 
 // decodeTile produces one cached tile variant (every component), charging the
-// decode counter.
-func (s *Server) decodeTile(img *Image, colW, rowH []int, tx, ty, discard, layers int) (*raster.Planar, error) {
+// decode counter. The context bounds the decode between pipeline stages; in
+// resilient mode damage is absorbed into the server's counters and the
+// degraded tile is served (and cached) like any other.
+func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, tx, ty, discard, layers int) (*raster.Planar, error) {
 	s.tileDecodes.Add(1)
 	dec := s.decoders.Get().(*jp2k.Decoder)
 	defer s.decoders.Put(dec)
 	region := jp2k.Rect{X0: colW[tx], Y0: rowH[ty], X1: colW[tx+1], Y1: rowH[ty+1]}
-	return dec.DecodeRegionPlanar(img.Data, region, jp2k.DecodeOptions{
+	pl, err := dec.DecodeRegionPlanar(img.Data, region, jp2k.DecodeOptions{
 		DiscardLevels: discard,
 		MaxLayers:     layers,
 		Workers:       s.opts.TileWorkers,
 		VertMode:      dwt.VertBlocked,
+		Resilient:     s.opts.Resilient,
+		Ctx:           ctx,
 	})
+	if err == nil && s.opts.Resilient {
+		if dmg := dec.Damage(); dmg.Damaged() {
+			t := dmg.Totals()
+			s.damagedTiles.Add(1)
+			s.packetsLost.Add(int64(t.PacketsLost))
+			s.blocksConcealed.Add(int64(t.BlocksConcealed))
+		}
+	}
+	return pl, err
 }
 
 func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
-	img, ok := s.store.Get(r.PathValue("id"))
+	if !s.admit() {
+		s.shedRequest(w)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	img, ok, err := s.store.Lookup(ctx, r.PathValue("id"))
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
 		return
@@ -209,11 +333,15 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 			tiles = append(tiles, ty*ntx+tx)
 			key := TileKey{Image: img.ID, TX: tx, TY: ty, Discard: discard, Layers: layers}
-			tile, err := s.cache.GetOrDecode(key, func() (*raster.Planar, error) {
-				return s.decodeTile(img, colW, rowH, tx, ty, discard, layers)
+			tile, err := s.cache.GetOrDecode(ctx, key, func() (*raster.Planar, error) {
+				return s.decodeTile(ctx, img, colW, rowH, tx, ty, discard, layers)
 			})
 			if err != nil {
-				s.fail(w, http.StatusInternalServerError, "tile (%d,%d): %v", tx, ty, err)
+				if ctx.Err() != nil {
+					s.failCtx(w, ctx.Err())
+				} else {
+					s.fail(w, http.StatusInternalServerError, "tile (%d,%d): %v", tx, ty, err)
+				}
 				return
 			}
 			lx0, ly0 := max(win.X0-colW[tx], 0), max(win.Y0-rowH[ty], 0)
@@ -369,6 +497,11 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		s.shedRequest(w)
+		return
+	}
+	defer s.release()
 	img, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
@@ -388,24 +521,71 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is liveness: the process answers requests at all.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while the admission semaphore is full, so a
+// load balancer routes around a saturated instance before requests get shed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.inflight != nil && len(s.inflight) >= cap(s.inflight) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
 // statsResponse is the /stats payload.
 type statsResponse struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Images        int        `json:"images"`
-	Requests      int64      `json:"requests"`
-	Errors        int64      `json:"errors"`
-	TileDecodes   int64      `json:"tile_decodes"`
-	Cache         CacheStats `json:"cache"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Images        int          `json:"images"`
+	Requests      int64        `json:"requests"`
+	Errors        int64        `json:"errors"`
+	TileDecodes   int64        `json:"tile_decodes"`
+	Shed          int64        `json:"shed"`
+	Panics        int64        `json:"panics"`
+	Timeouts      int64        `json:"timeouts"`
+	InFlight      int          `json:"in_flight"`
+	MaxInFlight   int          `json:"max_in_flight"`
+	Resilient     bool         `json:"resilient"`
+	Damage        damageCounts `json:"damage"`
+	Cache         CacheStats   `json:"cache"`
+}
+
+// damageCounts aggregates what resilient tile decodes had to conceal.
+type damageCounts struct {
+	DamagedTiles    int64 `json:"damaged_tiles"`
+	PacketsLost     int64 `json:"packets_lost"`
+	BlocksConcealed int64 `json:"blocks_concealed"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	inflight, maxInflight := 0, 0
+	if s.inflight != nil {
+		inflight, maxInflight = len(s.inflight), cap(s.inflight)
+	}
 	s.writeJSON(w, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Images:        s.store.Len(),
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
 		TileDecodes:   s.TileDecodes(),
-		Cache:         s.cache.Stats(),
+		Shed:          s.shed.Load(),
+		Panics:        s.panics.Load(),
+		Timeouts:      s.timeouts.Load(),
+		InFlight:      inflight,
+		MaxInFlight:   maxInflight,
+		Resilient:     s.opts.Resilient,
+		Damage: damageCounts{
+			DamagedTiles:    s.damagedTiles.Load(),
+			PacketsLost:     s.packetsLost.Load(),
+			BlocksConcealed: s.blocksConcealed.Load(),
+		},
+		Cache: s.cache.Stats(),
 	})
 }
 

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -88,6 +89,17 @@ func (s *Store) Get(id string) (*Image, bool) {
 	im, ok := s.imgs[id]
 	s.mu.RUnlock()
 	return im, ok
+}
+
+// Lookup is Get bound to a request context: a lookup for an already-expired
+// or cancelled request fails fast with the context's error instead of
+// starting work that nobody will read.
+func (s *Store) Lookup(ctx context.Context, id string) (*Image, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	im, ok := s.Get(id)
+	return im, ok, nil
 }
 
 // Len returns the number of registered images.

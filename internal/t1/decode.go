@@ -70,22 +70,97 @@ func (bd *BlockDecoder) takeOut(n int) []int32 {
 	return s
 }
 
+// SegStats reports what a checked decode had to do to a block: whether the
+// result was concealed (truncated to its last clean cleanup pass, or zeroed
+// outright) and how many of the requested passes were dropped doing so.
+type SegStats struct {
+	Concealed     bool
+	DroppedPasses int
+}
+
+// overrunSlack is the largest number of synthetic past-the-end MQ byte reads
+// a clean decode is allowed before the segment counts as corrupt: the encoder
+// drops at most one trailing 0xFF plus up to two flush bytes, and the decoder
+// reads at most a couple of bytes ahead, so a healthy segment never synthesizes
+// more than a handful. The data-proportional term keeps the bound loose for
+// rate-truncated segments, whose final bits legitimately come from synthesis.
+func overrunSlack(n int) int { return 8 + n/4 }
+
 // DecodeSegment reconstructs a w x h code-block from the first npasses coding
 // passes of a codeword segment, reusing the BlockDecoder's buffers. data must
 // already be truncated to the rate of pass npasses (the tier-2 packet walk
 // hands segments out at exactly that granularity). See Decode for the
 // midpoint-compensation convention and BlockDecoder for the result lifetime.
 func (bd *BlockDecoder) DecodeSegment(w, h int, band dwt.BandType, numBitplanes int, data []byte, npasses int) ([]int32, error) {
+	out, _, err := bd.DecodeSegmentChecked(w, h, band, numBitplanes, data, npasses, false, false)
+	return out, err
+}
+
+// DecodeSegmentChecked is DecodeSegment with the error-resilience tools wired
+// in. With segSym set, the four-symbol segmentation marker terminating each
+// cleanup pass is verified: a mismatch is corruption at or before that pass.
+// With resilient set, detected corruption — a failed segmentation symbol, or
+// (without symbols) the MQ decoder running far past its segment — is concealed
+// instead of returned as an error: the block is re-decoded truncated to its
+// last clean cleanup pass (or zeroed when no clean prefix exists) and the
+// damage is reported in SegStats. With resilient false a failed symbol is an
+// error, making strict decodes of symbol-carrying streams self-checking.
+func (bd *BlockDecoder) DecodeSegmentChecked(w, h int, band dwt.BandType, numBitplanes int, data []byte, npasses int, segSym, resilient bool) ([]int32, SegStats, error) {
+	var st SegStats
 	if w <= 0 || h <= 0 {
-		return nil, fmt.Errorf("t1: invalid block %dx%d", w, h)
+		return nil, st, fmt.Errorf("t1: invalid block %dx%d", w, h)
 	}
 	if npasses < 0 {
-		return nil, fmt.Errorf("t1: negative pass count %d", npasses)
+		if !resilient {
+			return nil, st, fmt.Errorf("t1: negative pass count %d", npasses)
+		}
+		st.Concealed = true // impossible state: conceal as an empty block
+		npasses = 0
 	}
 	out := bd.takeOut(w * h)
 	if numBitplanes <= 0 || npasses == 0 {
-		return out, nil
+		return out, st, nil
 	}
+	if resilient && numBitplanes > 31 {
+		// int32 magnitudes cannot hold more planes: a corrupt zero-bit-plane
+		// count drove Mb-zbp out of range. Conceal as a zero block.
+		st.Concealed = true
+		st.DroppedPasses = npasses
+		return out, st, nil
+	}
+	decoded, ok := bd.runPasses(w, h, band, numBitplanes, data, npasses, segSym)
+	if !ok {
+		if !resilient {
+			return nil, st, fmt.Errorf("t1: segmentation symbol mismatch after pass %d", decoded)
+		}
+		st.Concealed = true
+		st.DroppedPasses = npasses - decoded
+		if decoded == 0 {
+			return out, st, nil // no clean prefix: zero the block
+		}
+		// The prefix through the last verified cleanup pass is clean;
+		// re-decode just it (corruption is rare, so the replay cost is paid
+		// almost never).
+		bd.runPasses(w, h, band, numBitplanes, data, decoded, segSym)
+	} else if resilient && !segSym {
+		if bd.mq.Overrun() > overrunSlack(len(data)) {
+			// Without segmentation symbols there is no per-pass checkpoint to
+			// replay to; a decoder driven far past its segment zeroes the block.
+			st.Concealed = true
+			st.DroppedPasses = npasses
+			return out, st, nil
+		}
+	}
+	bd.fillOut(out, w, h)
+	return out, st, nil
+}
+
+// runPasses runs the pass loop over the decoder's bordered state, verifying
+// the segmentation symbol after each cleanup pass when segSym is set. Returns
+// the pass count reached and whether every checked symbol matched; on a
+// mismatch the returned count is the passes through the last verified cleanup
+// (the clean prefix a concealment replay can trust).
+func (bd *BlockDecoder) runPasses(w, h int, band dwt.BandType, numBitplanes int, data []byte, npasses int, segSym bool) (int, bool) {
 	c := &bd.c
 	c.reset(w, h, band)
 	n := (w + 2) * (h + 2)
@@ -98,7 +173,7 @@ func (bd *BlockDecoder) DecodeSegment(w, h int, band dwt.BandType, numBitplanes 
 	c.resetContexts()
 	bd.mq.Reset(data)
 
-	pass := 0
+	pass, good := 0, 0
 	nbp := numBitplanes
 planes:
 	for p := nbp - 1; p >= 0; p-- {
@@ -120,9 +195,30 @@ planes:
 		}
 		bd.decCleanup(plane)
 		pass++
+		if segSym && !bd.decSegSym() {
+			return good, false
+		}
+		good = pass
 		c.clearVisited()
 	}
+	return pass, true
+}
 
+// decSegSym decodes the four-symbol segmentation marker terminating a cleanup
+// pass, reporting whether it matched the encoder's 0xA.
+func (bd *BlockDecoder) decSegSym() bool {
+	c := &bd.c
+	v := 0
+	for i := 0; i < 4; i++ {
+		v = v<<1 | bd.mq.Decode(&c.cx[ctxUNI])
+	}
+	return v == 0xA
+}
+
+// fillOut writes the decoded samples (with midpoint compensation for planes
+// below the last decoded one) into out from the coder's bordered state.
+func (bd *BlockDecoder) fillOut(out []int32, w, h int) {
+	c := &bd.c
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			i := c.idx(x, y)
@@ -139,7 +235,6 @@ planes:
 			out[y*w+x] = v
 		}
 	}
-	return out, nil
 }
 
 // decSigProp mirrors encSigProp on the decode side.

@@ -149,6 +149,12 @@ type Coder struct {
 	c   coder
 	enc *mq.Encoder
 
+	// SegSym appends the four-symbol segmentation marker (0xA coded in the
+	// UNIFORM context) to every cleanup pass — the Annex D error-resilience
+	// tool that lets a checked decode localize corruption to a pass. Off by
+	// default: it costs a few bits per pass and changes the bitstream.
+	SegSym bool
+
 	blocks []EncodedBlock
 	passes []Pass
 	data   []byte
@@ -258,6 +264,9 @@ func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *Enco
 			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
 		}
 		d := c.encCleanup(enc, plane)
+		if co.SegSym {
+			c.encSegSym(enc)
+		}
 		eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
 		c.clearVisited()
 	}
@@ -408,6 +417,16 @@ func (c *coder) encCleanup(enc *mq.Encoder, plane uint) float64 {
 		}
 	}
 	return dist
+}
+
+// encSegSym codes the segmentation symbol — the four decisions 1,0,1,0 (0xA)
+// in the UNIFORM context — terminating a cleanup pass. A decoder that cannot
+// reproduce it knows the segment is corrupt at or before this pass.
+func (c *coder) encSegSym(enc *mq.Encoder) {
+	enc.Encode(1, &c.cx[ctxUNI])
+	enc.Encode(0, &c.cx[ctxUNI])
+	enc.Encode(1, &c.cx[ctxUNI])
+	enc.Encode(0, &c.cx[ctxUNI])
 }
 
 // TotalPasses returns the number of coding passes for a block with the given

@@ -17,6 +17,8 @@ const (
 	mQCD = 0xFF5C
 	mQCC = 0xFF5D
 	mSOT = 0xFF90
+	mSOP = 0xFF91
+	mEPH = 0xFF92
 	mSOD = 0xFF93
 	mEOC = 0xFFD9
 )
@@ -25,6 +27,18 @@ const (
 // per-component allocations downstream (the standard allows 16384; nothing in
 // this codebase needs more than a handful).
 const MaxComponents = 256
+
+// MaxImagePixels bounds the total sample budget a header may declare —
+// Width x Height x Csiz, one sample per component plane — before any plane is
+// allocated: the decompression-bomb guard keeping a 16-byte hostile header
+// from demanding gigabytes. ReadCodestream and CheckGeometry both enforce it,
+// so hand-built Params pass through the same gate as parsed streams. Mutable
+// for deployments serving genuinely larger imagery; set it at startup, not
+// concurrently with decoding.
+var MaxImagePixels int64 = 1 << 28
+
+// maxImageDim bounds each image axis independently of the pixel budget.
+const maxImageDim = 1 << 20
 
 // Params is the codestream-level configuration carried by the SIZ/COD/QCD/QCC
 // markers. Deviations from the standard's field semantics (documented in
@@ -50,6 +64,16 @@ type Params struct {
 	Steps         [][]quant.Step // per component, per band; empty for Rev53
 	Mb            [][]int        // per component, per band nominal max bit-planes
 	ROIShift      int            // MAXSHIFT ROI scaling value (RGN marker); 0 = no ROI
+
+	// Error-resilience tools (all default off, leaving default bitstreams
+	// bit-identical): UseSOP prefixes every packet with a sequence-numbered
+	// SOP marker and UseEPH terminates every packet header with an EPH marker
+	// (Scod bits 1 and 2), giving a resilient decoder resynchronization
+	// points; SegSym flags segmentation symbols in the COD code-block style
+	// byte — the tier-1 coder must be run with the matching option.
+	UseSOP bool
+	UseEPH bool
+	SegSym bool
 }
 
 // Components returns the component count, treating the zero value as a
@@ -84,6 +108,11 @@ func (p Params) CheckGeometry() error {
 	nc := p.Components()
 	if nc > MaxComponents {
 		return fmt.Errorf("t2: %d components exceeds the %d limit", nc, MaxComponents)
+	}
+	if p.Width > maxImageDim || p.Height > maxImageDim ||
+		int64(p.Width)*int64(p.Height)*int64(nc) > MaxImagePixels {
+		return fmt.Errorf("t2: declared size %dx%dx%d exceeds the %d-sample budget (MaxImagePixels)",
+			p.Width, p.Height, nc, MaxImagePixels)
 	}
 	if p.MCT && nc != 3 {
 		return fmt.Errorf("t2: MCT flagged on a %d-component stream (needs exactly 3)", nc)
@@ -166,7 +195,14 @@ func WriteCodestream(p Params, tiles [][]byte) []byte {
 	// COD
 	out = put16(out, mCOD)
 	out = put16(out, 12)
-	out = append(out, 0)       // Scod: default precincts, no SOP/EPH
+	scod := byte(0) // default precincts
+	if p.UseSOP {
+		scod |= 0x02
+	}
+	if p.UseEPH {
+		scod |= 0x04
+	}
+	out = append(out, scod)
 	out = append(out, 0)       // progression: LRCP
 	out = put16(out, p.Layers) // number of layers
 	if p.MCT {
@@ -176,7 +212,11 @@ func WriteCodestream(p Params, tiles [][]byte) []byte {
 	}
 	out = append(out, byte(p.Levels))
 	out = append(out, byte(log2i(p.CBW)-2), byte(log2i(p.CBH)-2))
-	out = append(out, 0) // code-block style: default
+	cbStyle := byte(0)
+	if p.SegSym {
+		cbStyle |= 0x20 // segmentation symbols
+	}
+	out = append(out, cbStyle)
 	if p.Kernel == dwt.Rev53 {
 		out = append(out, 1)
 	} else {
@@ -303,232 +343,352 @@ func (r *reader) readQuant(tail int) (guard int, mb []int, steps []quant.Step, e
 	return guard, mb, steps, nil
 }
 
+// ContainerDamage counts what the resilient container walk had to skip or
+// re-bound to keep parsing a damaged codestream.
+type ContainerDamage struct {
+	Truncated    bool // stream ended (or became unparseable) before EOC
+	BadMarkers   int  // unknown marker segments skipped by declared length
+	BadTileParts int  // tile-parts with implausible Psot, re-bounded by scanning
+}
+
+// Any reports whether the walk recorded any container-level damage.
+func (d ContainerDamage) Any() bool {
+	return d.Truncated || d.BadMarkers > 0 || d.BadTileParts > 0
+}
+
 // ReadCodestream parses a codestream produced by WriteCodestream, returning
 // the parameters and the per-tile packet data. Inconsistent per-component SIZ
 // fields (mismatched bit depths, subsampled components) are rejected with an
 // error, never a panic.
 func ReadCodestream(data []byte) (Params, [][]byte, error) {
+	p, tiles, _, err := readCodestream(data, false)
+	return p, tiles, err
+}
+
+// ReadCodestreamResilient is ReadCodestream in best-effort mode: a truncated
+// stream yields the tile-parts that survive, a tile-part with an implausible
+// Psot is re-bounded by scanning for the next tile-part boundary, and unknown
+// main-header markers are skipped by their declared length — with everything
+// salvaged around reported in ContainerDamage. An error is returned only when
+// not even the SOC survives; callers must still CheckGeometry the result
+// before decoding.
+func ReadCodestreamResilient(data []byte) (Params, [][]byte, ContainerDamage, error) {
+	return readCodestream(data, true)
+}
+
+func readCodestream(data []byte, resilient bool) (Params, [][]byte, ContainerDamage, error) {
 	var p Params
+	var dmg ContainerDamage
 	r := &reader{data: data}
 	if m, err := r.u16(); err != nil || m != mSOC {
-		return p, nil, fmt.Errorf("t2: missing SOC (got %#x, %v)", m, err)
+		return p, nil, dmg, fmt.Errorf("t2: missing SOC (got %#x, %v)", m, err)
 	}
 	var tiles [][]byte
 	var qccSeen []bool // per component: quantization pinned by a QCC marker
 	for {
 		m, err := r.u16()
-		if err != nil {
-			return p, nil, err
+		if err != nil { // stream ends without EOC
+			if resilient {
+				dmg.Truncated = true
+				return p, tiles, dmg, nil
+			}
+			return p, nil, dmg, err
 		}
 		switch m {
 		case mSIZ:
-			if _, err = r.u16(); err != nil { // Lsiz
-				return p, nil, err
+			if err = r.readSIZ(&p); err == nil {
+				qccSeen = make([]bool, p.NComp)
 			}
-			if _, err = r.u16(); err != nil { // Rsiz
-				return p, nil, err
-			}
-			if p.Width, err = r.u32(); err != nil {
-				return p, nil, err
-			}
-			if p.Height, err = r.u32(); err != nil {
-				return p, nil, err
-			}
-			for i := 0; i < 2; i++ { // XOsiz YOsiz
-				if _, err = r.u32(); err != nil {
-					return p, nil, err
-				}
-			}
-			if p.TileW, err = r.u32(); err != nil {
-				return p, nil, err
-			}
-			if p.TileH, err = r.u32(); err != nil {
-				return p, nil, err
-			}
-			for i := 0; i < 2; i++ { // XTOsiz YTOsiz
-				if _, err = r.u32(); err != nil {
-					return p, nil, err
-				}
-			}
-			ncomp, err := r.u16()
-			if err != nil {
-				return p, nil, err
-			}
-			if ncomp < 1 || ncomp > MaxComponents {
-				return p, nil, fmt.Errorf("t2: %d components out of range [1, %d]", ncomp, MaxComponents)
-			}
-			p.NComp = ncomp
-			for ci := 0; ci < ncomp; ci++ {
-				ssiz, err := r.u8()
-				if err != nil {
-					return p, nil, err
-				}
-				depth := ssiz&0x7F + 1
-				if ci == 0 {
-					p.BitDepth = depth
-				} else if depth != p.BitDepth {
-					return p, nil, fmt.Errorf("t2: component %d depth %d differs from component 0's %d",
-						ci, depth, p.BitDepth)
-				}
-				xr, err := r.u8()
-				if err != nil {
-					return p, nil, err
-				}
-				yr, err := r.u8()
-				if err != nil {
-					return p, nil, err
-				}
-				if xr != 1 || yr != 1 {
-					return p, nil, fmt.Errorf("t2: component %d subsampling %dx%d unsupported", ci, xr, yr)
-				}
-			}
-			// Sanity limits so corrupted headers cannot demand absurd
-			// allocations downstream. The pixel budget covers ALL components
-			// (decoders allocate one plane per component), so a tiny header
-			// cannot multiply a legal per-plane size by Csiz.
-			if p.Width <= 0 || p.Height <= 0 || p.Width > 1<<20 || p.Height > 1<<20 ||
-				p.Height > (1<<28)/ncomp/p.Width {
-				return p, nil, fmt.Errorf("t2: implausible image size %dx%dx%d", p.Width, p.Height, ncomp)
-			}
-			if p.TileW <= 0 || p.TileH <= 0 || p.TileW > p.Width+64 || p.TileH > p.Height+64 {
-				return p, nil, fmt.Errorf("t2: implausible tile size %dx%d", p.TileW, p.TileH)
-			}
-			if p.BitDepth < 1 || p.BitDepth > 16 {
-				return p, nil, fmt.Errorf("t2: unsupported bit depth %d", p.BitDepth)
-			}
-			p.Mb = make([][]int, ncomp)
-			p.Steps = make([][]quant.Step, ncomp)
-			qccSeen = make([]bool, ncomp)
 		case mCOD:
-			if _, err = r.u16(); err != nil { // Lcod
-				return p, nil, err
-			}
-			if _, err = r.u8(); err != nil { // Scod
-				return p, nil, err
-			}
-			if _, err = r.u8(); err != nil { // progression
-				return p, nil, err
-			}
-			if p.Layers, err = r.u16(); err != nil {
-				return p, nil, err
-			}
-			mct, err := r.u8()
-			if err != nil {
-				return p, nil, err
-			}
-			p.MCT = mct&1 == 1
-			if p.Levels, err = r.u8(); err != nil {
-				return p, nil, err
-			}
-			xcb, err := r.u8()
-			if err != nil {
-				return p, nil, err
-			}
-			ycb, err := r.u8()
-			if err != nil {
-				return p, nil, err
-			}
-			p.CBW, p.CBH = 1<<(xcb+2), 1<<(ycb+2)
-			if _, err = r.u8(); err != nil { // cb style
-				return p, nil, err
-			}
-			tr, err := r.u8()
-			if err != nil {
-				return p, nil, err
-			}
-			if tr == 1 {
-				p.Kernel = dwt.Rev53
-			} else {
-				p.Kernel = dwt.Irr97
-			}
-			if p.Levels < 0 || p.Levels > 32 || p.Layers < 1 || p.CBW < 4 || p.CBW > 64 || p.CBH < 4 || p.CBH > 64 {
-				return p, nil, fmt.Errorf("t2: implausible COD (levels %d, layers %d, cb %dx%d)",
-					p.Levels, p.Layers, p.CBW, p.CBH)
-			}
+			err = r.readCOD(&p)
 		case mQCD:
-			if p.NComp == 0 {
-				return p, nil, fmt.Errorf("t2: QCD before SIZ")
-			}
-			lqcd, err := r.u16()
-			if err != nil {
-				return p, nil, err
-			}
-			guard, mb, steps, err := r.readQuant(lqcd - 2)
-			if err != nil {
-				return p, nil, err
-			}
-			p.GuardBits = guard
-			// QCD is the default for every component; QCC overrides one.
-			for ci := 0; ci < p.NComp; ci++ {
-				if !qccSeen[ci] {
-					p.Mb[ci] = mb
-					p.Steps[ci] = steps
-				}
-			}
+			err = r.readQCD(&p, qccSeen)
 		case mQCC:
-			if p.NComp == 0 {
-				return p, nil, fmt.Errorf("t2: QCC before SIZ")
-			}
-			lqcc, err := r.u16()
-			if err != nil {
-				return p, nil, err
-			}
-			ci, err := r.u8() // Cqcc (one byte: Csiz <= MaxComponents < 257)
-			if err != nil {
-				return p, nil, err
-			}
-			if ci >= p.NComp {
-				return p, nil, fmt.Errorf("t2: QCC for component %d of %d", ci, p.NComp)
-			}
-			_, mb, steps, err := r.readQuant(lqcc - 3)
-			if err != nil {
-				return p, nil, err
-			}
-			p.Mb[ci] = mb
-			p.Steps[ci] = steps
-			qccSeen[ci] = true
+			err = r.readQCC(&p, qccSeen)
 		case mRGN:
-			if _, err = r.u16(); err != nil { // Lrgn
-				return p, nil, err
-			}
-			if _, err = r.u8(); err != nil { // Crgn
-				return p, nil, err
-			}
-			if _, err = r.u8(); err != nil { // Srgn
-				return p, nil, err
-			}
-			if p.ROIShift, err = r.u8(); err != nil {
-				return p, nil, err
-			}
+			err = r.readRGN(&p)
 		case mSOT:
-			if _, err = r.u16(); err != nil { // Lsot
-				return p, nil, err
-			}
-			if _, err = r.u16(); err != nil { // Isot
-				return p, nil, err
-			}
-			psot, err := r.u32()
-			if err != nil {
-				return p, nil, err
-			}
-			for i := 0; i < 2; i++ { // TPsot, TNsot
-				if _, err = r.u8(); err != nil {
-					return p, nil, err
-				}
-			}
-			if m, err := r.u16(); err != nil || m != mSOD {
-				return p, nil, fmt.Errorf("t2: missing SOD (got %#x, %v)", m, err)
-			}
-			dataLen := psot - 12 - 2
-			if dataLen < 0 || r.pos+dataLen > len(r.data) {
-				return p, nil, fmt.Errorf("t2: bad Psot %d", psot)
-			}
-			tiles = append(tiles, r.data[r.pos:r.pos+dataLen])
-			r.pos += dataLen
+			tiles, err = r.readTilePart(tiles, resilient, &dmg)
 		case mEOC:
-			return p, tiles, nil
+			return p, tiles, dmg, nil
 		default:
-			return p, nil, fmt.Errorf("t2: unexpected marker %#x at %d", m, r.pos-2)
+			if !resilient {
+				return p, nil, dmg, fmt.Errorf("t2: unexpected marker %#x at %d", m, r.pos-2)
+			}
+			// Unknown or corrupt marker: skip it by its declared length, or
+			// give up on the remainder when that overruns the stream.
+			dmg.BadMarkers++
+			l, lerr := r.u16()
+			if lerr != nil || l < 2 || r.pos+l-2 > len(r.data) {
+				dmg.Truncated = true
+				return p, tiles, dmg, nil
+			}
+			r.pos += l - 2
+			continue
+		}
+		if err != nil {
+			if resilient {
+				// Mid-marker damage: keep what already parsed; the caller's
+				// CheckGeometry decides whether it is enough to decode.
+				dmg.Truncated = true
+				return p, tiles, dmg, nil
+			}
+			return p, nil, dmg, err
 		}
 	}
+}
+
+// readSIZ parses the SIZ segment into p, including the sanity limits that
+// keep a corrupt header from demanding absurd allocations downstream: each
+// axis is bounded, and the Width x Height x Csiz sample budget is bounded by
+// MaxImagePixels. The budget covers ALL components (decoders allocate one
+// plane per component), so a tiny header cannot multiply a legal per-plane
+// size by Csiz.
+func (r *reader) readSIZ(p *Params) error {
+	if _, err := r.u16(); err != nil { // Lsiz
+		return err
+	}
+	if _, err := r.u16(); err != nil { // Rsiz
+		return err
+	}
+	var err error
+	if p.Width, err = r.u32(); err != nil {
+		return err
+	}
+	if p.Height, err = r.u32(); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ { // XOsiz YOsiz
+		if _, err = r.u32(); err != nil {
+			return err
+		}
+	}
+	if p.TileW, err = r.u32(); err != nil {
+		return err
+	}
+	if p.TileH, err = r.u32(); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ { // XTOsiz YTOsiz
+		if _, err = r.u32(); err != nil {
+			return err
+		}
+	}
+	ncomp, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if ncomp < 1 || ncomp > MaxComponents {
+		return fmt.Errorf("t2: %d components out of range [1, %d]", ncomp, MaxComponents)
+	}
+	p.NComp = ncomp
+	for ci := 0; ci < ncomp; ci++ {
+		ssiz, err := r.u8()
+		if err != nil {
+			return err
+		}
+		depth := ssiz&0x7F + 1
+		if ci == 0 {
+			p.BitDepth = depth
+		} else if depth != p.BitDepth {
+			return fmt.Errorf("t2: component %d depth %d differs from component 0's %d",
+				ci, depth, p.BitDepth)
+		}
+		xr, err := r.u8()
+		if err != nil {
+			return err
+		}
+		yr, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if xr != 1 || yr != 1 {
+			return fmt.Errorf("t2: component %d subsampling %dx%d unsupported", ci, xr, yr)
+		}
+	}
+	if p.Width <= 0 || p.Height <= 0 || p.Width > maxImageDim || p.Height > maxImageDim ||
+		int64(p.Width)*int64(p.Height)*int64(ncomp) > MaxImagePixels {
+		return fmt.Errorf("t2: implausible image size %dx%dx%d", p.Width, p.Height, ncomp)
+	}
+	if p.TileW <= 0 || p.TileH <= 0 || p.TileW > p.Width+64 || p.TileH > p.Height+64 {
+		return fmt.Errorf("t2: implausible tile size %dx%d", p.TileW, p.TileH)
+	}
+	if p.BitDepth < 1 || p.BitDepth > 16 {
+		return fmt.Errorf("t2: unsupported bit depth %d", p.BitDepth)
+	}
+	p.Mb = make([][]int, ncomp)
+	p.Steps = make([][]quant.Step, ncomp)
+	return nil
+}
+
+// readCOD parses the COD segment into p, including the error-resilience
+// signalling: SOP/EPH use from the Scod bits, segmentation symbols from the
+// code-block style byte.
+func (r *reader) readCOD(p *Params) error {
+	if _, err := r.u16(); err != nil { // Lcod
+		return err
+	}
+	scod, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.UseSOP = scod&0x02 != 0
+	p.UseEPH = scod&0x04 != 0
+	if _, err = r.u8(); err != nil { // progression
+		return err
+	}
+	if p.Layers, err = r.u16(); err != nil {
+		return err
+	}
+	mct, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.MCT = mct&1 == 1
+	if p.Levels, err = r.u8(); err != nil {
+		return err
+	}
+	xcb, err := r.u8()
+	if err != nil {
+		return err
+	}
+	ycb, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.CBW, p.CBH = 1<<(xcb+2), 1<<(ycb+2)
+	cbStyle, err := r.u8()
+	if err != nil {
+		return err
+	}
+	p.SegSym = cbStyle&0x20 != 0
+	tr, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if tr == 1 {
+		p.Kernel = dwt.Rev53
+	} else {
+		p.Kernel = dwt.Irr97
+	}
+	if p.Levels < 0 || p.Levels > 32 || p.Layers < 1 || p.CBW < 4 || p.CBW > 64 || p.CBH < 4 || p.CBH > 64 {
+		return fmt.Errorf("t2: implausible COD (levels %d, layers %d, cb %dx%d)",
+			p.Levels, p.Layers, p.CBW, p.CBH)
+	}
+	return nil
+}
+
+func (r *reader) readQCD(p *Params, qccSeen []bool) error {
+	if p.NComp == 0 {
+		return fmt.Errorf("t2: QCD before SIZ")
+	}
+	lqcd, err := r.u16()
+	if err != nil {
+		return err
+	}
+	guard, mb, steps, err := r.readQuant(lqcd - 2)
+	if err != nil {
+		return err
+	}
+	p.GuardBits = guard
+	// QCD is the default for every component; QCC overrides one.
+	for ci := 0; ci < p.NComp; ci++ {
+		if !qccSeen[ci] {
+			p.Mb[ci] = mb
+			p.Steps[ci] = steps
+		}
+	}
+	return nil
+}
+
+func (r *reader) readQCC(p *Params, qccSeen []bool) error {
+	if p.NComp == 0 {
+		return fmt.Errorf("t2: QCC before SIZ")
+	}
+	lqcc, err := r.u16()
+	if err != nil {
+		return err
+	}
+	ci, err := r.u8() // Cqcc (one byte: Csiz <= MaxComponents < 257)
+	if err != nil {
+		return err
+	}
+	if ci >= p.NComp {
+		return fmt.Errorf("t2: QCC for component %d of %d", ci, p.NComp)
+	}
+	_, mb, steps, err := r.readQuant(lqcc - 3)
+	if err != nil {
+		return err
+	}
+	p.Mb[ci] = mb
+	p.Steps[ci] = steps
+	qccSeen[ci] = true
+	return nil
+}
+
+func (r *reader) readRGN(p *Params) error {
+	if _, err := r.u16(); err != nil { // Lrgn
+		return err
+	}
+	if _, err := r.u8(); err != nil { // Crgn
+		return err
+	}
+	if _, err := r.u8(); err != nil { // Srgn
+		return err
+	}
+	var err error
+	if p.ROIShift, err = r.u8(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readTilePart parses one SOT..SOD tile-part header and appends the body to
+// tiles. In resilient mode an implausible Psot does not abort: the body is
+// re-bounded by scanning for the next tile-part boundary instead.
+func (r *reader) readTilePart(tiles [][]byte, resilient bool, dmg *ContainerDamage) ([][]byte, error) {
+	if _, err := r.u16(); err != nil { // Lsot
+		return tiles, err
+	}
+	if _, err := r.u16(); err != nil { // Isot
+		return tiles, err
+	}
+	psot, err := r.u32()
+	if err != nil {
+		return tiles, err
+	}
+	for i := 0; i < 2; i++ { // TPsot, TNsot
+		if _, err = r.u8(); err != nil {
+			return tiles, err
+		}
+	}
+	if m, err := r.u16(); err != nil || m != mSOD {
+		return tiles, fmt.Errorf("t2: missing SOD (got %#x, %v)", m, err)
+	}
+	dataLen := psot - 12 - 2
+	if dataLen < 0 || r.pos+dataLen > len(r.data) {
+		if !resilient {
+			return tiles, fmt.Errorf("t2: bad Psot %d", psot)
+		}
+		dmg.BadTileParts++
+		dataLen = findTilePartEnd(r.data, r.pos) - r.pos
+	}
+	tiles = append(tiles, r.data[r.pos:r.pos+dataLen])
+	r.pos += dataLen
+	return tiles, nil
+}
+
+// findTilePartEnd scans for the next tile-part boundary — an SOT or EOC
+// marker — at or after pos. MQ bit-stuffing keeps bytes above 0x8F out of the
+// positions following any 0xFF inside codeword segments and stuffed packet
+// headers, so the scan lands on a real boundary (a pathological SOP sequence
+// number embedding 0xFF90 is the only false positive, and costs only some
+// extra reported damage).
+func findTilePartEnd(data []byte, pos int) int {
+	for i := pos; i+1 < len(data); i++ {
+		if data[i] == 0xFF && (data[i+1] == mSOT&0xFF || data[i+1] == mEOC&0xFF) {
+			return i
+		}
+	}
+	return len(data)
 }

@@ -74,6 +74,7 @@ func BuildIndex(data []byte) (*Index, error) {
 		}
 		if tc == nil {
 			tc = NewTileCoderComps(comps)
+			tc.SOP, tc.EPH = p.UseSOP, p.UseEPH
 		} else {
 			tc.ResetComps(comps)
 		}

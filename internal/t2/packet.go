@@ -227,6 +227,15 @@ type TileCoder struct {
 	body  []byte             // reusable packet-body buffer
 	pend  []pendingSeg       // reusable decode-side body segment list
 	one   [1][]BandBlocks    // scratch for the single-component entry points
+
+	// SOP and EPH select the error-resilience markers of Annex A: a 6-byte
+	// SOP (start-of-packet, with a wrapping sequence number) before every
+	// packet, and a 2-byte EPH (end-of-packet-header) after every packet
+	// header. Both sides of a codestream must agree — set them from the COD
+	// Scod bits (Params.UseSOP/UseEPH) before encoding or decoding; Reset
+	// does not touch them.
+	SOP bool
+	EPH bool
 }
 
 // NewTileCoder builds coding state for one single-component tile geometry.
@@ -330,7 +339,11 @@ func (tc *TileCoder) encodePacket(ci int, dst []byte, bands []BandBlocks, bandId
 	w.Reset()
 	if !nonEmpty {
 		w.WriteBit(0)
-		return append(dst, w.Bytes()...)
+		dst = append(dst, w.Bytes()...)
+		if tc.EPH {
+			dst = append(dst, 0xFF, byte(mEPH&0xFF))
+		}
+		return dst
 	}
 	w.WriteBit(1)
 	body := tc.body[:0]
@@ -381,6 +394,9 @@ func (tc *TileCoder) encodePacket(ci int, dst []byte, bands []BandBlocks, bandId
 	}
 	tc.body = body // keep the grown capacity for the next packet
 	dst = append(dst, w.Bytes()...)
+	if tc.EPH {
+		dst = append(dst, 0xFF, byte(mEPH&0xFF))
+	}
 	return append(dst, body...)
 }
 
@@ -429,6 +445,7 @@ func (tc *TileCoder) EncodeTileCompsPackets(comps [][]BandBlocks, levels int,
 			nlayers = len(layers[ci])
 		}
 	}
+	pk := 0 // flat LRCP packet index; Nsop carries its low 16 bits
 	for li := 0; li < nlayers; li++ {
 		for r := 0; r <= levels; r++ {
 			bandIdx := dwt.BandsOfResolution(levels, r)
@@ -442,10 +459,14 @@ func (tc *TileCoder) EncodeTileCompsPackets(comps [][]BandBlocks, levels int,
 					target = layers[ci][min(li, n-1)]
 				}
 				before := len(dst)
+				if tc.SOP {
+					dst = append(dst, 0xFF, byte(mSOP&0xFF), 0, 4, byte(pk>>8), byte(pk))
+				}
 				dst = tc.encodePacket(ci, dst, comps[ci], bandIdx, li, target)
 				if compBytes != nil {
 					compBytes[ci] += len(dst) - before
 				}
+				pk++
 			}
 		}
 	}
@@ -525,10 +546,16 @@ func (tc *TileCoder) DecodeTileCompsPackets(comps [][]BandBlocks, levels, nlayer
 }
 
 // pendingSeg records one block's body segment within a packet, discovered
-// during the header walk and consumed after Terminate.
+// during the header walk and consumed after Terminate. Pass counts ride along
+// so passesCum/Passes commit only as each body segment is verified present —
+// a packet that fails mid-parse leaves the pass accounting consistent with
+// the data actually accumulated, which resilient resync depends on.
 type pendingSeg struct {
 	id     int
 	segLen int
+	np     int
+	st     *bandState
+	k      int
 }
 
 // decodePacket parses component ci's packet for (layer, resolution),
@@ -540,6 +567,17 @@ type pendingSeg struct {
 func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 	layer int, data []byte, dec []decodedBlock, copyBody bool) (int, error) {
 
+	skip := 0
+	if tc.SOP {
+		if len(data) < 6 || data[0] != 0xFF || data[1] != byte(mSOP&0xFF) ||
+			data[2] != 0 || data[3] != 4 {
+			return 0, fmt.Errorf("t2: missing SOP before packet")
+		}
+		// The Nsop sequence value is informative (resync uses it); the
+		// in-order walk does not require any particular value.
+		skip = 6
+		data = data[skip:]
+	}
 	cc := &tc.comps[ci]
 	r := &tc.hr
 	r.Reset(data)
@@ -548,7 +586,14 @@ func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 		return 0, fmt.Errorf("t2: packet empty-bit: %w", err)
 	}
 	if bit == 0 {
-		return r.Terminate()
+		pos, err := r.Terminate()
+		if err != nil {
+			return 0, err
+		}
+		if pos, err = tc.expectEPH(data, pos); err != nil {
+			return 0, err
+		}
+		return skip + pos, nil
 	}
 	body := tc.pend[:0]
 	for _, bi := range bandIdx {
@@ -602,14 +647,15 @@ func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 			if err != nil {
 				return 0, err
 			}
-			body = append(body, pendingSeg{id: id, segLen: int(segLen)})
-			st.passesCum[k] += np
-			dec[id].Passes += np
+			body = append(body, pendingSeg{id: id, segLen: int(segLen), np: np, st: st, k: k})
 		}
 	}
 	tc.pend = body // keep the grown capacity for the next packet
 	pos, err := r.Terminate()
 	if err != nil {
+		return 0, err
+	}
+	if pos, err = tc.expectEPH(data, pos); err != nil {
 		return 0, err
 	}
 	for _, p := range body {
@@ -619,7 +665,101 @@ func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 		if copyBody {
 			dec[p.id].Data = append(dec[p.id].Data, data[pos:pos+p.segLen]...)
 		}
+		p.st.passesCum[p.k] += p.np
+		dec[p.id].Passes += p.np
 		pos += p.segLen
 	}
-	return pos, nil
+	return skip + pos, nil
+}
+
+// DecodeDamage summarizes what a resilient packet walk lost.
+type DecodeDamage struct {
+	BadPackets      int // packets whose parse failed
+	PacketsResynced int // successful resyncs to a later SOP marker
+	PacketsLost     int // packets skipped: bad ones plus any swallowed by resync or abort
+}
+
+// Any reports whether the walk recorded any packet-level damage.
+func (d DecodeDamage) Any() bool { return d.BadPackets > 0 || d.PacketsLost > 0 }
+
+// DecodeTileCompsPacketsResilient is the best-effort form of
+// DecodeTileCompsPackets: a malformed packet never fails the tile. When the
+// stream carries SOP markers the walk scans forward for the next SOP whose
+// sequence number maps to a later packet index and resumes there; without
+// them it keeps everything committed so far and abandons the rest of the
+// tile. Pass counts commit per verified body segment (see pendingSeg), so
+// the returned blocks are always self-consistent — at worst shallow.
+func (tc *TileCoder) DecodeTileCompsPacketsResilient(comps [][]BandBlocks, levels, nlayers int,
+	data []byte, dec [][]DecodedBlock) ([][]DecodedBlock, int, DecodeDamage) {
+
+	tc.ResetComps(comps)
+	for ci := range comps {
+		dec[ci] = resetDec(dec[ci], tc.comps[ci].nblocks)
+	}
+	var dmg DecodeDamage
+	ncomp := len(comps)
+	perLayer := (levels + 1) * ncomp
+	npk := nlayers * perLayer
+	pos := 0
+	for pk := 0; pk < npk; {
+		li := pk / perLayer
+		r := (pk % perLayer) / ncomp
+		ci := pk % ncomp
+		bandIdx := dwt.BandsOfResolution(levels, r)
+		n, err := tc.decodePacket(ci, comps[ci], bandIdx, li, data[pos:], dec[ci], true)
+		if err == nil {
+			pos += n
+			pk++
+			continue
+		}
+		dmg.BadPackets++
+		if tc.SOP {
+			if next, at := findSOP(data, pos+1, pk, npk); next >= 0 {
+				dmg.PacketsResynced++
+				dmg.PacketsLost += next - pk
+				pk = next
+				pos = at
+				continue
+			}
+		}
+		// No resync anchor ahead: keep every pass committed so far and give
+		// up on the rest of the tile.
+		dmg.PacketsLost += npk - pk
+		return dec, pos, dmg
+	}
+	return dec, pos, dmg
+}
+
+// findSOP scans data at or after pos for an SOP marker whose sequence number
+// maps to a packet index after cur and before npk, returning that index and
+// the marker's offset (-1, 0 when none is found). MQ bit-stuffing keeps 0x91
+// from following 0xFF inside codeword segments and stuffed headers, so a hit
+// is a real marker rather than body bytes — the property that makes SOP a
+// usable resync anchor.
+func findSOP(data []byte, pos, cur, npk int) (int, int) {
+	for i := pos; i+6 <= len(data); i++ {
+		if data[i] != 0xFF || data[i+1] != byte(mSOP&0xFF) || data[i+2] != 0 || data[i+3] != 4 {
+			continue
+		}
+		seq := int(data[i+4])<<8 | int(data[i+5])
+		delta := (seq - (cur + 1)) & 0xFFFF // Nsop wraps at 2^16
+		if next := cur + 1 + delta; next < npk {
+			return next, i
+		}
+	}
+	return -1, 0
+}
+
+// expectEPH consumes the end-of-packet-header marker after the stuffed
+// header bytes when EPH signalling is on. A missing EPH is the cheapest
+// possible header-integrity check: a header whose bit walk desynchronized
+// almost never terminates exactly on a stray FF92.
+func (tc *TileCoder) expectEPH(data []byte, pos int) (int, error) {
+	if !tc.EPH {
+		return pos, nil
+	}
+	if pos+2 > len(data) || data[pos] != 0xFF || data[pos+1] != byte(mEPH&0xFF) {
+		return 0, fmt.Errorf("t2: missing EPH after packet header")
+	}
+	return pos + 2, nil
 }
