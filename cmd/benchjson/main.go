@@ -1,0 +1,132 @@
+// Command benchjson runs the repo's benchmark suite and writes the results
+// as JSON — the machine-readable perf snapshot each PR checks in (BENCH_PRn
+// .json) so the trajectory of the paper-reproduction benchmarks is diffable
+// across commits without re-running old binaries.
+//
+//	benchjson [-out BENCH_PR7.json] [-bench <pattern>] [-benchtime 20x] \
+//	          [-count 1] [-pkg .]
+//
+// It shells out to `go test -run=NONE -bench=... -benchmem` (the exact suite
+// ROADMAP.md's perf methodology names by default), parses the standard bench
+// output lines, and emits the schema documented in ROADMAP.md: an environment
+// header plus one entry per benchmark with ns/op, B/op and allocs/op.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// defaultPattern is the ROADMAP.md perf-methodology suite.
+const defaultPattern = "BenchmarkEncodeWorkers|BenchmarkDecode|BenchmarkDecodeRegion|" +
+	"BenchmarkEncodeColor|BenchmarkDecodeColor|BenchmarkDWT53|BenchmarkT1Block"
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the emitted document (schema documented in ROADMAP.md).
+type benchFile struct {
+	SchemaVersion int           `json:"schema_version"`
+	Date          string        `json:"date"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	NumCPU        int           `json:"num_cpu"`
+	BenchTime     string        `json:"benchtime"`
+	Pattern       string        `json:"pattern"`
+	Results       []benchResult `json:"results"`
+}
+
+// benchLine matches standard `go test -bench -benchmem` output:
+//
+//	BenchmarkDecode/w=4/reduce=0-8   20   15661234 ns/op   123456 B/op   40 allocs/op
+//
+// The trailing -N (GOMAXPROCS) is split off the name so results compare
+// across machines with different core counts.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_PR7.json", "output JSON file")
+	bench := flag.String("bench", defaultPattern, "benchmark pattern passed to go test -bench")
+	benchtime := flag.String("benchtime", "20x", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	flag.Parse()
+
+	args := []string{"test", "-run=NONE", "-bench=" + *bench, "-benchmem",
+		"-benchtime=" + *benchtime, "-count=" + strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go %v: %v", args, err)
+	}
+	os.Stdout.Write(raw) // keep the human-readable output visible too
+
+	results := parseBench(raw)
+	if len(results) == 0 {
+		log.Fatalf("no benchmark lines parsed from go test output")
+	}
+
+	doc := benchFile{
+		SchemaVersion: 1,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		BenchTime:     *benchtime,
+		Pattern:       *bench,
+		Results:       results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(results), *out)
+}
+
+// parseBench extracts benchmark results from go test output. Repeated names
+// (-count > 1) all appear; consumers aggregate as they see fit.
+func parseBench(raw []byte) []benchResult {
+	var results []benchResult
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	return results
+}

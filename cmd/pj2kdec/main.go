@@ -2,7 +2,7 @@
 // back into a PGM (grayscale) or PPM (color, for Csiz=3 streams) image.
 //
 //	pj2kdec -in image.j2k -out image.pgm|image.ppm [-layers 0] [-reduce 0] \
-//	        [-workers 0] [-resilient]
+//	        [-workers 0] [-resilient] [-verbose]
 //
 // With -resilient, a damaged codestream decodes best-effort: corrupt packets
 // and code-blocks are concealed, a damage summary goes to stderr, and the
@@ -29,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 	depth := flag.Int("depth", 8, "output bit depth (8 or 12/16 for medical imagery)")
 	resilient := flag.Bool("resilient", false, "conceal damaged packets/code-blocks instead of failing; damage report on stderr")
+	verbose := flag.Bool("verbose", false, "print the per-stage timing breakdown")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
@@ -83,4 +84,9 @@ func main() {
 		}
 	}
 	fmt.Printf("%s: %dx%dx%d decoded\n", *out, pl.Width(), pl.Height(), pl.NComp())
+	if *verbose {
+		st := dec.Stats()
+		fmt.Printf("  %d bytes in, %d tiles, %d code-blocks\n", st.BytesIn, st.Tiles, st.CodeBlocks)
+		fmt.Print(st.Timings.Breakdown())
+	}
 }

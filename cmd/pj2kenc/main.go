@@ -3,7 +3,7 @@
 // the inter-component transform applied (disable with -mct=false).
 //
 //	pj2kenc -in image.pgm|image.ppm -out image.j2k [-rate 1.0] [-lossless] \
-//	        [-levels 5] [-tile 0] [-workers 0] [-mct] [-improved] [-stats] \
+//	        [-levels 5] [-tile 0] [-workers 0] [-mct] [-improved] [-verbose] \
 //	        [-resilient | -sop -eph -segsym]
 //
 // The resilience flags embed the JPEG2000 error-resilience tools — SOP
@@ -33,7 +33,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
 	mct := flag.Bool("mct", true, "apply the inter-component transform to color input")
 	improved := flag.Bool("improved", true, "use the paper's improved (blocked) vertical filtering")
-	stats := flag.Bool("stats", false, "print the per-stage runtime analysis")
+	verbose := flag.Bool("verbose", false, "print the per-stage timing breakdown")
+	stats := flag.Bool("stats", false, "alias for -verbose")
 	resilient := flag.Bool("resilient", false, "enable every error-resilience tool (-sop -eph -segsym)")
 	sop := flag.Bool("sop", false, "frame each packet with a numbered SOP marker (resync anchor)")
 	eph := flag.Bool("eph", false, "terminate each packet header with an EPH marker")
@@ -90,11 +91,7 @@ func main() {
 	}
 	fmt.Printf("%s: %dx%dx%d -> %d bytes (%.3f bpp), %d code-blocks\n",
 		*out, pl.Width(), pl.Height(), pl.NComp(), st.Bytes, st.BPP, st.CodeBlocks)
-	if *stats {
-		tm := st.Timings
-		fmt.Printf("  setup      %8v\n  inter-comp %8v\n  DWT        %8v (H %v / V %v)\n  quant      %8v\n"+
-			"  tier-1     %8v\n  rate-alloc %8v\n  tier-2     %8v\n  stream-io  %8v\n  total      %8v\n",
-			tm.Setup, tm.InterComp, tm.IntraComp, tm.DWTDetail.Horizontal, tm.DWTDetail.Vertical,
-			tm.Quant, tm.Tier1, tm.RateAlloc, tm.Tier2, tm.StreamIO, tm.Total())
+	if *verbose || *stats {
+		fmt.Print(st.Timings.Breakdown())
 	}
 }

@@ -5,7 +5,8 @@
 // amortized by the decoded-tile cache.
 //
 //	pj2kserve -dir images/ [-addr :8732] [-cache-mb 256] [-tile-workers 1] \
-//	          [-timeout 0] [-max-inflight 64] [-resilient]
+//	          [-timeout 0] [-max-inflight 64] [-resilient] \
+//	          [-pprof] [-trace-out trace.out]
 //
 // The hardening knobs: -timeout bounds each decode-bearing request (504 past
 // the deadline), -max-inflight sheds excess load with 503 + Retry-After
@@ -13,23 +14,35 @@
 // codestreams degraded (concealed tiles + damage counters in /stats) instead
 // of failing them.
 //
+// The observability knobs: -pprof mounts net/http/pprof under /debug/pprof/
+// (off by default — profiles expose internals and cost CPU), and -trace-out
+// records a runtime execution trace from startup until shutdown, for
+// `go tool trace` inspection of scheduling across the decode pool. Both are
+// opt-in; /metrics and /stats are always on.
+//
 // Endpoints (see internal/serve for the full contract):
 //
 //	GET /img/{id}?x0=&y0=&x1=&y1=&reduce=&layers=&format=pgm|raw
 //	GET /img/{id}/info
 //	GET /img/{id}/stream?layers=N
-//	GET /stats
+//	GET /stats | /metrics
 //	GET /healthz | /readyz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime/trace"
 	"strings"
+	"syscall"
+	"time"
 
 	"pj2k/internal/serve"
 )
@@ -44,6 +57,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight,
 		"max concurrently admitted decode requests before shedding with 503 (-1 = unbounded)")
 	resilient := flag.Bool("resilient", false, "serve damaged codestreams degraded instead of failing them")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceOut := flag.String("trace-out", "", "record a runtime execution trace to this file until shutdown")
 	flag.Parse()
 
 	store := serve.NewStore()
@@ -97,8 +112,51 @@ func main() {
 		Timeout:     *timeout,
 		MaxInFlight: *maxInFlight,
 		Resilient:   *resilient,
+		Pprof:       *pprofOn,
 	})
-	log.Printf("listening on %s (%d images, %d MiB tile cache, timeout %v, max in-flight %d, resilient %v)",
-		*addr, n, *cacheMB, *timeout, *maxInFlight, *resilient)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	// The execution trace runs until shutdown, so -trace-out needs the server
+	// to stop cleanly on SIGINT/SIGTERM (trace.Stop flushes buffered events;
+	// a killed process leaves a truncated, unreadable trace). Graceful
+	// shutdown is the right behavior regardless, so it is unconditional.
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := trace.Start(f); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		traceFile = f
+		log.Printf("tracing execution to %s", *traceOut)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (%d images, %d MiB tile cache, timeout %v, max in-flight %d, resilient %v, pprof %v)",
+		*addr, n, *cacheMB, *timeout, *maxInFlight, *resilient, *pprofOn)
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		srv.Close()
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
+				log.Printf("trace-out: %v", err)
+			}
+			log.Printf("trace written to %s", *traceOut)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a persistent set of worker goroutines executing the package's
@@ -31,6 +32,36 @@ type Pool struct {
 	start  sync.Once   // workers spawn on first non-inline dispatch
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// Dispatch observability (see Stats): totals move once per dispatch
+	// barrier, never per task, so a saturated pool pays a few atomic adds per
+	// barrier for full queue visibility.
+	dispatches atomic.Int64 // completed dispatch barriers
+	inFlight   atomic.Int64 // barriers currently executing
+	waitNanos  atomic.Int64 // cumulative wall time inside dispatch barriers
+}
+
+// PoolStats is a point-in-time view of a pool's dispatch activity — the
+// queue-depth/in-flight/dispatch-wait gauges the serving layer exposes.
+type PoolStats struct {
+	Workers    int   // resident worker goroutines
+	QueueDepth int   // batch shares queued and not yet claimed
+	InFlight   int64 // dispatch barriers currently executing
+	Dispatches int64 // dispatch barriers completed since creation
+	WaitNanos  int64 // cumulative wall time spent inside dispatch barriers
+}
+
+// Stats snapshots the pool's dispatch gauges. Safe to call concurrently with
+// dispatches; the fields are independently atomic (a snapshot is not a
+// consistent cut, which monitoring does not need).
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:    p.size,
+		QueueDepth: len(p.work),
+		InFlight:   p.inFlight.Load(),
+		Dispatches: p.dispatches.Load(),
+		WaitNanos:  p.waitNanos.Load(),
+	}
 }
 
 // batch is one dispatch in flight: the function to run, the width q, the id
@@ -133,6 +164,13 @@ func (p *Pool) spawn() {
 // elsewhere.
 func (p *Pool) dispatch(q, n int, rng func(worker, lo, hi int), task func(worker, i int)) {
 	p.spawn()
+	start := time.Now()
+	p.inFlight.Add(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		p.dispatches.Add(1)
+		p.waitNanos.Add(int64(time.Since(start)))
+	}()
 	b := p.getBatch()
 	b.rng, b.task, b.n, b.q = rng, task, n, q
 	b.next.Store(0)

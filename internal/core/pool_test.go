@@ -230,3 +230,63 @@ func TestPoolNestedDispatch(t *testing.T) {
 		t.Fatalf("nested tasks covered %d indices, want %d", total.Load(), 8*12)
 	}
 }
+
+// TestPoolStats checks the dispatch gauges: inline short-circuits (q <= 1)
+// move nothing, real barriers count once each with nonzero cumulative wait,
+// and in-flight returns to zero once every barrier completes.
+func TestPoolStats(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	if s := p.Stats(); s.Workers != 4 || s.Dispatches != 0 || s.InFlight != 0 || s.WaitNanos != 0 {
+		t.Fatalf("fresh pool stats = %+v, want zeros with 4 workers", s)
+	}
+
+	p.ForIDMax(1, 100, func(_, _, _ int) {}) // inline path: no barrier
+	if s := p.Stats(); s.Dispatches != 0 {
+		t.Fatalf("inline dispatch moved the barrier counter: %+v", s)
+	}
+
+	const barriers = 5
+	for i := 0; i < barriers; i++ {
+		p.ForID(64, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				_ = j * j
+			}
+		})
+	}
+	s := p.Stats()
+	if s.Dispatches != barriers {
+		t.Errorf("dispatches = %d, want %d", s.Dispatches, barriers)
+	}
+	if s.InFlight != 0 {
+		t.Errorf("in-flight = %d after all barriers returned, want 0", s.InFlight)
+	}
+	if s.WaitNanos <= 0 {
+		t.Errorf("wait nanos = %d, want > 0", s.WaitNanos)
+	}
+
+	// A barrier observed mid-flight shows up in InFlight.
+	gate := make(chan struct{})
+	seen := make(chan PoolStats, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.TasksIDMax(2, 2, func(_, i int) {
+			if i == 0 {
+				seen <- p.Stats()
+			}
+			<-gate
+		})
+	}()
+	got := <-seen
+	if got.InFlight != 1 {
+		t.Errorf("mid-barrier in-flight = %d, want 1", got.InFlight)
+	}
+	close(gate)
+	wg.Wait()
+	if s := p.Stats(); s.Dispatches != barriers+1 || s.InFlight != 0 {
+		t.Errorf("final stats = %+v, want %d dispatches and 0 in flight", s, barriers+1)
+	}
+}

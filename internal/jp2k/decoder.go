@@ -3,6 +3,7 @@ package jp2k
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pj2k/internal/core"
 	"pj2k/internal/dwt"
@@ -104,7 +105,18 @@ type Decoder struct {
 
 	pool    *core.Pool // resident workers for every stage dispatch
 	ownPool bool       // created by this Decoder; released by Close
+
+	// Metrics, when set, receives one per-stage latency/byte record per
+	// successful decode (shared by all codecs pointed at the same handle).
+	// Set it before the first decode; nil disables recording.
+	Metrics *CodecMetrics
+	stats   DecodeStats // of the most recent decode
 }
+
+// Stats returns the stage timings and input accounting of the most recent
+// decode on this Decoder (zero after a failed decode). The returned value is
+// a snapshot; it does not change when the Decoder is reused.
+func (d *Decoder) Stats() DecodeStats { return d.stats }
 
 // decSlot is one kept (entropy-decoded) code-block of a tile component.
 type decSlot struct {
@@ -424,6 +436,8 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 		}
 	}()
 	d.damage = nil
+	d.stats = DecodeStats{}
+	tParse := time.Now()
 	var p t2.Params
 	var tiles [][]byte
 	var cdmg t2.ContainerDamage
@@ -441,6 +455,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	if err := p.CheckGeometry(); err != nil {
 		return nil, err
 	}
+	d.stats.Timings.Parse = time.Since(tParse)
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
 	}
@@ -545,7 +560,9 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	d.cur.ntx = ntx
 	d.cur.innerW = innerW
 	d.cur.opts = opts
+	tT2 := time.Now()
 	d.pool.TasksIDMax(outerW, nsel, d.walkFn)
+	d.stats.Timings.Tier2 = time.Since(tT2)
 	for _, err := range tileErrs {
 		if err != nil {
 			return nil, err
@@ -578,7 +595,9 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	clear(blockErrs)
 	d.blockStats = grow(d.blockStats, njobs)
 	clear(d.blockStats)
+	tT1 := time.Now()
 	d.pool.TasksIDMax(workers, njobs, d.blockFn)
+	d.stats.Timings.Tier1 = time.Since(tT1)
 	for i, err := range blockErrs {
 		if err != nil {
 			return nil, fmt.Errorf("jp2k: tile %d component %d block %d: %w",
@@ -627,13 +646,16 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	}
 	d.cur.out = out
 	d.cur.outShift = outShift
+	tAsm := time.Now()
 	d.pool.TasksIDMax(outerA, nunits, d.asmFn)
+	d.stats.Timings.Assemble = time.Since(tAsm)
 
 	// --- Inverse inter-component transform, when the stream flags MCT: the
 	// decoded planes hold Y/Cb/Cr (assembled without the level shift); rotate
 	// back to RGB with the legacy color container's arithmetic (the rotation
 	// operates on the rounded integer samples) and apply the shift once.
 	if mctActive {
+		tMCT := time.Now()
 		if p.Kernel == dwt.Rev53 {
 			if err := mct.InverseRCT(out.Comps[0], out.Comps[1], out.Comps[2], workers, d.pool); err != nil {
 				return nil, err
@@ -649,7 +671,12 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 				}
 			})
 		}
+		d.stats.Timings.InterComp = time.Since(tMCT)
 	}
+	d.stats.BytesIn = len(data)
+	d.stats.Tiles = nsel
+	d.stats.CodeBlocks = njobs
+	d.Metrics.recordDecode(&d.stats)
 	return out, nil
 }
 

@@ -86,6 +86,11 @@ type Encoder struct {
 
 	pool    *core.Pool // resident workers for every stage dispatch
 	ownPool bool       // created by this Encoder; released by Close
+
+	// Metrics, when set, receives one per-stage latency/byte record per
+	// successful encode (shared by all codecs pointed at the same handle).
+	// Set it before the first encode; nil disables recording.
+	Metrics *CodecMetrics
 }
 
 // t2Scratch is the per-worker scratch of the parallel tier-2 stage: the
@@ -725,6 +730,7 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	stats.Timings.StreamIO = time.Since(tIO)
 	stats.Bytes = len(out)
 	stats.BPP = float64(len(out)) * 8 / float64(e.cur.npixels)
+	e.Metrics.recordEncode(stats)
 	return out, stats, nil
 }
 

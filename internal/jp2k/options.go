@@ -8,6 +8,7 @@ package jp2k
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"pj2k/internal/dwt"
@@ -141,6 +142,51 @@ type EncodeStats struct {
 	Bytes      int
 	BPP        float64
 	CodeBlocks int
+}
+
+// Breakdown renders the per-stage timing table the CLIs print under -verbose;
+// the same span values feed CodecMetrics, so the printed breakdown and the
+// /metrics histograms can never disagree about where time went.
+func (s StageTimings) Breakdown() string {
+	return fmt.Sprintf("  setup      %8v\n  inter-comp %8v\n  DWT        %8v (H %v / V %v)\n"+
+		"  quant      %8v\n  tier-1     %8v\n  rate-alloc %8v\n  tier-2     %8v\n"+
+		"  stream-io  %8v\n  total      %8v\n",
+		s.Setup, s.InterComp, s.IntraComp, s.DWTDetail.Horizontal, s.DWTDetail.Vertical,
+		s.Quant, s.Tier1, s.RateAlloc, s.Tier2, s.StreamIO, s.Total())
+}
+
+// DecodeTimings records where decoding time went, per pipeline stage. Unlike
+// the encoder's StageTimings (which sum per-tile CPU time), these are
+// wall-clock spans around each stage's dispatch — what a request actually
+// waited for.
+type DecodeTimings struct {
+	Parse     time.Duration // codestream markers + geometry validation
+	Tier2     time.Duration // packet-header walk, segment gathering
+	Tier1     time.Duration // code-block entropy decoding
+	Assemble  time.Duration // coefficient assembly + dequant + inverse DWT
+	InterComp time.Duration // inverse multiple-component transform
+}
+
+// Total sums all stages.
+func (t DecodeTimings) Total() time.Duration {
+	return t.Parse + t.Tier2 + t.Tier1 + t.Assemble + t.InterComp
+}
+
+// Breakdown renders the per-stage timing table the CLIs print under -verbose.
+func (t DecodeTimings) Breakdown() string {
+	return fmt.Sprintf("  parse      %8v\n  tier-2     %8v\n  tier-1     %8v\n"+
+		"  IDWT+asm   %8v\n  inter-comp %8v\n  total      %8v\n",
+		t.Parse, t.Tier2, t.Tier1, t.Assemble, t.InterComp, t.Total())
+}
+
+// DecodeStats describes the most recent decode on a Decoder (see
+// Decoder.Stats): stage timings plus input accounting. It is valid until the
+// next decode call.
+type DecodeStats struct {
+	Timings    DecodeTimings
+	BytesIn    int // codestream bytes consumed
+	Tiles      int // tiles selected (all of them for full decodes)
+	CodeBlocks int // code-blocks entropy-decoded
 }
 
 // DecodeOptions configures the decoder.

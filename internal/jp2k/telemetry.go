@@ -1,0 +1,123 @@
+package jp2k
+
+import (
+	"time"
+
+	"pj2k/internal/telemetry"
+)
+
+// Encode/decode stage indices for CodecMetrics histograms. The encode stages
+// mirror StageTimings (the paper's Fig. 1 pipeline); the decode stages mirror
+// DecodeTimings.
+const (
+	EncStageSetup = iota
+	EncStageInterComp
+	EncStageDWT
+	EncStageQuant
+	EncStageTier1
+	EncStageRate
+	EncStageTier2
+	EncStageIO
+	NumEncStages
+)
+
+const (
+	DecStageParse = iota
+	DecStageTier2
+	DecStageTier1
+	DecStageAssemble
+	DecStageInterComp
+	NumDecStages
+)
+
+// EncStageNames and DecStageNames are the stage label values, index-aligned
+// with the stage constants.
+var (
+	EncStageNames = [NumEncStages]string{
+		"setup", "intercomp", "dwt", "quant", "t1", "rate", "t2", "io",
+	}
+	DecStageNames = [NumDecStages]string{
+		"parse", "t2", "t1", "idwt", "intercomp",
+	}
+)
+
+// CodecMetrics is the telemetry view of the codec pipeline: end-to-end and
+// per-stage latency histograms plus byte/operation counters, shared by every
+// Encoder/Decoder pointed at it. Recording happens once per encode/decode
+// call (never per sample or per block), so the instrumentation cost is a
+// handful of atomic adds per image — invisible next to the work it measures.
+// A nil *CodecMetrics disables recording entirely.
+type CodecMetrics struct {
+	Encodes      *telemetry.Counter // completed encode calls
+	Decodes      *telemetry.Counter // completed decode calls
+	BytesEncoded *telemetry.Counter // codestream bytes produced
+	BytesDecoded *telemetry.Counter // codestream bytes consumed
+
+	EncodeSeconds *telemetry.Histogram // end-to-end encode latency
+	DecodeSeconds *telemetry.Histogram // end-to-end decode latency
+
+	EncodeStages [NumEncStages]*telemetry.Histogram
+	DecodeStages [NumDecStages]*telemetry.Histogram
+}
+
+// NewCodecMetrics registers the codec metric families on r and returns the
+// recording handle:
+//
+//	pj2k_codec_encodes_total / pj2k_codec_decodes_total
+//	pj2k_codec_encoded_bytes_total / pj2k_codec_decoded_bytes_total
+//	pj2k_encode_seconds / pj2k_decode_seconds
+//	pj2k_encode_stage_seconds{stage=...} / pj2k_decode_stage_seconds{stage=...}
+func NewCodecMetrics(r *telemetry.Registry) *CodecMetrics {
+	m := &CodecMetrics{
+		Encodes:       r.Counter("pj2k_codec_encodes_total", "Completed encode calls."),
+		Decodes:       r.Counter("pj2k_codec_decodes_total", "Completed decode calls."),
+		BytesEncoded:  r.Counter("pj2k_codec_encoded_bytes_total", "Codestream bytes produced by encodes."),
+		BytesDecoded:  r.Counter("pj2k_codec_decoded_bytes_total", "Codestream bytes consumed by decodes."),
+		EncodeSeconds: r.Histogram("pj2k_encode_seconds", "End-to-end encode latency."),
+		DecodeSeconds: r.Histogram("pj2k_decode_seconds", "End-to-end decode latency."),
+	}
+	for i, name := range EncStageNames {
+		m.EncodeStages[i] = r.HistogramWithLabels("pj2k_encode_stage_seconds",
+			telemetry.Labels("stage", name), "Per-stage encode pipeline time.")
+	}
+	for i, name := range DecStageNames {
+		m.DecodeStages[i] = r.HistogramWithLabels("pj2k_decode_stage_seconds",
+			telemetry.Labels("stage", name), "Per-stage decode pipeline time.")
+	}
+	return m
+}
+
+// recordEncode folds one successful encode into the metrics. Safe on a nil
+// receiver (recording disabled).
+func (m *CodecMetrics) recordEncode(st *EncodeStats) {
+	if m == nil {
+		return
+	}
+	m.Encodes.Inc()
+	m.BytesEncoded.Add(int64(st.Bytes))
+	tm := &st.Timings
+	m.EncodeSeconds.Observe(tm.Total())
+	for i, d := range [NumEncStages]time.Duration{
+		tm.Setup, tm.InterComp, tm.IntraComp, tm.Quant,
+		tm.Tier1, tm.RateAlloc, tm.Tier2, tm.StreamIO,
+	} {
+		m.EncodeStages[i].Observe(d)
+	}
+}
+
+// recordDecode folds one successful decode into the metrics. Safe on a nil
+// receiver (recording disabled).
+func (m *CodecMetrics) recordDecode(st *DecodeStats) {
+	if m == nil {
+		return
+	}
+	m.Decodes.Inc()
+	m.BytesDecoded.Add(int64(st.BytesIn))
+	tm := &st.Timings
+	m.DecodeSeconds.Observe(tm.Total())
+	for i, d := range [NumDecStages]time.Duration{
+		tm.Parse, tm.Tier2, tm.Tier1, tm.Assemble, tm.InterComp,
+	} {
+		m.DecodeStages[i].Observe(d)
+	}
+}

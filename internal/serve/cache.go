@@ -94,31 +94,55 @@ func (c *Cache) pushFront(e *tileEntry) {
 	e.next.prev = e
 }
 
-// GetOrDecode returns the cached tile for key, or runs decode to produce it.
-// Concurrent calls for the same missing key run decode once and share the
-// result (counted as coalesced, not hits). Successful results enter the
-// cache, evicting least-recently-used tiles past the byte budget; errors are
-// returned to every waiter and cached by nobody. A waiter whose ctx ends
-// while the decode is in flight returns the context error immediately — the
-// decode itself continues for the remaining waiters (and the cache), bounded
-// by its own decode-side context.
-func (c *Cache) GetOrDecode(ctx context.Context, key TileKey, decode func() (*raster.Planar, error)) (*raster.Planar, error) {
+// CacheOutcome reports how one GetOrDecode lookup was satisfied: from the
+// cache, by running the decode, or by waiting on another caller's in-flight
+// decode. The serving layer folds per-tile outcomes into the per-request
+// latency histograms.
+type CacheOutcome int
+
+const (
+	OutcomeHit CacheOutcome = iota
+	OutcomeMiss
+	OutcomeCoalesced
+)
+
+// String names the outcome (the /metrics label value).
+func (o CacheOutcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	default:
+		return "coalesced"
+	}
+}
+
+// GetOrDecode returns the cached tile for key, or runs decode to produce it,
+// reporting which happened. Concurrent calls for the same missing key run
+// decode once and share the result (counted as coalesced, not hits).
+// Successful results enter the cache, evicting least-recently-used tiles past
+// the byte budget; errors are returned to every waiter and cached by nobody.
+// A waiter whose ctx ends while the decode is in flight returns the context
+// error immediately — the decode itself continues for the remaining waiters
+// (and the cache), bounded by its own decode-side context.
+func (c *Cache) GetOrDecode(ctx context.Context, key TileKey, decode func() (*raster.Planar, error)) (*raster.Planar, CacheOutcome, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.unlink(e)
 		c.pushFront(e)
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return e.pl, nil
+		return e.pl, OutcomeHit, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
 		select {
 		case <-call.done:
-			return call.pl, call.err
+			return call.pl, OutcomeCoalesced, call.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, OutcomeCoalesced, ctx.Err()
 		}
 	}
 	call := &inflightCall{done: make(chan struct{})}
@@ -161,7 +185,7 @@ func (c *Cache) GetOrDecode(ctx context.Context, key TileKey, decode func() (*ra
 		close(call.done)
 	}()
 	call.pl, call.err = decode()
-	return call.pl, call.err
+	return call.pl, OutcomeMiss, call.err
 }
 
 // Invalidate drops every cached tile of the given image and marks in-flight

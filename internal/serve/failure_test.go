@@ -66,7 +66,7 @@ func TestServerShedsAtCapacity(t *testing.T) {
 	if rec := get(t, srv, "/healthz"); rec.Code != http.StatusOK {
 		t.Fatalf("/healthz at capacity: got %d, want 200", rec.Code)
 	}
-	if n := srv.shed.Load(); n != 2 {
+	if n := srv.shed.Value(); n != 2 {
 		t.Fatalf("shed counter %d, want 2", n)
 	}
 
@@ -95,7 +95,7 @@ func TestServerPanicRecovery(t *testing.T) {
 	if recovered != "kaboom" {
 		t.Fatalf("panicHook saw %v, want kaboom", recovered)
 	}
-	if n := srv.panics.Load(); n != 1 {
+	if n := srv.panics.Value(); n != 1 {
 		t.Fatalf("panics counter %d, want 1", n)
 	}
 	// The server, its pool and its cache survive: a real decode still works.
@@ -136,7 +136,7 @@ func TestServerDeadlineExceeded(t *testing.T) {
 	if elapsed > timeout+2*time.Second {
 		t.Fatalf("request outlived its deadline by %v", elapsed-timeout)
 	}
-	if n := srv.timeouts.Load(); n != 1 {
+	if n := srv.timeouts.Value(); n != 1 {
 		t.Fatalf("timeouts counter %d, want 1", n)
 	}
 
@@ -203,14 +203,14 @@ func TestServerDeadlineHammer(t *testing.T) {
 			t.Errorf("client %d outlived the deadline by %v", i, times[i]-timeout)
 		}
 	}
-	shed, timeouts := srv.shed.Load(), srv.timeouts.Load()
+	shed, timeouts := srv.shed.Value(), srv.timeouts.Value()
 	if shed+timeouts != clients {
 		t.Fatalf("shed %d + timeouts %d != %d requests", shed, timeouts, clients)
 	}
 	if timeouts < 1 {
 		t.Fatal("no request reached the jammed tile")
 	}
-	if got := srv.errors.Load(); got != clients {
+	if got := srv.errors.Value(); got != clients {
 		t.Fatalf("errors counter %d, want %d", got, clients)
 	}
 
@@ -254,10 +254,10 @@ func TestServerResilientDamageCounters(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("resilient server failed a damaged image: %d %q", rec.Code, rec.Body.String())
 	}
-	if srv.damagedTiles.Load() < 1 {
+	if srv.damagedTiles.Value() < 1 {
 		t.Fatal("damaged tile decode moved no damage counters")
 	}
-	if srv.blocksConcealed.Load() < 1 && srv.packetsLost.Load() < 1 {
+	if srv.blocksConcealed.Value() < 1 && srv.packetsLost.Value() < 1 {
 		t.Fatal("damage counters show neither concealed blocks nor lost packets")
 	}
 }

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"pj2k/internal/telemetry"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels string // raw label body, "" when absent
+	value  float64
+}
+
+// parseProm is a strict-enough parser for the 0.0.4 text format: it checks
+// that every sample line is `name[{labels}] value`, that every family has
+// exactly one HELP and one TYPE before its first sample, and returns the
+// samples plus the family->type map.
+func parseProm(t *testing.T, body string) ([]promSample, map[string]string) {
+	t.Helper()
+	types := map[string]string{}
+	helps := map[string]bool{}
+	var samples []promSample
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if helps[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helps[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			types[name] = typ
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		default:
+			head, val, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, val, err)
+			}
+			name, labels := head, ""
+			if i := strings.IndexByte(head, '{'); i >= 0 {
+				if !strings.HasSuffix(head, "}") {
+					t.Fatalf("line %d: unclosed labels: %q", ln+1, line)
+				}
+				name, labels = head[:i], head[i+1:len(head)-1]
+			}
+			family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if types[family] == "" && types[name] == "" {
+				t.Fatalf("line %d: sample %s before its TYPE", ln+1, name)
+			}
+			if fam := name; types[fam] != "" && !helps[fam] {
+				t.Fatalf("line %d: sample %s before its HELP", ln+1, name)
+			}
+			samples = append(samples, promSample{name: name, labels: labels, value: v})
+		}
+	}
+	return samples, types
+}
+
+// TestMetricsExposition drives mixed-outcome load through the server under
+// concurrency (the -race build makes this a race test of the whole telemetry
+// path), then checks that /metrics parses, that the counters add up, and that
+// every histogram's buckets are monotone with consistent _count/_sum.
+func TestMetricsExposition(t *testing.T) {
+	srv, _ := newTestServer(t, 64<<20)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Mixed workload: hits and misses on region requests (distinct reduce
+	// levels miss, repeats hit), some 404s and bad requests (errors), plus
+	// /stats and /metrics scrapes racing the writers.
+	const workers, iters = 8, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var url string
+				switch i % 4 {
+				case 0:
+					url = fmt.Sprintf("%s/img/test?reduce=%d", ts.URL, (w+i)%3)
+				case 1:
+					url = ts.URL + "/img/test?reduce=1"
+				case 2:
+					url = ts.URL + "/img/nope"
+				default:
+					url = ts.URL + "/img/test?x0=bogus"
+				}
+				resp, err := ts.Client().Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	// Concurrent scrapes while the load runs.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, path := range []string{"/metrics", "/stats"} {
+					resp, err := ts.Client().Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	body := scrape(t, ts)
+	samples, types := parseProm(t, body)
+
+	find := func(name, labels string) (float64, bool) {
+		for _, s := range samples {
+			if s.name == name && s.labels == labels {
+				return s.value, true
+			}
+		}
+		return 0, false
+	}
+	mustFind := func(name, labels string) float64 {
+		v, ok := find(name, labels)
+		if !ok {
+			t.Fatalf("metric %s{%s} not exposed", name, labels)
+		}
+		return v
+	}
+
+	// Families the issue demands: stage histograms, pool gauges, request
+	// latency by outcome, cache and damage counters, build info.
+	for name, typ := range map[string]string{
+		"pj2k_requests_total":        "counter",
+		"pj2k_request_errors_total":  "counter",
+		"pj2k_tile_decodes_total":    "counter",
+		"pj2k_request_seconds":       "histogram",
+		"pj2k_decode_seconds":        "histogram",
+		"pj2k_decode_stage_seconds":  "histogram",
+		"pj2k_encode_stage_seconds":  "histogram",
+		"pj2k_pool_workers":          "gauge",
+		"pj2k_pool_queue_depth":      "gauge",
+		"pj2k_pool_in_flight":        "gauge",
+		"pj2k_pool_dispatches_total": "counter",
+		"pj2k_cache_hits_total":      "counter",
+		"pj2k_build_info":            "gauge",
+	} {
+		if got := types[name]; got != typ {
+			t.Errorf("family %s: type %q, want %q", name, got, typ)
+		}
+	}
+
+	// The counters must add up against the known workload. Every iteration
+	// issues one request; the scrape goroutines issue 2*iters each; plus the
+	// final scrape in this test (which ran before this sample was taken, so
+	// it is not yet counted — the handler increments before serving, so it
+	// IS counted).
+	wantRequests := float64(workers*iters + 2*2*iters + 1)
+	if got := mustFind("pj2k_requests_total", ""); got != wantRequests {
+		t.Errorf("pj2k_requests_total = %v, want %v", got, wantRequests)
+	}
+	// Half the worker iterations are deliberate failures (404 + bad query).
+	wantErrors := float64(workers * iters / 2)
+	if got := mustFind("pj2k_request_errors_total", ""); got != wantErrors {
+		t.Errorf("pj2k_request_errors_total = %v, want %v", got, wantErrors)
+	}
+	// Cache accounting: hits + misses + coalesced must cover every tile
+	// lookup, and tile decodes equal cache misses (every miss decodes once).
+	hits := mustFind("pj2k_cache_hits_total", "")
+	misses := mustFind("pj2k_cache_misses_total", "")
+	coalesced := mustFind("pj2k_cache_coalesced_total", "")
+	decodes := mustFind("pj2k_tile_decodes_total", "")
+	if decodes != misses {
+		t.Errorf("tile decodes (%v) != cache misses (%v)", decodes, misses)
+	}
+	if hits+misses+coalesced == 0 {
+		t.Error("no cache activity recorded under load")
+	}
+
+	// Histogram invariants for every exposed histogram family: cumulative
+	// buckets monotone, +Inf bucket == _count, _count consistent with _sum.
+	type histKey struct{ name, labels string }
+	buckets := map[histKey][]promSample{}
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_bucket") {
+			base := strings.TrimSuffix(s.name, "_bucket")
+			// Strip the le pair (always last, appended by the writer).
+			i := strings.LastIndex(s.labels, "le=")
+			lbl := strings.TrimSuffix(s.labels[:i], ",")
+			buckets[histKey{base, lbl}] = append(buckets[histKey{base, lbl}], s)
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets exposed")
+	}
+	for key, bs := range buckets {
+		prev := -1.0
+		for _, b := range bs {
+			if b.value < prev {
+				t.Errorf("%s{%s}: bucket counts not monotone: %v after %v", key.name, key.labels, b.value, prev)
+			}
+			prev = b.value
+		}
+		count, ok := find(key.name+"_count", key.labels)
+		if !ok {
+			t.Fatalf("%s{%s}: missing _count", key.name, key.labels)
+		}
+		if last := bs[len(bs)-1]; !strings.Contains(last.labels, `le="+Inf"`) {
+			t.Errorf("%s{%s}: last bucket is %q, want +Inf", key.name, key.labels, last.labels)
+		} else if last.value != count {
+			t.Errorf("%s{%s}: +Inf bucket %v != count %v", key.name, key.labels, last.value, count)
+		}
+		sum, ok := find(key.name+"_sum", key.labels)
+		if !ok {
+			t.Fatalf("%s{%s}: missing _sum", key.name, key.labels)
+		}
+		// Zero-duration spans are legal (a grayscale decode's intercomp
+		// stage is a no-op), so sum may be 0; it must never be negative.
+		if sum < 0 {
+			t.Errorf("%s{%s}: negative sum %v", key.name, key.labels, sum)
+		}
+	}
+
+	// The request histograms must have observed every region request: the
+	// per-outcome counts sum to the worker iterations (the only requests that
+	// pass through handleRegion).
+	var latTotal float64
+	for _, name := range outcomeNames {
+		if v, ok := find("pj2k_request_seconds_count", `outcome="`+name+`"`); ok {
+			latTotal += v
+		}
+	}
+	if want := float64(workers * iters); latTotal != want {
+		t.Errorf("sum of pj2k_request_seconds counts = %v, want %v", latTotal, want)
+	}
+
+	// Decode stage histograms saw every tile decode.
+	if v, ok := find("pj2k_decode_seconds_count", ""); !ok || v != decodes {
+		t.Errorf("pj2k_decode_seconds_count = %v (ok=%v), want %v", v, ok, decodes)
+	}
+	for _, stage := range []string{"parse", "t2", "t1", "idwt"} {
+		if v, ok := find("pj2k_decode_stage_seconds_count", `stage="`+stage+`"`); !ok || v != decodes {
+			t.Errorf("decode stage %q count = %v (ok=%v), want %v", stage, v, ok, decodes)
+		}
+	}
+}
+
+// TestStatsEnriched checks the /stats additions: percentile digests, pool
+// stats and build identity, all consistent with the raw counters.
+func TestStatsEnriched(t *testing.T) {
+	srv, _ := newTestServer(t, 64<<20)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ { // one miss, two hits
+		resp, err := ts.Client().Get(ts.URL + "/img/test?reduce=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 4 { // 3 region requests + this /stats
+		t.Errorf("requests = %d, want 4", st.Requests)
+	}
+	if st.GoVersion == "" || st.Revision == "" {
+		t.Errorf("missing build identity: go=%q revision=%q", st.GoVersion, st.Revision)
+	}
+	if st.Pool.Workers <= 0 {
+		t.Errorf("pool workers = %d, want > 0", st.Pool.Workers)
+	}
+	var latCount uint64
+	for _, sum := range st.RequestLatency {
+		latCount += sum.Count
+		if sum.Count > 0 && (sum.P50MS <= 0 || sum.P99MS < sum.P50MS) {
+			t.Errorf("implausible latency digest: %+v", sum)
+		}
+	}
+	if latCount != 3 {
+		t.Errorf("request_latency counts sum to %d, want 3", latCount)
+	}
+	if hit, ok := st.RequestLatency["hit"]; !ok || hit.Count != 2 {
+		t.Errorf("hit latency = %+v (ok=%v), want count 2", hit, ok)
+	}
+	if miss, ok := st.RequestLatency["miss"]; !ok || miss.Count != 1 {
+		t.Errorf("miss latency = %+v (ok=%v), want count 1", miss, ok)
+	}
+	if len(st.DecodeStages) == 0 {
+		t.Error("decode_stage_latency empty after a decode")
+	}
+	for stage, sum := range st.DecodeStages {
+		if sum.Count == 0 {
+			t.Errorf("stage %q digested with zero count", stage)
+		}
+	}
+}
+
+// TestMetricsOutcomeShed checks the shed path lands in the right histogram
+// series (admission gate full -> outcome="shed").
+func TestMetricsOutcomeShed(t *testing.T) {
+	cs := encodeTest(t, testImage())
+	store := NewStore()
+	if _, err := store.Add("test", cs); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{CacheBytes: 64 << 20, MaxInFlight: 1})
+	defer srv.Close()
+	srv.inflight <- struct{}{} // fill the gate
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/img/test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	<-srv.inflight
+
+	if sum := telemetry.Summary(srv.latency[outcomeShed]); sum.Count != 1 {
+		t.Errorf("shed histogram count = %d, want 1", sum.Count)
+	}
+	body := scrape(t, ts)
+	if !strings.Contains(body, `pj2k_request_seconds_count{outcome="shed"} 1`) {
+		t.Error("shed outcome not exposed in /metrics")
+	}
+}

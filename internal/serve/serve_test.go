@@ -52,7 +52,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	per := int64(400 + tileOverhead)
 	c := NewCache(2 * per)
 	get := func(id int) {
-		_, err := c.GetOrDecode(context.Background(), TileKey{Image: "a", TX: id}, func() (*raster.Planar, error) {
+		_, _, err := c.GetOrDecode(context.Background(), TileKey{Image: "a", TX: id}, func() (*raster.Planar, error) {
 			return tile(10, 10), nil
 		})
 		if err != nil {
@@ -105,7 +105,7 @@ func TestCacheBudgetNeverExceeded(t *testing.T) {
 	}
 	insert := func(key TileKey, w, h int) {
 		t.Helper()
-		if _, err := c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { return tile(w, h), nil }); err != nil {
+		if _, _, err := c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { return tile(w, h), nil }); err != nil {
 			t.Fatal(err)
 		}
 		check(fmt.Sprintf("after %dx%d insert", w, h))
@@ -142,11 +142,11 @@ func TestCacheErrorNotCached(t *testing.T) {
 		}
 		return tile(4, 4), nil
 	}
-	if _, err := c.GetOrDecode(context.Background(), TileKey{Image: "x"}, decode); err == nil {
+	if _, _, err := c.GetOrDecode(context.Background(), TileKey{Image: "x"}, decode); err == nil {
 		t.Fatal("want error")
 	}
 	fail = false
-	if _, err := c.GetOrDecode(context.Background(), TileKey{Image: "x"}, decode); err != nil {
+	if _, _, err := c.GetOrDecode(context.Background(), TileKey{Image: "x"}, decode); err != nil {
 		t.Fatalf("error was cached: %v", err)
 	}
 }
@@ -164,7 +164,7 @@ func TestCachePanicSafety(t *testing.T) {
 	}()
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { return tile(2, 2), nil })
+		_, _, err := c.GetOrDecode(context.Background(), key, func() (*raster.Planar, error) { return tile(2, 2), nil })
 		done <- err
 	}()
 	select {
@@ -218,7 +218,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			im, err := c.GetOrDecode(context.Background(), TileKey{Image: "a"}, func() (*raster.Planar, error) {
+			im, _, err := c.GetOrDecode(context.Background(), TileKey{Image: "a"}, func() (*raster.Planar, error) {
 				decodes.Add(1)
 				<-release
 				return tile(8, 8), nil
@@ -622,15 +622,16 @@ func BenchmarkServeTileCache(b *testing.B) {
 		srv := New(store, Options{CacheBytes: 64 << 20})
 		key := TileKey{Image: "bench", TX: 0, TY: 0}
 		decode := func() (*raster.Planar, error) {
-			return srv.decodeTile(context.Background(), img, colW, rowH, 0, 0, 0, 0)
+			pl, _, err := srv.decodeTile(context.Background(), img, colW, rowH, 0, 0, 0, 0)
+			return pl, err
 		}
-		if _, err := srv.cache.GetOrDecode(context.Background(), key, decode); err != nil {
+		if _, _, err := srv.cache.GetOrDecode(context.Background(), key, decode); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := srv.cache.GetOrDecode(context.Background(), key, decode); err != nil {
+			if _, _, err := srv.cache.GetOrDecode(context.Background(), key, decode); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -638,13 +639,14 @@ func BenchmarkServeTileCache(b *testing.B) {
 	b.Run("miss", func(b *testing.B) {
 		srv := New(store, Options{CacheBytes: 64 << 20})
 		decode := func() (*raster.Planar, error) {
-			return srv.decodeTile(context.Background(), img, colW, rowH, 0, 0, 0, 0)
+			pl, _, err := srv.decodeTile(context.Background(), img, colW, rowH, 0, 0, 0, 0)
+			return pl, err
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			srv.cache.Invalidate("bench") // every lookup is a cold miss
-			if _, err := srv.cache.GetOrDecode(context.Background(), TileKey{Image: "bench", TX: 0, TY: 0}, decode); err != nil {
+			if _, _, err := srv.cache.GetOrDecode(context.Background(), TileKey{Image: "bench", TX: 0, TY: 0}, decode); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -6,15 +6,18 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pj2k/internal/core"
 	"pj2k/internal/dwt"
 	"pj2k/internal/jp2k"
 	"pj2k/internal/raster"
+	"pj2k/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -44,6 +47,10 @@ type Options struct {
 	// degrade into partially-concealed tiles and damage counters in /stats
 	// instead of failing the request.
 	Resilient bool
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ so a live
+	// server can be CPU/heap/goroutine-profiled under load. Off by default:
+	// profiles expose internals and cost CPU while running.
+	Pprof bool
 }
 
 // Defaults for Options zero values.
@@ -87,17 +94,47 @@ type Server struct {
 	// handler panic after the 500 has been written.
 	panicHook func(any)
 
-	started     time.Time
-	requests    atomic.Int64
-	errors      atomic.Int64
-	tileDecodes atomic.Int64
-	shed        atomic.Int64
-	panics      atomic.Int64
-	timeouts    atomic.Int64
+	started time.Time
+
+	// Telemetry: every server counter lives on the registry (one atomic
+	// instrument each, exposed by both /stats and /metrics), the codec
+	// metrics handle is shared by every pooled decoder, and the per-request
+	// latency histograms split by outcome.
+	reg         *telemetry.Registry
+	codec       *jp2k.CodecMetrics
+	requests    *telemetry.Counter
+	errors      *telemetry.Counter
+	tileDecodes *telemetry.Counter
+	shed        *telemetry.Counter
+	panics      *telemetry.Counter
+	timeouts    *telemetry.Counter
 	// Damage counters, moved only by resilient tile decodes.
-	damagedTiles    atomic.Int64
-	packetsLost     atomic.Int64
-	blocksConcealed atomic.Int64
+	damagedTiles    *telemetry.Counter
+	packetsLost     *telemetry.Counter
+	blocksConcealed *telemetry.Counter
+	latency         [numOutcomes]*telemetry.Histogram
+}
+
+// reqOutcome classifies one region request for the latency histograms. The
+// order is a severity ranking: a request touching many tiles reports the
+// most severe per-tile outcome (miss > coalesced > hit), with damage,
+// timeouts and shedding overriding.
+type reqOutcome int
+
+const (
+	outcomeHit       reqOutcome = iota // every tile served from cache
+	outcomeCoalesced                   // waited on another request's decode
+	outcomeMiss                        // at least one tile decoded here
+	outcomeDamaged                     // a decode concealed damage (resilient mode)
+	outcomeShed                        // rejected at the admission gate (503)
+	outcomeTimeout                     // server-side deadline expired (504)
+	outcomeError                       // any other failure
+	numOutcomes
+)
+
+// outcomeNames are the /metrics label values, index-aligned with reqOutcome.
+var outcomeNames = [numOutcomes]string{
+	"hit", "coalesced", "miss", "damaged", "shed", "timeout", "error",
 }
 
 // New returns a Server over the given store. The server owns one persistent
@@ -129,14 +166,99 @@ func New(store *Store, opts Options) *Server {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	s.opts = opts
-	s.decoders.New = func() any { return jp2k.NewDecoderWithPool(s.pool) }
+	s.initTelemetry()
+	s.decoders.New = func() any {
+		d := jp2k.NewDecoderWithPool(s.pool)
+		d.Metrics = s.codec
+		return d
+	}
 	s.mux.HandleFunc("GET /img/{id}", s.handleRegion)
 	s.mux.HandleFunc("GET /img/{id}/info", s.handleInfo)
 	s.mux.HandleFunc("GET /img/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if opts.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// initTelemetry builds the server's metric registry: request/error/damage
+// counters, the outcome-split latency histograms, the codec pipeline
+// histograms recorded by every pooled decoder, and read-through gauges over
+// the worker pool, the tile cache and the admission semaphore. Everything
+// /stats reports and /metrics exposes comes from here — there is exactly one
+// copy of every counter.
+func (s *Server) initTelemetry() {
+	r := telemetry.NewRegistry()
+	s.reg = r
+	s.codec = jp2k.NewCodecMetrics(r)
+	s.requests = r.Counter("pj2k_requests_total", "HTTP requests received.")
+	s.errors = r.Counter("pj2k_request_errors_total", "Requests that failed or could not write their response.")
+	s.tileDecodes = r.Counter("pj2k_tile_decodes_total", "Tile decodes performed (cache misses reaching the codec).")
+	s.shed = r.Counter("pj2k_shed_total", "Requests shed at the admission gate (503 + Retry-After).")
+	s.panics = r.Counter("pj2k_handler_panics_total", "Handler panics recovered into 500s.")
+	s.timeouts = r.Counter("pj2k_timeouts_total", "Requests past the server-side deadline (504).")
+	s.damagedTiles = r.Counter("pj2k_damaged_tiles_total", "Tiles decoded with concealed damage (resilient mode).")
+	s.packetsLost = r.Counter("pj2k_packets_lost_total", "Packets lost to damage across resilient tile decodes.")
+	s.blocksConcealed = r.Counter("pj2k_blocks_concealed_total", "Code-blocks concealed across resilient tile decodes.")
+	for i := range s.latency {
+		s.latency[i] = r.HistogramWithLabels("pj2k_request_seconds",
+			telemetry.Labels("outcome", outcomeNames[i]),
+			"End-to-end region-request latency by outcome.")
+	}
+	r.GaugeFunc("pj2k_pool_workers", "Resident decode-pool worker goroutines.",
+		func() int64 { return int64(s.pool.Stats().Workers) })
+	r.GaugeFunc("pj2k_pool_queue_depth", "Batch shares queued on the decode pool and not yet claimed.",
+		func() int64 { return int64(s.pool.Stats().QueueDepth) })
+	r.GaugeFunc("pj2k_pool_in_flight", "Dispatch barriers currently executing on the decode pool.",
+		func() int64 { return s.pool.Stats().InFlight })
+	r.CounterFunc("pj2k_pool_dispatches_total", "Dispatch barriers completed by the decode pool.",
+		func() int64 { return s.pool.Stats().Dispatches })
+	r.CounterFunc("pj2k_pool_dispatch_wait_nanoseconds_total", "Cumulative wall time spent inside decode-pool dispatch barriers.",
+		func() int64 { return s.pool.Stats().WaitNanos })
+	r.CounterFunc("pj2k_cache_hits_total", "Tile cache hits.", func() int64 { return s.cache.Stats().Hits })
+	r.CounterFunc("pj2k_cache_misses_total", "Tile cache misses.", func() int64 { return s.cache.Stats().Misses })
+	r.CounterFunc("pj2k_cache_coalesced_total", "Lookups coalesced onto an in-flight decode.",
+		func() int64 { return s.cache.Stats().Coalesced })
+	r.CounterFunc("pj2k_cache_evictions_total", "Tile cache evictions.", func() int64 { return s.cache.Stats().Evictions })
+	r.GaugeFunc("pj2k_cache_bytes", "Bytes of decoded tiles resident in the cache.", func() int64 { return s.cache.Stats().Bytes })
+	r.GaugeFunc("pj2k_cache_entries", "Decoded tiles resident in the cache.", func() int64 { return int64(s.cache.Stats().Entries) })
+	r.GaugeFunc("pj2k_inflight_requests", "Decode-bearing requests currently admitted.",
+		func() int64 {
+			if s.inflight == nil {
+				return 0
+			}
+			return int64(len(s.inflight))
+		})
+	r.GaugeFunc("pj2k_images", "Images in the store.", func() int64 { return int64(s.store.Len()) })
+	r.GaugeFunc("pj2k_uptime_seconds", "Seconds since the server started.",
+		func() int64 { return int64(time.Since(s.started).Seconds()) })
+	bi := r.GaugeWithLabels("pj2k_build_info",
+		telemetry.Labels("go", runtime.Version(), "revision", buildRevision()), "Build information (constant 1).")
+	bi.Set(1)
+}
+
+// buildRevision extracts the VCS revision baked into the binary, "unknown"
+// when built without VCS stamping (go test, plain go run).
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				if len(kv.Value) > 12 {
+					return kv.Value[:12]
+				}
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // Close releases the server's worker pool. It must only be called once no
@@ -148,18 +270,22 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // TileDecodes returns the number of tile decodes performed so far; requests
 // served entirely from cache do not move it.
-func (s *Server) TileDecodes() int64 { return s.tileDecodes.Load() }
+func (s *Server) TileDecodes() int64 { return s.tileDecodes.Value() }
+
+// Registry exposes the server's metric registry (for tests and for embedding
+// servers that scrape programmatically).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler. A panicking handler is converted into a
 // 500 (when the response has not started) plus a counter instead of relying
 // on net/http to kill the connection — the server, its worker pool and its
 // cache stay usable, and /stats shows that it happened.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.requests.Inc()
 	defer func() {
 		if rec := recover(); rec != nil {
-			s.panics.Add(1)
-			s.errors.Add(1)
+			s.panics.Inc()
+			s.errors.Inc()
 			http.Error(w, "internal error", http.StatusInternalServerError)
 			if s.panicHook != nil {
 				s.panicHook(rec)
@@ -193,7 +319,7 @@ func (s *Server) release() {
 // shedRequest answers an over-capacity request: 503 with a Retry-After hint,
 // counted separately from ordinary errors.
 func (s *Server) shedRequest(w http.ResponseWriter) {
-	s.shed.Add(1)
+	s.shed.Inc()
 	w.Header().Set("Retry-After", "1")
 	s.fail(w, http.StatusServiceUnavailable, "server at capacity; retry shortly")
 }
@@ -209,18 +335,19 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 
 // failCtx maps a context-ended decode to its status: 504 for the server-side
 // deadline, 503 for a client that went away (nobody reads the body either
-// way).
-func (s *Server) failCtx(w http.ResponseWriter, err error) {
+// way). It returns the request outcome for the latency histograms.
+func (s *Server) failCtx(w http.ResponseWriter, err error) reqOutcome {
 	if errors.Is(err, context.DeadlineExceeded) {
-		s.timeouts.Add(1)
+		s.timeouts.Inc()
 		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
-		return
+		return outcomeTimeout
 	}
 	s.fail(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+	return outcomeError
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.errors.Add(1)
+	s.errors.Inc()
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
@@ -240,13 +367,16 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 // decodeTile produces one cached tile variant (every component), charging the
 // decode counter. The context bounds the decode between pipeline stages; in
 // resilient mode damage is absorbed into the server's counters and the
-// degraded tile is served (and cached) like any other.
-func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, tx, ty, discard, layers int) (*raster.Planar, error) {
-	s.tileDecodes.Add(1)
+// degraded tile is served (and cached) like any other — the damaged return
+// reports it so the request can be classified. The pooled decoder carries the
+// server's codec metrics, so every tile decode also lands in the per-stage
+// pipeline histograms.
+func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, tx, ty, discard, layers int) (pl *raster.Planar, damaged bool, err error) {
+	s.tileDecodes.Inc()
 	dec := s.decoders.Get().(*jp2k.Decoder)
 	defer s.decoders.Put(dec)
 	region := jp2k.Rect{X0: colW[tx], Y0: rowH[ty], X1: colW[tx+1], Y1: rowH[ty+1]}
-	pl, err := dec.DecodeRegionPlanar(img.Data, region, jp2k.DecodeOptions{
+	pl, err = dec.DecodeRegionPlanar(img.Data, region, jp2k.DecodeOptions{
 		DiscardLevels: discard,
 		MaxLayers:     layers,
 		Workers:       s.opts.TileWorkers,
@@ -257,16 +387,24 @@ func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, t
 	if err == nil && s.opts.Resilient {
 		if dmg := dec.Damage(); dmg.Damaged() {
 			t := dmg.Totals()
-			s.damagedTiles.Add(1)
+			damaged = true
+			s.damagedTiles.Inc()
 			s.packetsLost.Add(int64(t.PacketsLost))
 			s.blocksConcealed.Add(int64(t.BlocksConcealed))
 		}
 	}
-	return pl, err
+	return pl, damaged, err
 }
 
 func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	// Outcome classification for the latency histograms: every return path
+	// below leaves its verdict in outcome; the deferred observe records the
+	// end-to-end latency under it (including panics, as outcomeError).
+	start := time.Now()
+	outcome := outcomeError
+	defer func() { s.latency[outcome].Observe(time.Since(start)) }()
 	if !s.admit() {
+		outcome = outcomeShed
 		s.shedRequest(w)
 		return
 	}
@@ -275,7 +413,7 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	img, ok, err := s.store.Lookup(ctx, r.PathValue("id"))
 	if err != nil {
-		s.failCtx(w, err)
+		outcome = s.failCtx(w, err)
 		return
 	}
 	if !ok {
@@ -319,9 +457,13 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Assemble the window from cached per-tile decodes, every component.
+	// Assemble the window from cached per-tile decodes, every component. The
+	// request's outcome aggregates the per-tile cache outcomes (worst wins);
+	// a damaged resilient decode overrides them all.
 	ncomp := img.Params().Components()
 	out := raster.NewPlanar(win.Dx(), win.Dy(), ncomp)
+	agg := outcomeHit
+	damaged := false
 	var tiles []int
 	for ty := 0; ty < nty; ty++ {
 		if rowH[ty+1] <= win.Y0 || rowH[ty] >= win.Y1 {
@@ -333,12 +475,22 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 			tiles = append(tiles, ty*ntx+tx)
 			key := TileKey{Image: img.ID, TX: tx, TY: ty, Discard: discard, Layers: layers}
-			tile, err := s.cache.GetOrDecode(ctx, key, func() (*raster.Planar, error) {
-				return s.decodeTile(ctx, img, colW, rowH, tx, ty, discard, layers)
+			tile, co, err := s.cache.GetOrDecode(ctx, key, func() (*raster.Planar, error) {
+				pl, dmg, err := s.decodeTile(ctx, img, colW, rowH, tx, ty, discard, layers)
+				if dmg {
+					damaged = true
+				}
+				return pl, err
 			})
+			switch co {
+			case OutcomeMiss:
+				agg = max(agg, outcomeMiss)
+			case OutcomeCoalesced:
+				agg = max(agg, outcomeCoalesced)
+			}
 			if err != nil {
 				if ctx.Err() != nil {
-					s.failCtx(w, ctx.Err())
+					outcome = s.failCtx(w, ctx.Err())
 				} else {
 					s.fail(w, http.StatusInternalServerError, "tile (%d,%d): %v", tx, ty, err)
 				}
@@ -356,6 +508,11 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+
+	if damaged {
+		agg = outcomeDamaged
+	}
+	outcome = agg
 
 	// The packet-byte cost of this window per the index (all components):
 	// what a byte-range transport (JPIP-style) would have shipped instead of
@@ -379,6 +536,7 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	switch format {
 	case "pgm":
 		if ncomp != 1 {
+			outcome = outcomeError
 			s.fail(w, http.StatusBadRequest, "format=pgm needs 1 component, image has %d (use ppm or raw)", ncomp)
 			return
 		}
@@ -387,11 +545,12 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "image/x-portable-graymap")
 		if err := raster.WritePGM(w, out.Comps[0], maxval); err != nil {
-			s.errors.Add(1)
+			s.errors.Inc()
 			return
 		}
 	case "ppm":
 		if ncomp != 3 {
+			outcome = outcomeError
 			s.fail(w, http.StatusBadRequest, "format=ppm needs 3 components, image has %d", ncomp)
 			return
 		}
@@ -400,7 +559,7 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "image/x-portable-pixmap")
 		if err := raster.WritePPM(w, out, maxval); err != nil {
-			s.errors.Add(1)
+			s.errors.Inc()
 			return
 		}
 	case "raw":
@@ -437,9 +596,10 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if _, err := w.Write(buf); err != nil {
-			s.errors.Add(1)
+			s.errors.Inc()
 		}
 	default:
+		outcome = outcomeError
 		s.fail(w, http.StatusBadRequest, "unknown format %q", format)
 	}
 }
@@ -517,7 +677,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-PJ2K-Layers", strconv.Itoa(layers))
 	if _, err := w.Write(cs); err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 	}
 }
 
@@ -539,9 +699,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// statsResponse is the /stats payload.
+// statsResponse is the /stats payload: the raw counters plus the percentile
+// digests of the latency histograms /metrics exposes as buckets, uptime and
+// build identity.
 type statsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
+	GoVersion     string       `json:"go_version"`
+	Revision      string       `json:"revision"`
 	Images        int          `json:"images"`
 	Requests      int64        `json:"requests"`
 	Errors        int64        `json:"errors"`
@@ -554,6 +718,24 @@ type statsResponse struct {
 	Resilient     bool         `json:"resilient"`
 	Damage        damageCounts `json:"damage"`
 	Cache         CacheStats   `json:"cache"`
+
+	// RequestLatency digests the per-outcome end-to-end region-request
+	// histograms (p50/p90/p99 in milliseconds); outcomes with no requests
+	// yet are omitted.
+	RequestLatency map[string]telemetry.LatencySummary `json:"request_latency"`
+	// DecodeStages digests the codec's per-stage decode histograms — where
+	// tile-decode time went (parse/t2/t1/idwt/intercomp).
+	DecodeStages map[string]telemetry.LatencySummary `json:"decode_stage_latency"`
+	Pool         poolStatsJSON                       `json:"pool"`
+}
+
+// poolStatsJSON is the /stats view of core.PoolStats.
+type poolStatsJSON struct {
+	Workers        int     `json:"workers"`
+	QueueDepth     int     `json:"queue_depth"`
+	InFlight       int64   `json:"in_flight"`
+	Dispatches     int64   `json:"dispatches"`
+	DispatchWaitMS float64 `json:"dispatch_wait_ms"`
 }
 
 // damageCounts aggregates what resilient tile decodes had to conceal.
@@ -568,25 +750,59 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.inflight != nil {
 		inflight, maxInflight = len(s.inflight), cap(s.inflight)
 	}
+	lat := make(map[string]telemetry.LatencySummary, numOutcomes)
+	for i, h := range s.latency {
+		if sum := telemetry.Summary(h); sum.Count > 0 {
+			lat[outcomeNames[i]] = sum
+		}
+	}
+	stages := make(map[string]telemetry.LatencySummary, jp2k.NumDecStages)
+	for i, name := range jp2k.DecStageNames {
+		if sum := telemetry.Summary(s.codec.DecodeStages[i]); sum.Count > 0 {
+			stages[name] = sum
+		}
+	}
+	ps := s.pool.Stats()
 	s.writeJSON(w, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+		Revision:      buildRevision(),
 		Images:        s.store.Len(),
-		Requests:      s.requests.Load(),
-		Errors:        s.errors.Load(),
+		Requests:      s.requests.Value(),
+		Errors:        s.errors.Value(),
 		TileDecodes:   s.TileDecodes(),
-		Shed:          s.shed.Load(),
-		Panics:        s.panics.Load(),
-		Timeouts:      s.timeouts.Load(),
+		Shed:          s.shed.Value(),
+		Panics:        s.panics.Value(),
+		Timeouts:      s.timeouts.Value(),
 		InFlight:      inflight,
 		MaxInFlight:   maxInflight,
 		Resilient:     s.opts.Resilient,
 		Damage: damageCounts{
-			DamagedTiles:    s.damagedTiles.Load(),
-			PacketsLost:     s.packetsLost.Load(),
-			BlocksConcealed: s.blocksConcealed.Load(),
+			DamagedTiles:    s.damagedTiles.Value(),
+			PacketsLost:     s.packetsLost.Value(),
+			BlocksConcealed: s.blocksConcealed.Value(),
 		},
-		Cache: s.cache.Stats(),
+		Cache:          s.cache.Stats(),
+		RequestLatency: lat,
+		DecodeStages:   stages,
+		Pool: poolStatsJSON{
+			Workers:        ps.Workers,
+			QueueDepth:     ps.QueueDepth,
+			InFlight:       ps.InFlight,
+			Dispatches:     ps.Dispatches,
+			DispatchWaitMS: float64(ps.WaitNanos) / 1e6,
+		},
 	})
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition format
+// — the scrape endpoint. No client library involved: the format is emitted
+// directly (see telemetry.WritePrometheus).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.errors.Inc()
+	}
 }
 
 // writeJSON emits a JSON body, counting encode/write failures (a client that
@@ -597,6 +813,6 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.errors.Add(1)
+		s.errors.Inc()
 	}
 }
