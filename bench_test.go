@@ -515,6 +515,109 @@ func BenchmarkT1Block(b *testing.B) {
 			co.Release()
 		}
 	})
+	// Mode variants: the lazy (bypass) coder replaces MQ coding with raw
+	// bit-stuffing for most SigProp/MagRef passes — the headline perf claim
+	// of this PR's coder-options work. TERMALL adds per-pass flush cost on
+	// top; the pair is what a speed-tuned encoder ships. The sparse 9-plane
+	// block above shows the modest 8-bit-imagery win; the dense 14-plane
+	// "deep" block is the use case the mode was designed for (high-bit-depth
+	// imagery, where most passes sit below the bypass threshold) and carries
+	// the headline >=1.3x bypass+termall vs MQ claim.
+	modeCases := []struct {
+		name  string
+		modes t1.Modes
+	}{
+		{"mq", t1.Modes{}},
+		{"bypass", t1.Modes{Bypass: true}},
+		{"bypass+termall", t1.Modes{Bypass: true, TermAll: true}},
+		{"termall", t1.Modes{TermAll: true}},
+	}
+	for _, mc := range modeCases[1:] {
+		b.Run(mc.name, func(b *testing.B) {
+			co := t1.NewCoder()
+			co.Modes = mc.modes
+			b.SetBytes(64 * 64 * 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				co.Encode(data, 64, 64, 64, dwt.HH)
+				co.Release()
+			}
+		})
+	}
+	deep := make([]int32, 64*64)
+	for i := range deep {
+		v := int32((i * 2654435761) % 16384)
+		if i%3 == 0 {
+			v = -v
+		}
+		deep[i] = v
+	}
+	for _, mc := range modeCases[:3] {
+		b.Run("deep/"+mc.name, func(b *testing.B) {
+			co := t1.NewCoder()
+			co.Modes = mc.modes
+			b.SetBytes(64 * 64 * 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				co.Encode(deep, 64, 64, 64, dwt.HH)
+				co.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeCoderModes and BenchmarkDecodeCoderModes measure the
+// end-to-end wall-time effect of the coder options: same pooled pipeline as
+// BenchmarkEncodeWorkers/BenchmarkDecode, with bypass+TERMALL turned on.
+// The decode side additionally exercises the parallel in-block segment
+// decode (raw segments have no cross-pass MQ state, so a block's bypassed
+// passes decode concurrently on the worker pool when w>1).
+func BenchmarkEncodeCoderModes(b *testing.B) {
+	im := benchImage()
+	coder := jp2k.CoderOptions{Bypass: true, TermAll: true}
+	for _, w := range []int{1, 4} {
+		b.Run(byName("w", w), func(b *testing.B) {
+			opts := jp2k.Options{
+				Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, Workers: w,
+				VertMode: dwt.VertBlocked, Coder: coder,
+			}
+			enc := jp2k.NewEncoder()
+			defer enc.Close()
+			b.SetBytes(int64(im.Width * im.Height))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := enc.Encode(im, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeCoderModes(b *testing.B) {
+	im := benchImage()
+	cs, _, err := jp2k.Encode(im, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{1.0},
+		Coder: jp2k.CoderOptions{Bypass: true, TermAll: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(byName("w", w), func(b *testing.B) {
+			dec := jp2k.NewDecoder()
+			defer dec.Close()
+			opts := jp2k.DecodeOptions{Workers: w, VertMode: dwt.VertBlocked}
+			b.SetBytes(int64(im.Width * im.Height))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.Decode(cs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkCacheSim(b *testing.B) {

@@ -1,0 +1,114 @@
+// Command benchdelta compares two benchjson snapshots and reports per-bench
+// ns/op deltas. CI runs it after the bench JSON step, diffing the fresh
+// bench-ci.json against the checked-in BENCH_PRn.json, so a perf regression
+// shows up as an annotation on the PR instead of a silent drift between perf
+// PRs.
+//
+//	benchdelta -old BENCH_PR8.json -new bench-ci.json [-threshold 20] [-github]
+//
+// Output is one line per benchmark present in both files. Regressions beyond
+// the threshold (percent) are flagged; with -github they are additionally
+// emitted as ::warning:: workflow annotations. The exit code is always 0:
+// shared CI hardware is too noisy to gate merges on wall time (the checked-in
+// snapshots come from quiet hardware; see ROADMAP.md's perf methodology), so
+// this is a tripwire, not a gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Results []benchResult `json:"results"`
+}
+
+func load(path string) map[string]benchResult {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	m := make(map[string]benchResult, len(f.Results))
+	for _, r := range f.Results {
+		// With -count > 1 a name repeats; keep the fastest run, the standard
+		// noise-rejection choice for wall-time comparison.
+		if prev, ok := m[r.Name]; !ok || r.NsPerOp < prev.NsPerOp {
+			m[r.Name] = r
+		}
+	}
+	return m
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson file (checked-in BENCH_PRn.json)")
+	newPath := flag.String("new", "", "candidate benchjson file (fresh run)")
+	threshold := flag.Float64("threshold", 20, "regression warning threshold in percent ns/op")
+	github := flag.Bool("github", false, "emit GitHub ::warning:: annotations for regressions")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRes, newRes := load(*oldPath), load(*newPath)
+	var matched, regressed, missing int
+	for _, nr := range sortedValues(newRes) {
+		or, ok := oldRes[nr.Name]
+		if !ok {
+			fmt.Printf("%-60s %12.0f ns/op  (new bench, no baseline)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		matched++
+		pct := 0.0
+		if or.NsPerOp > 0 {
+			pct = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		}
+		mark := ""
+		if pct > *threshold {
+			regressed++
+			mark = "  <-- REGRESSION"
+			if *github {
+				fmt.Printf("::warning title=bench regression::%s ns/op %+.1f%% (%.0f -> %.0f), threshold %.0f%%\n",
+					nr.Name, pct, or.NsPerOp, nr.NsPerOp, *threshold)
+			}
+		}
+		fmt.Printf("%-60s %12.0f -> %10.0f ns/op  %+7.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, pct, mark)
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			missing++
+			fmt.Printf("%-60s (present in baseline, missing from new run)\n", name)
+		}
+	}
+	fmt.Printf("\n%d compared, %d over the %+.0f%% threshold, %d missing\n", matched, regressed, *threshold, missing)
+	// Always exit 0: annotations warn, humans decide (CI hardware noise).
+}
+
+// sortedValues returns the results in stable name order so diffs of the
+// output are readable.
+func sortedValues(m map[string]benchResult) []benchResult {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]benchResult, len(names))
+	for i, n := range names {
+		out[i] = m[n]
+	}
+	return out
+}

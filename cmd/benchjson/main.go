@@ -3,8 +3,8 @@
 // .json) so the trajectory of the paper-reproduction benchmarks is diffable
 // across commits without re-running old binaries.
 //
-//	benchjson [-out BENCH_PR7.json] [-bench <pattern>] [-benchtime 20x] \
-//	          [-count 1] [-pkg .]
+//	benchjson [-out BENCH_PR8.json] [-bench <pattern>] [-benchtime 20x] \
+//	          [-count 1] [-pkg ./...]
 //
 // It shells out to `go test -run=NONE -bench=... -benchmem` (the exact suite
 // ROADMAP.md's perf methodology names by default), parses the standard bench
@@ -27,9 +27,14 @@ import (
 	"time"
 )
 
-// defaultPattern is the ROADMAP.md perf-methodology suite.
+// defaultPattern is the ROADMAP.md perf-methodology suite: the root-package
+// wall-time benches plus the per-pass and per-coder attribution benches that
+// live next to their subsystems (internal/t1's pass benches; the MQ and
+// coder-mode benches in the root package).
 const defaultPattern = "BenchmarkEncodeWorkers|BenchmarkDecode|BenchmarkDecodeRegion|" +
-	"BenchmarkEncodeColor|BenchmarkDecodeColor|BenchmarkDWT53|BenchmarkT1Block"
+	"BenchmarkEncodeColor|BenchmarkDecodeColor|BenchmarkDWT53|BenchmarkT1Block|" +
+	"BenchmarkT1Passes|BenchmarkT1DecodePasses|BenchmarkMQEncode|BenchmarkMQDecode|" +
+	"BenchmarkEncodeCoderModes|BenchmarkDecodeCoderModes"
 
 // benchResult is one parsed benchmark line.
 type benchResult struct {
@@ -50,6 +55,7 @@ type benchFile struct {
 	NumCPU        int           `json:"num_cpu"`
 	BenchTime     string        `json:"benchtime"`
 	Pattern       string        `json:"pattern"`
+	Pkg           string        `json:"pkg"`
 	Results       []benchResult `json:"results"`
 }
 
@@ -63,11 +69,11 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_PR7.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON file")
 	bench := flag.String("bench", defaultPattern, "benchmark pattern passed to go test -bench")
 	benchtime := flag.String("benchtime", "20x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
-	pkg := flag.String("pkg", ".", "package to benchmark")
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
 	flag.Parse()
 
 	args := []string{"test", "-run=NONE", "-bench=" + *bench, "-benchmem",
@@ -94,6 +100,7 @@ func main() {
 		NumCPU:        runtime.NumCPU(),
 		BenchTime:     *benchtime,
 		Pattern:       *bench,
+		Pkg:           *pkg,
 		Results:       results,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")

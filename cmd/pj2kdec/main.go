@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"pj2k/internal/dwt"
 	"pj2k/internal/jp2k"
 	"pj2k/internal/raster"
+	"pj2k/internal/t2"
 )
 
 func main() {
@@ -87,6 +89,33 @@ func main() {
 	if *verbose {
 		st := dec.Stats()
 		fmt.Printf("  %d bytes in, %d tiles, %d code-blocks\n", st.BytesIn, st.Tiles, st.CodeBlocks)
+		if p, _, err := t2.ReadCodestream(data); err == nil {
+			if s := coderStyles(p); s != "" {
+				fmt.Printf("  coder styles: %s\n", s)
+			}
+		}
 		fmt.Print(st.Timings.Breakdown())
 	}
+}
+
+// coderStyles renders the COD code-block styles of a parsed stream the way
+// pj2kenc's -coder flag spells them.
+func coderStyles(p t2.Params) string {
+	var s []string
+	if p.Bypass {
+		s = append(s, "bypass")
+	}
+	if p.TermAll {
+		s = append(s, "termall")
+	}
+	if p.ResetCtx {
+		s = append(s, "reset")
+	}
+	if p.Causal {
+		s = append(s, "causal")
+	}
+	if p.SegSym {
+		s = append(s, "segsym")
+	}
+	return strings.Join(s, ",")
 }

@@ -4,12 +4,20 @@
 //
 //	pj2kenc -in image.pgm|image.ppm -out image.j2k [-rate 1.0] [-lossless] \
 //	        [-levels 5] [-tile 0] [-workers 0] [-mct] [-improved] [-verbose] \
-//	        [-resilient | -sop -eph -segsym]
+//	        [-resilient | -sop -eph -segsym] [-coder bypass,termall,reset,causal]
 //
 // The resilience flags embed the JPEG2000 error-resilience tools — SOP
 // packet framing, EPH header terminators, cleanup-pass segmentation symbols
 // — so a decoder in resilient mode can detect damage, resynchronize and
 // conceal instead of discarding the stream. -resilient turns on all three.
+//
+// -coder selects optional code-block coding styles (comma-separated):
+// "bypass" (lazy mode: raw-coded significance/refinement passes after the
+// fourth plane — faster, slightly larger), "termall" (terminate every pass,
+// enabling exact truncation and parallel in-block decode with bypass),
+// "reset" (reset contexts each pass), "causal" (stripe-causal contexts).
+// All are signalled in the COD marker; any JPEG2000 Part 1 decoder reads
+// the result.
 package main
 
 import (
@@ -17,11 +25,36 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"pj2k/internal/dwt"
 	"pj2k/internal/jp2k"
 	"pj2k/internal/raster"
 )
+
+// parseCoder maps the -coder comma list onto jp2k.CoderOptions.
+func parseCoder(spec string) (jp2k.CoderOptions, error) {
+	var c jp2k.CoderOptions
+	if spec == "" {
+		return c, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(tok) {
+		case "bypass":
+			c.Bypass = true
+		case "termall":
+			c.TermAll = true
+		case "reset":
+			c.ResetCtx = true
+		case "causal":
+			c.Causal = true
+		case "":
+		default:
+			return c, fmt.Errorf("unknown coder style %q (want bypass, termall, reset, causal)", tok)
+		}
+	}
+	return c, nil
+}
 
 func main() {
 	in := flag.String("in", "", "input image: binary PGM (P5) or PPM (P6)")
@@ -39,10 +72,15 @@ func main() {
 	sop := flag.Bool("sop", false, "frame each packet with a numbered SOP marker (resync anchor)")
 	eph := flag.Bool("eph", false, "terminate each packet header with an EPH marker")
 	segsym := flag.Bool("segsym", false, "embed segmentation symbols after each cleanup pass (corruption detector)")
+	coder := flag.String("coder", "", "code-block coding styles, comma-separated: bypass,termall,reset,causal")
 	flag.Parse()
 	if *in == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	coderOpts, err := parseCoder(*coder)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	f, err := os.Open(*in)
@@ -64,6 +102,7 @@ func main() {
 		Workers:  *workers,
 		BitDepth: depth,
 		MCT:      *mct && pl.NComp() == 3,
+		Coder:    coderOpts,
 		Resilience: jp2k.ResilienceOptions{
 			SOP:        *sop || *resilient,
 			EPH:        *eph || *resilient,

@@ -143,6 +143,17 @@ func (w *StuffWriter) WriteBits(v uint32, n int) {
 	}
 }
 
+// Len returns the number of bytes Bytes would return before its trailing
+// 0xFF padding rule: whole bytes emitted plus one for any pending bits. Rate
+// accounting for raw (bypass) codeword segments reads it mid-stream.
+func (w *StuffWriter) Len() int {
+	n := len(w.buf)
+	if w.nacc > 0 {
+		n++
+	}
+	return n
+}
+
 // Bytes terminates the header (zero padding; a trailing 0xFF is followed by a
 // stuffed 0x00 per the standard) and returns the bytes.
 func (w *StuffWriter) Bytes() []byte {

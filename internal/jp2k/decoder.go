@@ -90,6 +90,7 @@ type Decoder struct {
 	asmFn   func(worker, u int)
 	cur     struct {
 		p        t2.Params
+		modes    t1.Modes // tier-1 coder modes signalled in COD
 		tiles    [][]byte
 		out      *raster.Planar
 		win      Rect
@@ -220,7 +221,12 @@ func (d *Decoder) ensureWorkers(outer, inner, block int) {
 		d.scratch = append(d.scratch, dwt.NewScratch(d.scratchInner))
 	}
 	for len(d.bds) < block {
-		d.bds = append(d.bds, t1.NewBlockDecoder())
+		bd := t1.NewBlockDecoder()
+		// Under Bypass+TERMALL a block's raw significance and refinement
+		// segments decode concurrently on the shared pool (nested dispatches
+		// run inline when the workers are saturated by the per-block fan-out).
+		bd.Pool = d.pool
+		d.bds = append(d.bds, bd)
 	}
 }
 
@@ -311,6 +317,7 @@ func (d *Decoder) walkTask(_, si int) {
 		te.tc = t2.NewTileCoderComps(te.bandsV[:ncomp])
 	}
 	te.tc.SOP, te.tc.EPH = p.UseSOP, p.UseEPH
+	te.tc.Modes = d.cur.modes
 	var decV [][]t2.DecodedBlock
 	if d.cur.opts.Resilient {
 		decV, _, d.tileDmg[si] = te.tc.DecodeTileCompsPacketsResilient(
@@ -351,13 +358,20 @@ func (d *Decoder) blockTask(worker, i int) {
 	cd := &te.comps[d.jobs[i].ci]
 	s := &cd.slots[d.jobs[i].si]
 	blk := &cd.dec[s.id]
-	// Segmentation symbols (when the stream carries them) are verified in
-	// strict mode too — a symbol-carrying stream is self-checking — and drive
-	// concealment in resilient mode.
-	s.vals, d.blockStats[i], d.blockErrs[i] = d.bds[worker].DecodeSegmentChecked(
-		s.rect.X1-s.rect.X0, s.rect.Y1-s.rect.Y0,
-		te.subbands[s.bi].Type, blk.NumBitplanes, blk.Data, blk.Passes,
-		d.cur.p.SegSym, d.cur.opts.Resilient)
+	// The coder modes travel from COD into each block decode; segmentation
+	// symbols (when the stream carries them) are verified in strict mode too —
+	// a symbol-carrying stream is self-checking — and drive concealment in
+	// resilient mode.
+	in := t1.BlockIn{
+		W: s.rect.X1 - s.rect.X0, H: s.rect.Y1 - s.rect.Y0,
+		Band:         te.subbands[s.bi].Type,
+		NumBitplanes: blk.NumBitplanes,
+		Data:         blk.Data,
+		NPasses:      blk.Passes,
+		Modes:        d.cur.modes,
+		SegEnds:      blk.SegmentEnds(d.cur.modes),
+	}
+	s.vals, d.blockStats[i], d.blockErrs[i] = d.bds[worker].DecodeBlock(&in, d.cur.opts.Resilient)
 }
 
 // asmTask assembles one (selected tile, component) unit's coefficient plane,
@@ -551,6 +565,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	// LRCP-interleaved) and accumulate the code-block segments, in parallel
 	// across tiles with pooled per-tile coding state.
 	d.cur.p = p
+	d.cur.modes = p.CoderModes()
 	d.cur.tiles = tiles
 	d.cur.win = win
 	d.cur.ncomp = ncomp

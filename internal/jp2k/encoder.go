@@ -50,6 +50,7 @@ type Encoder struct {
 	rblocks      []rate.BlockPasses
 	rates        []int     // arena: per-pass cumulative rates (shared by rate and tier-2)
 	dists        []float64 // arena: per-pass weighted distortion deltas
+	terms        []bool    // arena: per-pass truncation eligibility (bypass modes)
 	mb           [][]int   // per component, per band
 	stepsPerComp [][]quant.Step
 	weights      []float64
@@ -76,6 +77,7 @@ type Encoder struct {
 	cur     struct {
 		o       Options
 		steps   []quant.Step
+		modes   t1.Modes // tier-1 coder modes, shared with tier-2 signalling
 		innerW  int
 		nbands  int
 		ntiles  int
@@ -364,6 +366,7 @@ func (e *Encoder) t2Task(worker, ti int) {
 	}
 	e.tcoders[ti].SOP = e.cur.o.Resilience.SOP
 	e.tcoders[ti].EPH = e.cur.o.Resilience.EPH
+	e.tcoders[ti].Modes = e.cur.modes
 	e.tileStreams[ti] = e.tcoders[ti].EncodeTileCompsPackets(
 		sc.compBands[:ncomp], e.cur.o.Levels, sc.compLayers[:ncomp],
 		e.tileStreams[ti][:0], sc.compBytes)
@@ -547,8 +550,16 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	e.jobs = jobs
 	nblocks := len(jobs)
 	e.ensureCoders(min(o.Workers, max(nblocks, 1)))
+	modes := t1.Modes{
+		Bypass:   o.Coder.Bypass,
+		ResetCtx: o.Coder.ResetCtx,
+		TermAll:  o.Coder.TermAll,
+		Causal:   o.Coder.Causal,
+		SegSym:   o.Resilience.SegSymbols,
+	}
+	e.cur.modes = modes
 	for _, co := range e.coders {
-		co.SegSym = o.Resilience.SegSymbols
+		co.Modes = modes
 	}
 	e.results = grow(e.results, nblocks)
 	e.pool.TasksIDMax(o.Workers, nblocks, e.blockFn)
@@ -617,6 +628,14 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	}
 	rates := grow(e.rates, totalPasses)[:0]
 	dists := grow(e.dists, totalPasses)[:0]
+	// Under bypass without TERMALL, only segment boundaries carry exact byte
+	// rates (other passes carry margined estimates); restricting PCRD to them
+	// keeps every signalled length exact. Under TERMALL every pass is a
+	// boundary, so no restriction is needed.
+	var terms []bool
+	if modes.Bypass && !modes.TermAll {
+		terms = grow(e.terms, totalPasses)[:0]
+	}
 	e.blockStreams = grow(e.blockStreams, nblocks)
 	e.rblocks = grow(e.rblocks, nblocks)
 	e.compBase = grow(e.compBase, ncomp+1)
@@ -646,6 +665,12 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 				*bs = t2.BlockStream{Data: eb.Data, NumBitplanes: eb.NumBitplanes, PassRates: pr}
 				te.bands[bi].Blocks[gi] = bs
 				e.rblocks[k] = rate.BlockPasses{Rates: pr, Dist: dists[base:len(dists):len(dists)]}
+				if terms != nil {
+					for pi := range eb.Passes {
+						terms = append(terms, pi == len(eb.Passes)-1 || modes.TermPass(pi))
+					}
+					e.rblocks[k].Terminal = terms[base:len(terms):len(terms)]
+				}
 				k++
 			}
 		}
@@ -653,6 +678,9 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 	e.compBase[ncomp] = k
 	e.blockOff[ntiles] = e.compBase[1] // component 0's total = per-component total
 	e.rates, e.dists = rates, dists
+	if terms != nil {
+		e.terms = terms
+	}
 
 	// --- Rate allocation, parallel per component (the legacy color container
 	// ran PCRD per component stream; keeping the same budgets, header
@@ -725,6 +753,8 @@ func (e *Encoder) encode(comps []*raster.Image, opts Options) ([]byte, *EncodeSt
 		CBW: o.CBW, CBH: o.CBH, MCT: o.MCT, Kernel: o.Kernel, GuardBits: 2,
 		Steps: stepsAll, Mb: mb[:ncomp], ROIShift: roiShift,
 		UseSOP: o.Resilience.SOP, UseEPH: o.Resilience.EPH, SegSym: o.Resilience.SegSymbols,
+		Bypass: o.Coder.Bypass, ResetCtx: o.Coder.ResetCtx,
+		TermAll: o.Coder.TermAll, Causal: o.Coder.Causal,
 	}
 	out := t2.WriteCodestream(params, e.tileStreams[:ntiles])
 	stats.Timings.StreamIO = time.Since(tIO)

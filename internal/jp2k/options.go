@@ -61,7 +61,38 @@ type Options struct {
 	// Resilience selects the standard's error-resilience tools. All default
 	// off, leaving default bitstreams bit-identical.
 	Resilience ResilienceOptions
+	// Coder selects the standard's optional tier-1 code-block coding styles.
+	// All default off, leaving default bitstreams bit-identical; decoders
+	// need no side-channel — the styles are signalled in COD.
+	Coder CoderOptions
 }
+
+// CoderOptions selects the JPEG2000 Part 1 optional code-block coding styles
+// (the COD marker's code-block style bits), mirroring ResilienceOptions.
+// These trade a little compression for coder speed and decoder parallelism.
+type CoderOptions struct {
+	// Bypass (arithmetic bypass, "lazy" coding) codes significance and
+	// refinement passes from the fourth significant bit-plane on as raw
+	// stuffed bits, skipping the MQ coder where most coded data lives — the
+	// biggest tier-1 speed lever among the Part 1 styles.
+	Bypass bool
+	// TermAll terminates the codeword segment at every coding pass, giving
+	// each pass an independently positioned byte range. Combined with Bypass
+	// the decoder can run a bypassed significance pass and the following
+	// refinement pass concurrently.
+	TermAll bool
+	// ResetCtx resets the MQ context states at every pass boundary, making
+	// passes statistically independent (costs compression, aids parallel or
+	// error-resilient decoders).
+	ResetCtx bool
+	// Causal makes context formation vertically stripe-causal: the last row
+	// of each 4-row stripe ignores the stripe below, removing the
+	// inter-stripe dependency.
+	Causal bool
+}
+
+// Any reports whether any coder style is enabled.
+func (c CoderOptions) Any() bool { return c.Bypass || c.TermAll || c.ResetCtx || c.Causal }
 
 // ResilienceOptions selects the JPEG2000 Part 1 error-resilience tools, the
 // markers that let a resilient decoder localize damage instead of losing the

@@ -26,6 +26,15 @@ func resilienceCorpus() []corpusEntry {
 		{name: "lossy-tiled-96", opts: Options{
 			Kernel: dwt.Irr97, TileW: 48, TileH: 48, LayerBPP: []float64{0.5, 1.0},
 		}, w: 96, h: 96},
+		// Terminated coder modes add codeword-segment boundaries inside every
+		// block contribution — new framing a mutation can land on.
+		{name: "lossless-bypass-termall-64", opts: Options{
+			Kernel: dwt.Rev53, Coder: CoderOptions{Bypass: true, TermAll: true},
+		}, w: 64, h: 64},
+		{name: "lossy-bypass-96", opts: Options{
+			Kernel: dwt.Irr97, TileW: 48, TileH: 48, LayerBPP: []float64{0.5, 1.0},
+			Coder: CoderOptions{Bypass: true},
+		}, w: 96, h: 96},
 	}
 	for _, e := range base {
 		plain := e
@@ -208,6 +217,10 @@ func FuzzDecodeResilient(f *testing.F) {
 			Kernel: dwt.Irr97, TileW: 32, TileH: 32, LayerBPP: []float64{1.0},
 			Resilience: ResilienceOptions{SOP: true, EPH: true, SegSymbols: true},
 		}, w: 64, h: 64},
+		{opts: Options{
+			Kernel: dwt.Rev53, Coder: CoderOptions{Bypass: true, TermAll: true},
+			Resilience: ResilienceOptions{SegSymbols: true},
+		}, w: 48, h: 48},
 	} {
 		cs, _, err := Encode(raster.Synthetic(e.w, e.h, 3), e.opts)
 		if err != nil {

@@ -16,6 +16,12 @@ import (
 type BlockPasses struct {
 	Rates []int     // cumulative segment bytes through each pass
 	Dist  []float64 // distortion reduction of each pass (image-domain MSE units)
+	// Terminal, when non-nil, restricts the candidate truncation points to the
+	// passes marked true (the distortion of skipped passes accrues to the next
+	// candidate). Terminating tier-1 modes use it to truncate on codeword
+	// segment boundaries, where the signalled byte rates are exact rather than
+	// margined estimates. Nil admits every pass, the default.
+	Terminal []bool
 }
 
 // segment is one convex-hull edge of a block's R-D curve.
@@ -53,6 +59,9 @@ func (a *Allocator) hull(b BlockPasses, blockIdx int) {
 	cum := 0.0
 	for k := range b.Rates {
 		cum += b.Dist[k]
+		if b.Terminal != nil && !b.Terminal[k] {
+			continue // not a segment boundary: never a truncation point
+		}
 		p := rdPoint{k + 1, b.Rates[k], cum}
 		if p.dist <= st[len(st)-1].dist {
 			continue // no distortion improvement: never a truncation point

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"testing"
 
+	"pj2k/internal/bitio"
 	"pj2k/internal/dwt"
 	"pj2k/internal/mq"
 )
@@ -103,6 +104,25 @@ func BenchmarkT1Passes(b *testing.B) {
 	b.Run("sigprop", run(&sigS, c.encSigProp))
 	b.Run("magref", run(&refS, c.encRefine))
 	b.Run("cleanup", run(&cleanS, c.encCleanup))
+
+	// Raw (bypass) variants of the two passes the lazy mode bypasses, from
+	// the same snapshots — the per-pass attribution behind the headline
+	// bypass-vs-MQ speedup (the raw coder emits bits with only 0xFF
+	// stuffing, no interval arithmetic or context lookups).
+	var rw bitio.StuffWriter
+	runRaw := func(s *passSnap, pass func(w *bitio.StuffWriter, plane uint) float64) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(64 * 64)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.restore(c)
+				rw.Reset()
+				pass(&rw, plane)
+			}
+		}
+	}
+	b.Run("sigprop-raw", runRaw(&sigS, c.encSigPropRaw))
+	b.Run("magref-raw", runRaw(&refS, c.encRefineRaw))
 }
 
 // BenchmarkT1DecodePasses is the decode analogue: the same canonical block's

@@ -3,6 +3,7 @@ package t1
 import (
 	"fmt"
 
+	"pj2k/internal/core"
 	"pj2k/internal/dwt"
 	"pj2k/internal/mq"
 )
@@ -22,7 +23,16 @@ func Decode(eb *EncodedBlock, npasses int) ([]int32, error) {
 			data = data[:r]
 		}
 	}
-	return NewBlockDecoder().DecodeSegment(eb.W, eb.H, eb.Band, eb.NumBitplanes, data, npasses)
+	in := BlockIn{
+		W: eb.W, H: eb.H, Band: eb.Band,
+		NumBitplanes: eb.NumBitplanes,
+		Data:         data,
+		NPasses:      npasses,
+		Modes:        eb.Modes,
+		SegEnds:      eb.SegmentEnds(nil, npasses),
+	}
+	out, _, err := NewBlockDecoder().DecodeBlock(&in, false)
+	return out, err
 }
 
 // BlockDecoder is the reusable tier-1 block decoder, mirroring Coder on the
@@ -39,11 +49,39 @@ type BlockDecoder struct {
 	mq        mq.Decoder
 	lastPlane []uint8 // per bordered sample: (last updated plane)+1, 0 = never
 	out       []int32
+
+	// Pool, when set, lets DecodeBlock run a bypassed significance pass and
+	// the following refinement pass concurrently — their raw segments are
+	// independently positioned under Bypass+TermAll, and refinement touches
+	// only samples significant before the plane, disjoint from the state
+	// significance propagation writes. Nil keeps decoding fully serial.
+	Pool *core.Pool
+
+	modes   Modes
+	segData []byte
+	segEnds []int
+	ovr     int // overrun total banked across codeword segments
+
+	rr, rr2  rawReader // raw-segment readers (rr2 feeds the parallel MR pass)
+	mrIdx    []int32   // scan-order magnitude-refinement members for rr2
+	parPlane uint
+	parFn    func(worker, task int)
 }
 
 // NewBlockDecoder returns an empty BlockDecoder; buffers are sized on first
 // use.
-func NewBlockDecoder() *BlockDecoder { return &BlockDecoder{} }
+func NewBlockDecoder() *BlockDecoder {
+	bd := &BlockDecoder{}
+	// Bound once so the parallel fork allocates nothing per block.
+	bd.parFn = func(_, task int) {
+		if task == 0 {
+			bd.decSigPropRaw(bd.parPlane)
+		} else {
+			bd.decRefineRawList(bd.parPlane)
+		}
+	}
+	return bd
+}
 
 // Release reclaims every sample slice returned by DecodeSegment since the
 // last Release. The caller must have dropped all references to them.
@@ -97,19 +135,50 @@ func (bd *BlockDecoder) DecodeSegment(w, h int, band dwt.BandType, numBitplanes 
 }
 
 // DecodeSegmentChecked is DecodeSegment with the error-resilience tools wired
-// in. With segSym set, the four-symbol segmentation marker terminating each
-// cleanup pass is verified: a mismatch is corruption at or before that pass.
-// With resilient set, detected corruption — a failed segmentation symbol, or
-// (without symbols) the MQ decoder running far past its segment — is concealed
-// instead of returned as an error: the block is re-decoded truncated to its
-// last clean cleanup pass (or zeroed when no clean prefix exists) and the
-// damage is reported in SegStats. With resilient false a failed symbol is an
-// error, making strict decodes of symbol-carrying streams self-checking.
+// in; it is DecodeBlock for default-mode blocks (single codeword segment,
+// optionally with segmentation symbols).
 func (bd *BlockDecoder) DecodeSegmentChecked(w, h int, band dwt.BandType, numBitplanes int, data []byte, npasses int, segSym, resilient bool) ([]int32, SegStats, error) {
-	var st SegStats
-	if w <= 0 || h <= 0 {
-		return nil, st, fmt.Errorf("t1: invalid block %dx%d", w, h)
+	in := BlockIn{
+		W: w, H: h, Band: band,
+		NumBitplanes: numBitplanes,
+		Data:         data,
+		NPasses:      npasses,
+		Modes:        Modes{SegSym: segSym},
 	}
+	return bd.DecodeBlock(&in, resilient)
+}
+
+// BlockIn describes one code-block handed to DecodeBlock: the concatenated
+// codeword segments in Data, the pass count they cover, the coder modes the
+// stream was encoded with, and — when Modes terminate passes — the cumulative
+// byte offsets in Data at which segments end (nil otherwise; tier-2 collects
+// them from the per-segment lengths the packet headers signal).
+type BlockIn struct {
+	W, H         int
+	Band         dwt.BandType
+	NumBitplanes int
+	Data         []byte
+	NPasses      int
+	Modes        Modes
+	SegEnds      []int
+}
+
+// DecodeBlock reconstructs a code-block under its coder modes, with the
+// error-resilience tools wired in. With Modes.SegSym the four-symbol
+// segmentation marker terminating each cleanup pass is verified: a mismatch
+// is corruption at or before that pass. With resilient set, detected
+// corruption — a failed segmentation symbol, an inconsistent segment layout,
+// or (without symbols) the coders running far past their segments — is
+// concealed instead of returned as an error: the block is re-decoded
+// truncated to its last clean cleanup pass (or zeroed when no clean prefix
+// exists) and the damage is reported in SegStats. With resilient false those
+// conditions are errors, making strict decodes self-checking.
+func (bd *BlockDecoder) DecodeBlock(in *BlockIn, resilient bool) ([]int32, SegStats, error) {
+	var st SegStats
+	if in.W <= 0 || in.H <= 0 {
+		return nil, st, fmt.Errorf("t1: invalid block %dx%d", in.W, in.H)
+	}
+	npasses := in.NPasses
 	if npasses < 0 {
 		if !resilient {
 			return nil, st, fmt.Errorf("t1: negative pass count %d", npasses)
@@ -117,18 +186,26 @@ func (bd *BlockDecoder) DecodeSegmentChecked(w, h int, band dwt.BandType, numBit
 		st.Concealed = true // impossible state: conceal as an empty block
 		npasses = 0
 	}
-	out := bd.takeOut(w * h)
-	if numBitplanes <= 0 || npasses == 0 {
+	out := bd.takeOut(in.W * in.H)
+	if in.NumBitplanes <= 0 || npasses == 0 {
 		return out, st, nil
 	}
-	if resilient && numBitplanes > 31 {
+	if resilient && in.NumBitplanes > 31 {
 		// int32 magnitudes cannot hold more planes: a corrupt zero-bit-plane
 		// count drove Mb-zbp out of range. Conceal as a zero block.
 		st.Concealed = true
 		st.DroppedPasses = npasses
 		return out, st, nil
 	}
-	decoded, ok := bd.runPasses(w, h, band, numBitplanes, data, npasses, segSym)
+	if err := bd.bindSegments(in, npasses); err != nil {
+		if !resilient {
+			return nil, st, err
+		}
+		st.Concealed = true // segment layout lies about the data: zero the block
+		st.DroppedPasses = npasses
+		return out, st, nil
+	}
+	decoded, ok := bd.runPasses(in.W, in.H, in.Band, in.NumBitplanes, npasses)
 	if !ok {
 		if !resilient {
 			return nil, st, fmt.Errorf("t1: segmentation symbol mismatch after pass %d", decoded)
@@ -141,27 +218,96 @@ func (bd *BlockDecoder) DecodeSegmentChecked(w, h int, band dwt.BandType, numBit
 		// The prefix through the last verified cleanup pass is clean;
 		// re-decode just it (corruption is rare, so the replay cost is paid
 		// almost never).
-		bd.runPasses(w, h, band, numBitplanes, data, decoded, segSym)
-	} else if resilient && !segSym {
-		if bd.mq.Overrun() > overrunSlack(len(data)) {
+		bd.runPasses(in.W, in.H, in.Band, in.NumBitplanes, decoded)
+	} else if resilient && !in.Modes.SegSym {
+		if bd.ovr > overrunSlack(len(in.Data)) {
 			// Without segmentation symbols there is no per-pass checkpoint to
-			// replay to; a decoder driven far past its segment zeroes the block.
+			// replay to; a decoder driven far past its segments zeroes the block.
 			st.Concealed = true
 			st.DroppedPasses = npasses
 			return out, st, nil
 		}
 	}
-	bd.fillOut(out, w, h)
+	bd.fillOut(out, in.W, in.H)
 	return out, st, nil
 }
 
-// runPasses runs the pass loop over the decoder's bordered state, verifying
-// the segmentation symbol after each cleanup pass when segSym is set. Returns
-// the pass count reached and whether every checked symbol matched; on a
-// mismatch the returned count is the passes through the last verified cleanup
-// (the clean prefix a concealment replay can trust).
-func (bd *BlockDecoder) runPasses(w, h int, band dwt.BandType, numBitplanes int, data []byte, npasses int, segSym bool) (int, bool) {
+// bindSegments validates in's codeword-segment layout against its modes and
+// stashes it on the decoder for runPasses. Non-terminating modes use all of
+// Data as the single segment; terminating modes require one byte offset per
+// segment, non-decreasing and within Data.
+func (bd *BlockDecoder) bindSegments(in *BlockIn, npasses int) error {
+	bd.modes, bd.segData, bd.segEnds = in.Modes, in.Data, nil
+	if !in.Modes.Terminated() {
+		return nil
+	}
+	want := in.Modes.NumSegments(npasses)
+	if len(in.SegEnds) != want {
+		return fmt.Errorf("t1: %d codeword segments signalled, modes require %d for %d passes",
+			len(in.SegEnds), want, npasses)
+	}
+	prev := 0
+	for _, e := range in.SegEnds {
+		if e < prev || e > len(in.Data) {
+			return fmt.Errorf("t1: codeword segment end %d out of order or past %d data bytes", e, len(in.Data))
+		}
+		prev = e
+	}
+	bd.segEnds = in.SegEnds
+	return nil
+}
+
+// segRange returns the byte range of codeword segment k within segData.
+func (bd *BlockDecoder) segRange(k int) (int, int) {
+	if bd.segEnds == nil {
+		return 0, len(bd.segData)
+	}
+	lo := 0
+	if k > 0 && k <= len(bd.segEnds) {
+		lo = bd.segEnds[k-1]
+	}
+	hi := lo
+	if k < len(bd.segEnds) {
+		hi = bd.segEnds[k]
+	}
+	return lo, hi
+}
+
+// startSeg aims the MQ or raw reader at pass's codeword segment. A new
+// segment begins at pass 0 and after every terminated pass; before re-aiming,
+// the finished segment's overrun is banked so DecodeBlock can judge the
+// whole block. The finished pass pass-1 read via the raw reader exactly when
+// it was bypassed, so the banking mirrors the reader choice.
+func (bd *BlockDecoder) startSeg(pass int, seg *int, raw bool) {
+	if pass > 0 {
+		if !bd.modes.TermPass(pass - 1) {
+			return
+		}
+		if bd.modes.PassBypassed(pass - 1) {
+			bd.ovr += bd.rr.overrun
+		} else {
+			bd.ovr += bd.mq.Overrun()
+		}
+		*seg++
+	}
+	lo, hi := bd.segRange(*seg)
+	if raw {
+		bd.rr.Reset(bd.segData[lo:hi])
+	} else {
+		bd.mq.Reset(bd.segData[lo:hi])
+	}
+}
+
+// runPasses runs the pass loop over the decoder's bordered state, switching
+// coders and codeword segments at the boundaries the bound modes dictate and
+// verifying the segmentation symbol after each cleanup pass when enabled.
+// Returns the pass count reached and whether every checked symbol matched;
+// on a mismatch the returned count is the passes through the last verified
+// cleanup (the clean prefix a concealment replay can trust).
+func (bd *BlockDecoder) runPasses(w, h int, band dwt.BandType, numBitplanes, npasses int) (int, bool) {
 	c := &bd.c
+	m := bd.modes
+	c.causal = m.Causal
 	c.reset(w, h, band)
 	n := (w + 2) * (h + 2)
 	if cap(bd.lastPlane) < n {
@@ -171,9 +317,12 @@ func (bd *BlockDecoder) runPasses(w, h int, band dwt.BandType, numBitplanes int,
 		clear(bd.lastPlane)
 	}
 	c.resetContexts()
-	bd.mq.Reset(data)
+	bd.ovr = 0
+	// Fork bypassed SP‖MR pairs only when TermAll gives them independent
+	// segments and a pool with real parallelism is attached.
+	fork := m.Bypass && m.TermAll && bd.Pool != nil && bd.Pool.Size() > 1
 
-	pass, good := 0, 0
+	pass, good, seg := 0, 0, 0
 	nbp := numBitplanes
 planes:
 	for p := nbp - 1; p >= 0; p-- {
@@ -182,26 +331,106 @@ planes:
 			if pass == npasses {
 				break planes
 			}
-			bd.decSigProp(plane)
-			pass++
-			if pass == npasses {
-				break planes
+			if raw := m.PassBypassed(pass); raw && fork && pass+1 < npasses {
+				bd.startSeg(pass, &seg, true) // rr over the SP segment
+				seg++
+				lo, hi := bd.segRange(seg) // rr2 over the MR segment
+				bd.rr2.Reset(bd.segData[lo:hi])
+				bd.buildMRList()
+				bd.parPlane = plane
+				bd.Pool.TasksIDMax(2, 2, bd.parFn)
+				// MR only toggles magnitude bits at pre-listed samples; its
+				// flag updates are applied here, after the join, so the two
+				// passes never write the same word. rr still holds the SP
+				// segment's unbanked overrun (banked at the next startSeg);
+				// rr2's is banked now.
+				bd.ovr += bd.rr2.overrun
+				for _, i := range bd.mrIdx {
+					c.flags[i] |= fRefined
+				}
+				pass += 2
+			} else {
+				if raw {
+					bd.startSeg(pass, &seg, true)
+					bd.decSigPropRaw(plane)
+				} else {
+					bd.startSeg(pass, &seg, false)
+					bd.decSigProp(plane)
+				}
+				if m.ResetCtx {
+					c.resetContexts()
+				}
+				pass++
+				if pass == npasses {
+					break planes
+				}
+				if m.PassBypassed(pass) {
+					bd.startSeg(pass, &seg, true)
+					bd.decRefineRaw(plane)
+				} else {
+					bd.startSeg(pass, &seg, false)
+					bd.decRefine(plane)
+				}
+				pass++
 			}
-			bd.decRefine(plane)
-			pass++
+			if m.ResetCtx {
+				c.resetContexts()
+			}
 		}
 		if pass == npasses {
 			break planes
 		}
+		bd.startSeg(pass, &seg, false)
 		bd.decCleanup(plane)
 		pass++
-		if segSym && !bd.decSegSym() {
+		if m.SegSym && !bd.decSegSym() {
 			return good, false
 		}
 		good = pass
+		if m.ResetCtx {
+			c.resetContexts()
+		}
 		c.clearVisited()
 	}
+	// Bank the final segment's overrun (raw iff the last pass was bypassed).
+	if pass > 0 {
+		if m.PassBypassed(pass - 1) {
+			bd.ovr += bd.rr.overrun
+		} else {
+			bd.ovr += bd.mq.Overrun()
+		}
+	}
 	return pass, true
+}
+
+// buildMRList collects, in exact stripe-column scan order, the samples the
+// current plane's magnitude-refinement pass will visit. Before the plane's
+// significance pass runs, those are precisely the currently significant
+// samples: SP marks everything it makes significant as visited, excluding it
+// from refinement. The list lets the refinement bits be consumed
+// independently of (and concurrently with) the significance pass.
+func (bd *BlockDecoder) buildMRList() {
+	c := &bd.c
+	f, bw := c.flags, c.bw
+	bd.mrIdx = bd.mrIdx[:0]
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSig == 0 {
+				continue
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				if f[i]&fSig != 0 {
+					bd.mrIdx = append(bd.mrIdx, int32(i))
+				}
+			}
+		}
+	}
 }
 
 // decSegSym decodes the four-symbol segmentation marker terminating a cleanup
@@ -241,6 +470,7 @@ func (bd *BlockDecoder) fillOut(out []int32, w, h int) {
 func (bd *BlockDecoder) decSigProp(plane uint) {
 	c := &bd.c
 	f, bw, zc := c.flags, c.bw, c.zc
+	rm := &c.rowMask
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
@@ -249,16 +479,54 @@ func (bd *BlockDecoder) decSigProp(plane uint) {
 		i0 := (y0+1)*bw + 1
 		for x := 0; x < c.w; x++ {
 			i := i0 + x
-			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSigOth == 0 {
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw]&rm[3])&fSigOth == 0 {
 				continue // nothing in this column has a significant neighbor
 			}
 			for k := 0; k < rows; k, i = k+1, i+bw {
-				fl := f[i]
+				fl := f[i] & rm[k]
 				if fl&fSig != 0 || fl&fSigOth == 0 {
 					continue
 				}
 				if bd.mq.Decode(&c.cx[zc[fl&fSigOth]]) == 1 {
-					bd.decSign(i, plane)
+					bd.decSign(i, plane, rm[k])
+				}
+				f[i] |= fVisited
+			}
+		}
+	}
+}
+
+// decSigPropRaw mirrors encSigPropRaw: the bypassed significance pass, read
+// as raw stuffed bits.
+func (bd *BlockDecoder) decSigPropRaw(plane uint) {
+	c := &bd.c
+	f, bw := c.flags, c.bw
+	r := &bd.rr
+	rm := &c.rowMask
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw]&rm[3])&fSigOth == 0 {
+				continue
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i] & rm[k]
+				if fl&fSig != 0 || fl&fSigOth == 0 {
+					continue
+				}
+				if r.ReadBit() == 1 {
+					neg := r.ReadBit() == 1
+					if neg {
+						f[i] |= fNeg
+					}
+					c.setSig(i, neg)
+					c.mag[i] |= 1 << plane
+					bd.lastPlane[i] = uint8(plane) + 1
 				}
 				f[i] |= fVisited
 			}
@@ -268,10 +536,11 @@ func (bd *BlockDecoder) decSigProp(plane uint) {
 
 // decSign decodes the sign of sample i which just became significant at
 // plane, marks it significant in its neighborhood, and records the plane for
-// the midpoint compensation of truncated decodes.
-func (bd *BlockDecoder) decSign(i int, plane uint) {
+// the midpoint compensation of truncated decodes. mask is the stripe-row
+// flag mask (all ones outside causal mode).
+func (bd *BlockDecoder) decSign(i int, plane uint, mask uint32) {
 	c := &bd.c
-	sc := scLUT[(c.flags[i]>>4)&0xFF]
+	sc := scLUT[(c.flags[i]&mask)>>4&0xFF]
 	bit := bd.mq.Decode(&c.cx[sc&0x1F])
 	neg := bit^int(sc>>7) == 1
 	if neg {
@@ -286,6 +555,7 @@ func (bd *BlockDecoder) decSign(i int, plane uint) {
 func (bd *BlockDecoder) decRefine(plane uint) {
 	c := &bd.c
 	f, mag, bw := c.flags, c.mag, c.bw
+	rm := &c.rowMask
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
@@ -302,7 +572,7 @@ func (bd *BlockDecoder) decRefine(plane uint) {
 				if fl&(fSig|fVisited) != fSig {
 					continue
 				}
-				if bd.mq.Decode(&c.cx[mrCtx(fl)]) == 1 {
+				if bd.mq.Decode(&c.cx[mrCtx(fl&rm[k])]) == 1 {
 					mag[i] |= 1 << plane
 				}
 				bd.lastPlane[i] = uint8(plane) + 1
@@ -312,10 +582,62 @@ func (bd *BlockDecoder) decRefine(plane uint) {
 	}
 }
 
+// decRefineRaw mirrors encRefineRaw: the bypassed refinement pass, read as
+// raw stuffed bits from the serial raw reader.
+func (bd *BlockDecoder) decRefineRaw(plane uint) {
+	c := &bd.c
+	f, mag, bw := c.flags, c.mag, c.bw
+	r := &bd.rr
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSig == 0 {
+				continue
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i]
+				if fl&(fSig|fVisited) != fSig {
+					continue
+				}
+				// No fRefined update, as in decRefineRawList: the flag only
+				// selects the MQ refine context, never consulted again once
+				// the plane is bypassed.
+				if r.ReadBit() == 1 {
+					mag[i] |= 1 << plane
+				}
+				bd.lastPlane[i] = uint8(plane) + 1
+			}
+		}
+	}
+}
+
+// decRefineRawList consumes the bypassed refinement pass from rr2 over the
+// pre-scanned member list. It runs concurrently with decSigPropRaw: it
+// writes only the magnitude word and last-plane byte of samples significant
+// before the plane, which the significance pass never touches, and defers
+// its flag updates to the serial join.
+func (bd *BlockDecoder) decRefineRawList(plane uint) {
+	c := &bd.c
+	mag, lp := c.mag, bd.lastPlane
+	r := &bd.rr2
+	for _, i := range bd.mrIdx {
+		if r.ReadBit() == 1 {
+			mag[i] |= 1 << plane
+		}
+		lp[i] = uint8(plane) + 1
+	}
+}
+
 // decCleanup mirrors encCleanup on the decode side.
 func (bd *BlockDecoder) decCleanup(plane uint) {
 	c := &bd.c
 	f, bw, zc := c.flags, c.bw, c.zc
+	rm := &c.rowMask
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
@@ -325,22 +647,22 @@ func (bd *BlockDecoder) decCleanup(plane uint) {
 		for x := 0; x < c.w; x++ {
 			i := i0 + x
 			y := 0
-			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&(fSig|fVisited|fSigOth) == 0 {
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw]&rm[3])&(fSig|fVisited|fSigOth) == 0 {
 				if bd.mq.Decode(&c.cx[ctxRL]) == 0 {
 					continue
 				}
 				first := bd.mq.Decode(&c.cx[ctxUNI])<<1 | bd.mq.Decode(&c.cx[ctxUNI])
-				bd.decSign(i+first*bw, plane)
+				bd.decSign(i+first*bw, plane, rm[first])
 				y = first + 1
 			}
 			for ; y < rows; y++ {
 				ii := i + y*bw
-				fl := f[ii]
+				fl := f[ii] & rm[y]
 				if fl&(fSig|fVisited) != 0 {
 					continue
 				}
 				if bd.mq.Decode(&c.cx[zc[fl&fSigOth]]) == 1 {
-					bd.decSign(ii, plane)
+					bd.decSign(ii, plane, rm[y])
 				}
 			}
 		}

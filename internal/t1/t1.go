@@ -15,6 +15,7 @@
 package t1
 
 import (
+	"pj2k/internal/bitio"
 	"pj2k/internal/dwt"
 	"pj2k/internal/mq"
 )
@@ -33,7 +34,13 @@ const (
 // rateMargin is the number of bytes added to the MQ coder's emitted count at
 // each pass boundary so that truncating the final segment at a pass's rate
 // always yields a decodable prefix (covers the C register and flush bytes).
-const rateMargin = 5
+// rawRateMargin is the raw-segment equivalent (a pending partial byte is
+// already counted by StuffWriter.Len; the margin covers the possible stuffed
+// 0x00 after a trailing 0xFF). At terminated passes rates are exact instead.
+const (
+	rateMargin    = 5
+	rawRateMargin = 2
+)
 
 // Pass records one coding pass's cumulative rate and its distortion
 // reduction in quantized-magnitude units squared; the caller scales by
@@ -43,25 +50,55 @@ type Pass struct {
 	DistDelta float64 // MSE reduction contributed by this pass
 }
 
-// EncodedBlock is the output of Encode for one code-block.
+// EncodedBlock is the output of Encode for one code-block. Data concatenates
+// the block's codeword segments (one unless Modes terminate passes); Pass
+// rates are exact at segment terminations and conservatively margined inside
+// a segment, so SegmentEnds can recover segment boundaries from them.
 type EncodedBlock struct {
 	W, H         int
 	Band         dwt.BandType
 	NumBitplanes int
+	Modes        Modes
 	Passes       []Pass
 	Data         []byte
+}
+
+// SegmentEnds appends the cumulative byte offsets in Data at which the
+// codeword segments covering the first npasses passes end. Returns dst
+// unchanged (nil for a nil dst) when the block is a single segment, matching
+// BlockIn's contract.
+func (eb *EncodedBlock) SegmentEnds(dst []int, npasses int) []int {
+	m := eb.Modes
+	if !m.Terminated() || npasses <= 0 {
+		return dst
+	}
+	for p := 0; p < npasses-1; p++ {
+		if m.TermPass(p) {
+			dst = append(dst, eb.Passes[p].Rate)
+		}
+	}
+	end := eb.Passes[npasses-1].Rate
+	if end > len(eb.Data) {
+		end = len(eb.Data)
+	}
+	return append(dst, end)
 }
 
 // coder holds the per-block state shared by the encode and decode pass
 // machinery: bordered magnitude and flag-word arrays plus the MQ contexts.
 type coder struct {
-	w, h  int
-	bw    int // bordered width
-	mag   []int32
-	flags []uint32
-	cx    [nctx]mq.Context
-	band  dwt.BandType
-	zc    *[256]uint8 // zcLUT[band], rebound per block
+	w, h   int
+	bw     int // bordered width
+	mag    []int32
+	flags  []uint32
+	cx     [nctx]mq.Context
+	band   dwt.BandType
+	zc     *[256]uint8 // zcLUT[band], rebound per block
+	causal bool
+	// rowMask masks the flag word per stripe row before context formation.
+	// Rows 0-2 pass everything; under stripe-causal mode row 3 drops the
+	// south-neighbor bits so contexts never depend on the stripe below.
+	rowMask [4]uint32
 }
 
 func (c *coder) idx(x, y int) int { return (y+1)*c.bw + (x + 1) }
@@ -71,6 +108,10 @@ func (c *coder) idx(x, y int) int { return (y+1)*c.bw + (x + 1) }
 func (c *coder) reset(w, h int, band dwt.BandType) {
 	c.w, c.h, c.bw, c.band = w, h, w+2, band
 	c.zc = &zcLUT[band]
+	c.rowMask = [4]uint32{^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0)}
+	if c.causal {
+		c.rowMask[3] = ^uint32(fSigSE | fSigSW | fSigS | fSgnS)
+	}
 	n := (w + 2) * (h + 2)
 	if cap(c.mag) < n {
 		c.mag = make([]int32, n)
@@ -100,32 +141,34 @@ func (c *coder) clearVisited() {
 	}
 }
 
-// recon is the decoder's reconstruction of magnitude v after its last update
-// at plane p: the decoded bits plus a midpoint offset for the undecoded
-// interval (none at plane 0, where decoding is exact).
-func recon(v int32, p uint) float64 {
-	r := float64(int32(v>>p) << p)
-	if p > 0 {
-		r += 0.5 * float64(int32(1)<<p)
-	}
-	return r
-}
-
 // distSig is the distortion reduction when magnitude v becomes significant
-// at plane p (reconstruction moves from 0 to the plane-p midpoint).
+// at plane p (reconstruction moves from 0 to the plane-p midpoint). All the
+// quantities involved are integers (the midpoint offset 2^(p-1) included),
+// so the error terms are computed in int64 — one conversion per call instead
+// of four, and exact for any magnitude below 2^31.
 func distSig(v int32, p uint) float64 {
-	vf := float64(v)
-	e1 := vf - recon(v, p)
-	return vf*vf - e1*e1
+	var e1 int64
+	if p > 0 {
+		e1 = int64(v&(1<<p-1)) - int64(1)<<(p-1)
+	}
+	vi := int64(v)
+	return float64(vi*vi - e1*e1)
 }
 
 // distRef is the distortion reduction when a significant magnitude v is
-// refined at plane p.
+// refined at plane p. Same integer formulation as distSig: the plane-p
+// residual r determines both error terms directly.
 func distRef(v int32, p uint) float64 {
-	vf := float64(v)
-	e0 := vf - recon(v, p+1)
-	e1 := vf - recon(v, p)
-	return e0*e0 - e1*e1
+	r := int64(v & (1<<p - 1))
+	e0 := r
+	if v>>p&1 == 0 {
+		e0 = r - int64(1)<<p
+	}
+	var e1 int64
+	if p > 0 {
+		e1 = r - int64(1)<<(p-1)
+	}
+	return float64(e0*e0 - e1*e1)
 }
 
 // Encode codes one code-block. data holds signed quantized coefficients for
@@ -149,19 +192,21 @@ type Coder struct {
 	c   coder
 	enc *mq.Encoder
 
-	// SegSym appends the four-symbol segmentation marker (0xA coded in the
-	// UNIFORM context) to every cleanup pass — the Annex D error-resilience
-	// tool that lets a checked decode localize corruption to a pass. Off by
-	// default: it costs a few bits per pass and changes the bitstream.
-	SegSym bool
+	// Modes selects the optional code-block styles (bypass, per-pass
+	// termination, context reset, stripe-causal contexts, segmentation
+	// symbols). The zero value is the default coder; any non-default mode
+	// changes the bitstream and must be signalled in the COD marker.
+	Modes Modes
 
+	raw    *bitio.StuffWriter // raw (bypass) segment writer
+	seg    []byte             // completed codeword segments of the current block
 	blocks []EncodedBlock
 	passes []Pass
 	data   []byte
 }
 
 // NewCoder returns an empty Coder; buffers are sized on first use.
-func NewCoder() *Coder { return &Coder{enc: mq.NewEncoder()} }
+func NewCoder() *Coder { return &Coder{enc: mq.NewEncoder(), raw: bitio.NewStuffWriter()} }
 
 // Release reclaims all EncodedBlocks returned by Encode since the last
 // Release. The caller must have dropped every reference to them.
@@ -224,6 +269,8 @@ func (co *Coder) takeData(n int) []byte {
 // lifetime of the result.
 func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *EncodedBlock {
 	c := &co.c
+	m := co.Modes
+	c.causal = m.Causal
 	c.reset(w, h, band)
 	var maxMag int32
 	for y := 0; y < h; y++ {
@@ -241,51 +288,99 @@ func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *Enco
 		}
 	}
 	eb := co.takeBlock()
-	eb.W, eb.H, eb.Band = w, h, band
+	eb.W, eb.H, eb.Band, eb.Modes = w, h, band, m
 	if maxMag == 0 {
 		return eb
 	}
 	nbp := 0
-	for m := maxMag; m > 0; m >>= 1 {
+	for v := maxMag; v > 0; v >>= 1 {
 		nbp++
 	}
 	eb.NumBitplanes = nbp
 	c.resetContexts()
 	enc := co.enc
 	enc.Init()
-	eb.Passes = co.takePasses(TotalPasses(nbp))
+	co.raw.Reset()
+	co.seg = co.seg[:0]
+	total := TotalPasses(nbp)
+	eb.Passes = co.takePasses(total)
 
+	pass := 0
 	for p := nbp - 1; p >= 0; p-- {
 		plane := uint(p)
 		if p != nbp-1 {
-			d := c.encSigProp(enc, plane)
-			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
-			d = c.encRefine(enc, plane)
-			eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
+			var d float64
+			if m.PassBypassed(pass) {
+				d = c.encSigPropRaw(co.raw, plane)
+			} else {
+				d = c.encSigProp(enc, plane)
+			}
+			co.endPass(eb, pass, total, d)
+			pass++
+			if m.PassBypassed(pass) {
+				d = c.encRefineRaw(co.raw, plane)
+			} else {
+				d = c.encRefine(enc, plane)
+			}
+			co.endPass(eb, pass, total, d)
+			pass++
 		}
 		d := c.encCleanup(enc, plane)
-		if co.SegSym {
+		if m.SegSym {
 			c.encSegSym(enc)
 		}
-		eb.Passes = append(eb.Passes, Pass{Rate: enc.NumBytes() + rateMargin, DistDelta: d})
-		c.clearVisited()
-	}
-	seg := enc.Flush()
-	eb.Data = co.takeData(len(seg))
-	copy(eb.Data, seg)
-	// Clamp pass rates: non-decreasing and within the final segment.
-	for k := range eb.Passes {
-		if eb.Passes[k].Rate > len(eb.Data) {
-			eb.Passes[k].Rate = len(eb.Data)
-		}
-		if k > 0 && eb.Passes[k].Rate < eb.Passes[k-1].Rate {
-			eb.Passes[k].Rate = eb.Passes[k-1].Rate
+		co.endPass(eb, pass, total, d)
+		pass++
+		if p != 0 {
+			c.clearVisited() // reset re-zeroes flags, so the last plane skips it
 		}
 	}
+	eb.Data = co.takeData(len(co.seg))
+	copy(eb.Data, co.seg)
+	// Clamp pass rates: within the data and non-decreasing. A margined
+	// (non-terminal) rate can overshoot the exact rate of a later terminated
+	// pass; lower it backward rather than disturb exact segment boundaries —
+	// the smaller value is already enough bytes to decode the earlier pass.
+	// Default modes have non-decreasing margined rates, so this reduces to
+	// the plain cap at the data length.
 	if n := len(eb.Passes); n > 0 {
 		eb.Passes[n-1].Rate = len(eb.Data)
+		for k := n - 2; k >= 0; k-- {
+			if eb.Passes[k].Rate > eb.Passes[k+1].Rate {
+				eb.Passes[k].Rate = eb.Passes[k+1].Rate
+			}
+		}
 	}
 	return eb
+}
+
+// endPass closes coding pass pass: records its cumulative rate (exact when
+// the codeword segment terminates here, margined otherwise) and applies the
+// per-pass mode hooks — segment termination and context reset. Default modes
+// terminate only the final pass, reproducing the single-segment bitstream.
+func (co *Coder) endPass(eb *EncodedBlock, pass, total int, d float64) {
+	m := co.Modes
+	rawPass := m.PassBypassed(pass)
+	var rate int
+	switch {
+	case pass == total-1 || m.TermPass(pass):
+		if rawPass {
+			co.seg = append(co.seg, co.raw.Bytes()...)
+			co.raw.Reset()
+		} else {
+			co.seg = append(co.seg, co.enc.Flush()...)
+			co.enc.Init()
+		}
+		rate = len(co.seg)
+	case rawPass:
+		rate = len(co.seg) + co.raw.Len() + rawRateMargin
+	default:
+		rate = len(co.seg) + co.enc.NumBytes() + rateMargin
+	}
+	eb.Passes = append(eb.Passes, Pass{Rate: rate, DistDelta: d})
+	if m.ResetCtx {
+		co.c.resetContexts()
+	}
 }
 
 // encSigProp runs the significance-propagation pass at the given plane:
@@ -294,6 +389,7 @@ func (co *Coder) Encode(data []int32, w, h, stride int, band dwt.BandType) *Enco
 func (c *coder) encSigProp(enc *mq.Encoder, plane uint) float64 {
 	var dist float64
 	f, mag, bw, zc := c.flags, c.mag, c.bw, c.zc
+	rm := &c.rowMask
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
@@ -302,18 +398,59 @@ func (c *coder) encSigProp(enc *mq.Encoder, plane uint) float64 {
 		i0 := (y0+1)*bw + 1
 		for x := 0; x < c.w; x++ {
 			i := i0 + x
-			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSigOth == 0 {
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw]&rm[3])&fSigOth == 0 {
 				continue // nothing in this column has a significant neighbor
 			}
 			for k := 0; k < rows; k, i = k+1, i+bw {
-				fl := f[i]
+				fl := f[i] & rm[k]
 				if fl&fSig != 0 || fl&fSigOth == 0 {
 					continue
 				}
 				bit := int(mag[i] >> plane & 1)
 				enc.Encode(bit, &c.cx[zc[fl&fSigOth]])
 				if bit == 1 {
-					dist += c.encSign(enc, i, plane)
+					dist += c.encSign(enc, i, plane, rm[k])
+				}
+				f[i] |= fVisited
+			}
+		}
+	}
+	return dist
+}
+
+// encSigPropRaw is the arithmetic-bypass significance pass: the same
+// membership walk as encSigProp, but the decision and sign are written as
+// raw stuffed bits (no contexts, no sign prediction).
+func (c *coder) encSigPropRaw(w *bitio.StuffWriter, plane uint) float64 {
+	var dist float64
+	f, mag, bw := c.flags, c.mag, c.bw
+	rm := &c.rowMask
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw]&rm[3])&fSigOth == 0 {
+				continue
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i] & rm[k]
+				if fl&fSig != 0 || fl&fSigOth == 0 {
+					continue
+				}
+				bit := int(mag[i] >> plane & 1)
+				w.WriteBit(bit)
+				if bit == 1 {
+					s := 0
+					if f[i]&fNeg != 0 {
+						s = 1
+					}
+					w.WriteBit(s)
+					c.setSig(i, s == 1)
+					dist += distSig(mag[i], plane)
 				}
 				f[i] |= fVisited
 			}
@@ -324,9 +461,9 @@ func (c *coder) encSigProp(enc *mq.Encoder, plane uint) float64 {
 
 // encSign codes the sign of sample i which just became significant at plane,
 // marks it significant in its neighborhood, and returns the significance
-// distortion.
-func (c *coder) encSign(enc *mq.Encoder, i int, plane uint) float64 {
-	sc := scLUT[(c.flags[i]>>4)&0xFF]
+// distortion. mask is the stripe-row flag mask (all ones outside causal mode).
+func (c *coder) encSign(enc *mq.Encoder, i int, plane uint, mask uint32) float64 {
+	sc := scLUT[(c.flags[i]&mask)>>4&0xFF]
 	s := 0
 	if c.flags[i]&fNeg != 0 {
 		s = 1
@@ -342,6 +479,7 @@ func (c *coder) encSign(enc *mq.Encoder, i int, plane uint) float64 {
 func (c *coder) encRefine(enc *mq.Encoder, plane uint) float64 {
 	var dist float64
 	f, mag, bw := c.flags, c.mag, c.bw
+	rm := &c.rowMask
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
@@ -358,9 +496,40 @@ func (c *coder) encRefine(enc *mq.Encoder, plane uint) float64 {
 				if fl&(fSig|fVisited) != fSig {
 					continue
 				}
-				enc.Encode(int(mag[i]>>plane&1), &c.cx[mrCtx(fl)])
+				enc.Encode(int(mag[i]>>plane&1), &c.cx[mrCtx(fl&rm[k])])
 				dist += distRef(mag[i], plane)
 				f[i] = fl | fRefined
+			}
+		}
+	}
+	return dist
+}
+
+// encRefineRaw is the arithmetic-bypass refinement pass: one raw magnitude
+// bit per sample already significant before this plane.
+func (c *coder) encRefineRaw(w *bitio.StuffWriter, plane uint) float64 {
+	var dist float64
+	f, mag, bw := c.flags, c.mag, c.bw
+	for y0 := 0; y0 < c.h; y0 += 4 {
+		rows := c.h - y0
+		if rows > 4 {
+			rows = 4
+		}
+		i0 := (y0+1)*bw + 1
+		for x := 0; x < c.w; x++ {
+			i := i0 + x
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&fSig == 0 {
+				continue
+			}
+			for k := 0; k < rows; k, i = k+1, i+bw {
+				fl := f[i]
+				if fl&(fSig|fVisited) != fSig {
+					continue
+				}
+				// No fRefined update: the flag only selects the MQ refine
+				// context, and every later refine pass is also bypassed.
+				w.WriteBit(int(mag[i] >> plane & 1))
+				dist += distRef(mag[i], plane)
 			}
 		}
 	}
@@ -373,6 +542,7 @@ func (c *coder) encRefine(enc *mq.Encoder, plane uint) float64 {
 func (c *coder) encCleanup(enc *mq.Encoder, plane uint) float64 {
 	var dist float64
 	f, mag, bw, zc := c.flags, c.mag, c.bw, c.zc
+	rm := &c.rowMask
 	for y0 := 0; y0 < c.h; y0 += 4 {
 		rows := c.h - y0
 		if rows > 4 {
@@ -382,7 +552,7 @@ func (c *coder) encCleanup(enc *mq.Encoder, plane uint) float64 {
 		for x := 0; x < c.w; x++ {
 			i := i0 + x
 			y := 0
-			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw])&(fSig|fVisited|fSigOth) == 0 {
+			if rows == 4 && (f[i]|f[i+bw]|f[i+2*bw]|f[i+3*bw]&rm[3])&(fSig|fVisited|fSigOth) == 0 {
 				// Run-length mode: column of four, all insignificant,
 				// unvisited, with no significant neighbours.
 				first := 4 // position of first 1-bit, 4 = none
@@ -399,19 +569,19 @@ func (c *coder) encCleanup(enc *mq.Encoder, plane uint) float64 {
 				enc.Encode(1, &c.cx[ctxRL])
 				enc.Encode(first>>1&1, &c.cx[ctxUNI])
 				enc.Encode(first&1, &c.cx[ctxUNI])
-				dist += c.encSign(enc, i+first*bw, plane)
+				dist += c.encSign(enc, i+first*bw, plane, rm[first])
 				y = first + 1
 			}
 			for ; y < rows; y++ {
 				ii := i + y*bw
-				fl := f[ii]
+				fl := f[ii] & rm[y]
 				if fl&(fSig|fVisited) != 0 {
 					continue
 				}
 				bit := int(mag[ii] >> plane & 1)
 				enc.Encode(bit, &c.cx[zc[fl&fSigOth]])
 				if bit == 1 {
-					dist += c.encSign(enc, ii, plane)
+					dist += c.encSign(enc, ii, plane, rm[y])
 				}
 			}
 		}

@@ -1,0 +1,112 @@
+package t2_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/jp2k"
+	"pj2k/internal/raster"
+	"pj2k/internal/t2"
+)
+
+// codStyleOffset locates the COD code-block style byte in a codestream: the
+// marker (FF 52), its length field, and ten parameter bytes precede it.
+func codStyleOffset(t *testing.T, cs []byte) int {
+	t.Helper()
+	i := bytes.Index(cs, []byte{0xFF, 0x52})
+	if i < 0 {
+		t.Fatal("no COD marker")
+	}
+	return i + 12
+}
+
+// TestUnknownStyleBitsRejected is the regression test for the silent
+// mis-decode bug: a COD carrying a code-block style bit this decoder does not
+// implement used to be ignored, and the packet walk then mis-parsed every
+// block. Strict parsing must reject it with a clear error; resilient parsing
+// must mask it off, count the salvage, and still decode the stream.
+func TestUnknownStyleBitsRejected(t *testing.T) {
+	im := raster.Synthetic(64, 64, 3)
+	cs, _, err := jp2k.Encode(im, jp2k.Options{Kernel: dwt.Rev53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := codStyleOffset(t, cs)
+	for _, bit := range []byte{0x10, 0x40, 0x80} { // predictable termination + reserved bits
+		bad := append([]byte(nil), cs...)
+		bad[off] |= bit
+
+		if _, _, err := t2.ReadCodestream(bad); err == nil {
+			t.Fatalf("style bit %#02x accepted by strict parse", bit)
+		} else if !strings.Contains(err.Error(), "style") {
+			t.Fatalf("style bit %#02x: unhelpful error %q", bit, err)
+		}
+		if _, err := jp2k.Decode(bad, jp2k.DecodeOptions{}); err == nil {
+			t.Fatalf("style bit %#02x decoded strictly", bit)
+		}
+
+		p, tiles, dmg, err := t2.ReadCodestreamResilient(bad)
+		if err != nil {
+			t.Fatalf("style bit %#02x: resilient parse failed: %v", bit, err)
+		}
+		if dmg.BadStyles != 1 || !dmg.Any() {
+			t.Fatalf("style bit %#02x: salvage not reported: %+v", bit, dmg)
+		}
+		if len(tiles) == 0 || p.Bypass || p.TermAll || p.ResetCtx || p.Causal {
+			t.Fatalf("style bit %#02x: salvaged params polluted: %+v", bit, p)
+		}
+		// The masked stream was in fact encoded without the unknown mode, so
+		// the salvage decodes it losslessly.
+		dec := jp2k.NewDecoder()
+		out, err := dec.Decode(bad, jp2k.DecodeOptions{Resilient: true})
+		if err != nil {
+			t.Fatalf("style bit %#02x: resilient decode: %v", bit, err)
+		}
+		for i := range im.Pix {
+			if out.Pix[i] != im.Pix[i] {
+				t.Fatalf("style bit %#02x: salvaged decode differs at %d", bit, i)
+			}
+		}
+	}
+}
+
+// TestKnownStyleBitsRoundTrip pins the COD byte itself: each supported style
+// sets exactly its standard bit, and the parse restores the flag.
+func TestKnownStyleBitsRoundTrip(t *testing.T) {
+	im := raster.Synthetic(48, 48, 9)
+	cases := []struct {
+		coder jp2k.CoderOptions
+		seg   bool
+		want  byte
+	}{
+		{jp2k.CoderOptions{Bypass: true}, false, 0x01},
+		{jp2k.CoderOptions{ResetCtx: true}, false, 0x02},
+		{jp2k.CoderOptions{TermAll: true}, false, 0x04},
+		{jp2k.CoderOptions{Causal: true}, false, 0x08},
+		{jp2k.CoderOptions{}, true, 0x20},
+		{jp2k.CoderOptions{Bypass: true, TermAll: true, ResetCtx: true, Causal: true}, true, 0x2F},
+	}
+	for _, c := range cases {
+		cs, _, err := jp2k.Encode(im, jp2k.Options{
+			Kernel: dwt.Rev53, Coder: c.coder,
+			Resilience: jp2k.ResilienceOptions{SegSymbols: c.seg},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cs[codStyleOffset(t, cs)]; got != c.want {
+			t.Fatalf("%+v segsym=%v: COD style byte %#02x, want %#02x", c.coder, c.seg, got, c.want)
+		}
+		p, _, err := t2.ReadCodestream(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.CoderModes()
+		if m.Bypass != c.coder.Bypass || m.ResetCtx != c.coder.ResetCtx ||
+			m.TermAll != c.coder.TermAll || m.Causal != c.coder.Causal || m.SegSym != c.seg {
+			t.Fatalf("%+v segsym=%v: parsed modes %+v", c.coder, c.seg, m)
+		}
+	}
+}

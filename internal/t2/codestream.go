@@ -6,6 +6,7 @@ import (
 
 	"pj2k/internal/dwt"
 	"pj2k/internal/quant"
+	"pj2k/internal/t1"
 )
 
 // Marker codes (ISO/IEC 15444-1 Annex A).
@@ -74,6 +75,30 @@ type Params struct {
 	UseSOP bool
 	UseEPH bool
 	SegSym bool
+
+	// Optional tier-1 code-block coding styles, signalled alongside SegSym in
+	// the COD code-block style byte: arithmetic bypass (bit 0x01), per-pass
+	// context reset (0x02), per-pass segment termination (0x04) and vertically
+	// stripe-causal contexts (0x08). All default off, leaving default
+	// bitstreams bit-identical; the tier-1 coder must run with the matching
+	// modes (CoderModes).
+	Bypass   bool
+	ResetCtx bool
+	TermAll  bool
+	Causal   bool
+}
+
+// CoderModes returns the tier-1 coder modes the COD marker signals; both the
+// packet machinery (TileCoder.Modes) and the tier-1 coders must run with the
+// same value for a codestream to round-trip.
+func (p Params) CoderModes() t1.Modes {
+	return t1.Modes{
+		Bypass:   p.Bypass,
+		ResetCtx: p.ResetCtx,
+		TermAll:  p.TermAll,
+		Causal:   p.Causal,
+		SegSym:   p.SegSym,
+	}
 }
 
 // Components returns the component count, treating the zero value as a
@@ -213,6 +238,18 @@ func WriteCodestream(p Params, tiles [][]byte) []byte {
 	out = append(out, byte(p.Levels))
 	out = append(out, byte(log2i(p.CBW)-2), byte(log2i(p.CBH)-2))
 	cbStyle := byte(0)
+	if p.Bypass {
+		cbStyle |= 0x01 // arithmetic bypass (lazy coding)
+	}
+	if p.ResetCtx {
+		cbStyle |= 0x02 // context reset on pass boundaries
+	}
+	if p.TermAll {
+		cbStyle |= 0x04 // termination on every pass
+	}
+	if p.Causal {
+		cbStyle |= 0x08 // vertically stripe-causal contexts
+	}
 	if p.SegSym {
 		cbStyle |= 0x20 // segmentation symbols
 	}
@@ -349,11 +386,12 @@ type ContainerDamage struct {
 	Truncated    bool // stream ended (or became unparseable) before EOC
 	BadMarkers   int  // unknown marker segments skipped by declared length
 	BadTileParts int  // tile-parts with implausible Psot, re-bounded by scanning
+	BadStyles    int  // unsupported COD code-block style bits masked off
 }
 
 // Any reports whether the walk recorded any container-level damage.
 func (d ContainerDamage) Any() bool {
-	return d.Truncated || d.BadMarkers > 0 || d.BadTileParts > 0
+	return d.Truncated || d.BadMarkers > 0 || d.BadTileParts > 0 || d.BadStyles > 0
 }
 
 // ReadCodestream parses a codestream produced by WriteCodestream, returning
@@ -400,7 +438,7 @@ func readCodestream(data []byte, resilient bool) (Params, [][]byte, ContainerDam
 				qccSeen = make([]bool, p.NComp)
 			}
 		case mCOD:
-			err = r.readCOD(&p)
+			err = r.readCOD(&p, resilient, &dmg)
 		case mQCD:
 			err = r.readQCD(&p, qccSeen)
 		case mQCC:
@@ -521,10 +559,19 @@ func (r *reader) readSIZ(p *Params) error {
 	return nil
 }
 
-// readCOD parses the COD segment into p, including the error-resilience
-// signalling: SOP/EPH use from the Scod bits, segmentation symbols from the
-// code-block style byte.
-func (r *reader) readCOD(p *Params) error {
+// codBlockStyles is the set of COD code-block style bits this decoder
+// implements: bypass (0x01), context reset (0x02), per-pass termination
+// (0x04), stripe-causal contexts (0x08) and segmentation symbols (0x20).
+const codBlockStyles = 0x2F
+
+// readCOD parses the COD segment into p, including the error-resilience and
+// coding-style signalling: SOP/EPH use from the Scod bits, the tier-1 coder
+// modes from the code-block style byte. Style bits this decoder does not
+// implement (e.g. 0x10 predictable termination) would silently mis-decode
+// every code-block, so strict parsing rejects them; resilient parsing masks
+// them off — tier-1 concealment then bounds the damage per block — and counts
+// the salvage in dmg.BadStyles.
+func (r *reader) readCOD(p *Params, resilient bool, dmg *ContainerDamage) error {
 	if _, err := r.u16(); err != nil { // Lcod
 		return err
 	}
@@ -561,6 +608,17 @@ func (r *reader) readCOD(p *Params) error {
 	if err != nil {
 		return err
 	}
+	if unknown := cbStyle &^ codBlockStyles; unknown != 0 {
+		if !resilient {
+			return fmt.Errorf("t2: unsupported COD code-block style bits %#02x", unknown)
+		}
+		dmg.BadStyles++
+		cbStyle &= codBlockStyles
+	}
+	p.Bypass = cbStyle&0x01 != 0
+	p.ResetCtx = cbStyle&0x02 != 0
+	p.TermAll = cbStyle&0x04 != 0
+	p.Causal = cbStyle&0x08 != 0
 	p.SegSym = cbStyle&0x20 != 0
 	tr, err := r.u8()
 	if err != nil {

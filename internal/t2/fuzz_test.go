@@ -1,6 +1,7 @@
 package t2_test
 
 import (
+	"bytes"
 	"testing"
 
 	"pj2k/internal/dwt"
@@ -8,6 +9,12 @@ import (
 	"pj2k/internal/raster"
 	"pj2k/internal/t2"
 )
+
+// codStyleOffsetFuzz is codStyleOffset without the testing.T plumbing, for
+// seed construction.
+func codStyleOffsetFuzz(cs []byte) int {
+	return bytes.Index(cs, []byte{0xFF, 0x52}) + 12
+}
 
 // FuzzReadCodestream drives the container parser, the packet-boundary index
 // and the windowed decoder with arbitrary bytes. The contract under fuzzing
@@ -27,6 +34,33 @@ func FuzzReadCodestream(f *testing.F) {
 		}
 		f.Add(cs)
 		f.Add(cs[:len(cs)/2])
+	}
+	// Coder-mode seeds: terminated and bypassed streams carry multiple
+	// codeword-segment lengths per block in the packet headers — new framing
+	// for the fuzzer to bend. The style-bit mutant exercises the unknown-bit
+	// rejection path.
+	for _, c := range []jp2k.CoderOptions{
+		{Bypass: true},
+		{Bypass: true, TermAll: true},
+		{TermAll: true, ResetCtx: true, Causal: true},
+	} {
+		cs, _, err := jp2k.Encode(im, jp2k.Options{
+			Kernel: dwt.Rev53, Levels: 2, CBW: 32, CBH: 32, Coder: c,
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(cs)
+		f.Add(cs[:3*len(cs)/4])
+	}
+	{
+		cs, _, err := jp2k.Encode(im, jp2k.Options{Kernel: dwt.Rev53, Coder: jp2k.CoderOptions{Bypass: true}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		styleMut := append([]byte(nil), cs...)
+		styleMut[codStyleOffsetFuzz(styleMut)] |= 0x40 // reserved style bit
+		f.Add(styleMut)
 	}
 	// Multi-component seeds: Csiz=3 MCT streams (QCC markers, interleaved
 	// packets) for both kernels, plus a mutant whose component depths

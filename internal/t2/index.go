@@ -75,6 +75,7 @@ func BuildIndex(data []byte) (*Index, error) {
 		if tc == nil {
 			tc = NewTileCoderComps(comps)
 			tc.SOP, tc.EPH = p.UseSOP, p.UseEPH
+			tc.Modes = p.CoderModes()
 		} else {
 			tc.ResetComps(comps)
 		}

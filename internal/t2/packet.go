@@ -10,6 +10,7 @@ import (
 
 	"pj2k/internal/bitio"
 	"pj2k/internal/dwt"
+	"pj2k/internal/t1"
 	"pj2k/internal/tagtree"
 )
 
@@ -226,6 +227,7 @@ type TileCoder struct {
 	hr    bitio.StuffReader  // reusable packet-header reader
 	body  []byte             // reusable packet-body buffer
 	pend  []pendingSeg       // reusable decode-side body segment list
+	segs  []int              // reusable per-block segment pass-end scratch
 	one   [1][]BandBlocks    // scratch for the single-component entry points
 
 	// SOP and EPH select the error-resilience markers of Annex A: a 6-byte
@@ -236,6 +238,14 @@ type TileCoder struct {
 	// does not touch them.
 	SOP bool
 	EPH bool
+
+	// Modes carries the tier-1 coder modes the COD code-block style byte
+	// signals. Terminating modes (bypass, TERMALL) split a block's coded data
+	// into multiple codeword segments, and packet headers then signal one
+	// length per segment instead of one per block contribution — both sides of
+	// a codestream must agree. Set it from Params.CoderModes before encoding
+	// or decoding; Reset does not touch it.
+	Modes t1.Modes
 }
 
 // NewTileCoder builds coding state for one single-component tile geometry.
@@ -378,16 +388,43 @@ func (tc *TileCoder) encodePacket(ci int, dst []byte, bands []BandBlocks, bandId
 				start = blk.PassRates[cum-1]
 			}
 			end := blk.PassRates[cum+newPasses-1]
-			segLen := end - start
-			needed := bitLen(segLen)
-			avail := st.lblock[k] + floorLog2(newPasses)
-			for needed > avail {
-				w.WriteBit(1)
-				st.lblock[k]++
-				avail++
+			if m := tc.Modes; m.Terminated() {
+				// Terminating modes: one signalled length per codeword
+				// segment. The Lblock raise is shared — a single 1-bit run
+				// covering the worst segment — then each segment's length is
+				// written with Lblock + floor(log2(its pass count)) bits.
+				segs := m.AppendSegEnds(tc.segs[:0], cum, cum+newPasses)
+				tc.segs = segs
+				need := 0
+				prev, segStart := cum, start
+				for _, e := range segs {
+					if d := bitLen(blk.PassRates[e-1]-segStart) - floorLog2(e-prev); d > need {
+						need = d
+					}
+					prev, segStart = e, blk.PassRates[e-1]
+				}
+				for st.lblock[k] < need {
+					w.WriteBit(1)
+					st.lblock[k]++
+				}
+				w.WriteBit(0)
+				prev, segStart = cum, start
+				for _, e := range segs {
+					w.WriteBits(uint32(blk.PassRates[e-1]-segStart), st.lblock[k]+floorLog2(e-prev))
+					prev, segStart = e, blk.PassRates[e-1]
+				}
+			} else {
+				segLen := end - start
+				needed := bitLen(segLen)
+				avail := st.lblock[k] + floorLog2(newPasses)
+				for needed > avail {
+					w.WriteBit(1)
+					st.lblock[k]++
+					avail++
+				}
+				w.WriteBit(0)
+				w.WriteBits(uint32(segLen), avail)
 			}
-			w.WriteBit(0)
-			w.WriteBits(uint32(segLen), avail)
 			body = append(body, blk.Data[start:end]...)
 			st.passesCum[k] = target[id]
 		}
@@ -401,10 +438,31 @@ func (tc *TileCoder) encodePacket(ci int, dst []byte, bands []BandBlocks, bandId
 }
 
 // DecodedBlock accumulates a block's data across packets on the decode side.
+// Under terminating coder modes SegEnds collects the cumulative byte offset
+// in Data of each *closed* codeword segment — one entry per segment whose
+// last pass terminated; use SegmentEnds to obtain the full layout including
+// the trailing still-open segment.
 type DecodedBlock struct {
 	Data         []byte
 	Passes       int
 	NumBitplanes int
+	SegEnds      []int
+}
+
+// SegmentEnds returns the block's codeword-segment layout in the form the
+// tier-1 decoder's BlockIn.SegEnds expects: one cumulative byte offset per
+// segment covering the block's committed passes, the last always closing at
+// len(Data). Nil for non-terminating modes (a single implicit segment).
+func (b *DecodedBlock) SegmentEnds(m t1.Modes) []int {
+	if !m.Terminated() || b.Passes == 0 {
+		return nil
+	}
+	if len(b.SegEnds) == m.NumSegments(b.Passes) {
+		return b.SegEnds
+	}
+	// The final committed pass did not terminate its segment (a mid-segment
+	// rate truncation): the open segment runs to the end of the data.
+	return append(b.SegEnds, len(b.Data))
 }
 
 type decodedBlock = DecodedBlock
@@ -504,6 +562,7 @@ func resetDec(dec []DecodedBlock, n int) []DecodedBlock {
 		grown := make([]DecodedBlock, n)
 		for i := range dec {
 			grown[i].Data = dec[i].Data // keep warmed byte buffers
+			grown[i].SegEnds = dec[i].SegEnds
 		}
 		dec = grown
 	} else {
@@ -513,6 +572,7 @@ func resetDec(dec []DecodedBlock, n int) []DecodedBlock {
 		dec[i].Passes = 0
 		dec[i].NumBitplanes = 0
 		dec[i].Data = dec[i].Data[:0]
+		dec[i].SegEnds = dec[i].SegEnds[:0]
 	}
 	return dec
 }
@@ -556,6 +616,7 @@ type pendingSeg struct {
 	np     int
 	st     *bandState
 	k      int
+	closed bool // the segment's last pass terminated it (terminating modes)
 }
 
 // decodePacket parses component ci's packet for (layer, resolution),
@@ -643,11 +704,29 @@ func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 				}
 				*lb++
 			}
-			segLen, err := r.ReadBits(*lb + floorLog2(np))
-			if err != nil {
-				return 0, err
+			if m := tc.Modes; m.Terminated() {
+				// One signalled length per codeword segment; commit each as
+				// its own body segment so pass accounting and segment layout
+				// stay consistent under mid-packet damage.
+				segs := m.AppendSegEnds(tc.segs[:0], st.passesCum[k], st.passesCum[k]+np)
+				tc.segs = segs
+				prev := st.passesCum[k]
+				for _, e := range segs {
+					segLen, err := r.ReadBits(*lb + floorLog2(e-prev))
+					if err != nil {
+						return 0, err
+					}
+					body = append(body, pendingSeg{id: id, segLen: int(segLen), np: e - prev,
+						st: st, k: k, closed: m.TermPass(e - 1)})
+					prev = e
+				}
+			} else {
+				segLen, err := r.ReadBits(*lb + floorLog2(np))
+				if err != nil {
+					return 0, err
+				}
+				body = append(body, pendingSeg{id: id, segLen: int(segLen), np: np, st: st, k: k})
 			}
-			body = append(body, pendingSeg{id: id, segLen: int(segLen), np: np, st: st, k: k})
 		}
 	}
 	tc.pend = body // keep the grown capacity for the next packet
@@ -664,6 +743,9 @@ func (tc *TileCoder) decodePacket(ci int, bands []BandBlocks, bandIdx []int,
 		}
 		if copyBody {
 			dec[p.id].Data = append(dec[p.id].Data, data[pos:pos+p.segLen]...)
+			if p.closed {
+				dec[p.id].SegEnds = append(dec[p.id].SegEnds, len(dec[p.id].Data))
+			}
 		}
 		p.st.passesCum[p.k] += p.np
 		dec[p.id].Passes += p.np
