@@ -6,6 +6,8 @@
 package pj2k
 
 import (
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"testing"
@@ -22,6 +24,7 @@ import (
 	"pj2k/internal/smp"
 	"pj2k/internal/spiht"
 	"pj2k/internal/t1"
+	"pj2k/internal/t2"
 )
 
 // benchKpix keeps the host-measured benches affordable; the experiments
@@ -327,6 +330,51 @@ func BenchmarkDecodeOneShot(b *testing.B) {
 		if _, err := jp2k.Decode(cs, jp2k.DecodeOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDecodeStream compares the two codestream source kinds through the
+// streaming decode path: resident bytes (mem) against a real file read via
+// io.ReaderAt (readerat). The spread between the two is the price of leaving
+// the stream on disk; allocs/op on the readerat variant watches the pooled
+// per-tile read buffer (a broken pool shows up as allocs scaling with tiles).
+func BenchmarkDecodeStream(b *testing.B) {
+	im := benchImage()
+	cs, _, err := jp2k.Encode(im, jp2k.Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, TileW: 128, TileH: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.j2k")
+	if err := os.WriteFile(path, cs, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fileSrc, err := t2.OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fileSrc.Close()
+	for _, sk := range []struct {
+		name string
+		src  *t2.Source
+	}{
+		{"mem", t2.BytesSource(cs)},
+		{"readerat", fileSrc},
+	} {
+		b.Run(sk.name, func(b *testing.B) {
+			dec := jp2k.NewDecoder()
+			defer dec.Close()
+			opts := jp2k.DecodeOptions{Workers: 4, VertMode: dwt.VertBlocked}
+			b.SetBytes(int64(im.Width * im.Height))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodeSource(sk.src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

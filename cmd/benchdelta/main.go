@@ -6,8 +6,11 @@
 //
 //	benchdelta -old BENCH_PR8.json -new bench-ci.json [-threshold 20] [-github]
 //
-// Output is one line per benchmark present in both files. Regressions beyond
-// the threshold (percent) are flagged; with -github they are additionally
+// Output is one line per benchmark present in both files. ns/op regressions
+// beyond the threshold (percent) are flagged, and an allocs/op count more
+// than double the baseline is flagged separately — allocation counts are
+// deterministic, so unlike wall time a jump there is a real change, usually a
+// pooled buffer that stopped being reused. With -github both are additionally
 // emitted as ::warning:: workflow annotations. The exit code is always 0:
 // shared CI hardware is too noisy to gate merges on wall time (the checked-in
 // snapshots come from quiet hardware; see ROADMAP.md's perf methodology), so
@@ -84,6 +87,16 @@ func main() {
 			if *github {
 				fmt.Printf("::warning title=bench regression::%s ns/op %+.1f%% (%.0f -> %.0f), threshold %.0f%%\n",
 					nr.Name, pct, or.NsPerOp, nr.NsPerOp, *threshold)
+			}
+		}
+		// Allocation counts are deterministic; >2x the baseline (including any
+		// growth from a zero-alloc baseline) means a reuse path broke.
+		if nr.AllocsPerOp > 2*or.AllocsPerOp {
+			regressed++
+			mark += fmt.Sprintf("  <-- ALLOCS %d -> %d", or.AllocsPerOp, nr.AllocsPerOp)
+			if *github {
+				fmt.Printf("::warning title=alloc regression::%s allocs/op %d -> %d (more than 2x baseline)\n",
+					nr.Name, or.AllocsPerOp, nr.AllocsPerOp)
 			}
 		}
 		fmt.Printf("%-60s %12.0f -> %10.0f ns/op  %+7.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, pct, mark)

@@ -37,12 +37,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*in)
+	// The codestream stays on disk: the decoder reads the headers, the
+	// tile-part chain, and the tile bodies through the file source directly,
+	// so decoding a window of a huge scene never pulls the whole file in.
+	src, err := t2.OpenFile(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer src.Close()
 	dec := jp2k.NewDecoder()
-	pl, err := dec.DecodePlanar(data, jp2k.DecodeOptions{
+	pl, err := dec.DecodePlanarSource(src, jp2k.DecodeOptions{
 		MaxLayers:     *layers,
 		DiscardLevels: *reduce,
 		Workers:       *workers,
@@ -89,7 +93,7 @@ func main() {
 	if *verbose {
 		st := dec.Stats()
 		fmt.Printf("  %d bytes in, %d tiles, %d code-blocks\n", st.BytesIn, st.Tiles, st.CodeBlocks)
-		if p, _, err := t2.ReadCodestream(data); err == nil {
+		if p, _, err := t2.ScanCodestream(src); err == nil {
 			if s := coderStyles(p); s != "" {
 				fmt.Printf("  coder styles: %s\n", s)
 			}

@@ -1,7 +1,9 @@
 // Command pj2kserve serves JPEG2000 codestreams progressively over HTTP:
 // windowed region decodes at any resolution/quality, layer-truncated
-// codestream slices, and geometry/stats endpoints. Images are indexed once
-// at startup; per-request work is bounded by the tiles a window touches and
+// codestream slices, and geometry/stats endpoints. Images are registered
+// lazily at startup — only headers and the tile-part chain are read, tile
+// bodies stay on disk — so memory scales with the tiles actually served, not
+// the corpus; per-request work is bounded by the tiles a window touches and
 // amortized by the decoded-tile cache.
 //
 //	pj2kserve -dir images/ [-addr :8732] [-cache-mb 256] [-tile-workers 1] \
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	"pj2k/internal/serve"
+	"pj2k/internal/t2"
 )
 
 func main() {
@@ -74,14 +77,17 @@ func main() {
 			log.Printf("warning: loading %s stopped early: %v", *dir, err)
 		}
 	}
-	// Positional arguments are individual codestream files.
+	// Positional arguments are individual codestream files, registered as
+	// lazy file-backed sources like -dir: startup reads headers and the
+	// tile-part chain, tile bodies stay on disk until a request needs them.
 	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
+		src, err := t2.OpenFile(path)
 		if err != nil {
 			log.Fatal(err)
 		}
 		id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		if _, err := store.Add(id, data); err != nil {
+		if _, err := store.AddSource(id, src); err != nil {
+			src.Close()
 			if !*resilient {
 				log.Fatal(err)
 			}
@@ -99,7 +105,7 @@ func main() {
 		img, _ := store.Get(id)
 		p := img.Params()
 		log.Printf("serving %q: %dx%d, %d components, %d tiles, %d levels, %d layers, %d bytes",
-			id, p.Width, p.Height, p.Components(), img.Index.NumTiles(), p.Levels, p.Layers, len(img.Data))
+			id, p.Width, p.Height, p.Components(), img.Index.NumTiles(), p.Levels, p.Layers, img.Size())
 	}
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
@@ -151,6 +157,9 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 		srv.Close()
+		if err := store.Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		}
 		if traceFile != nil {
 			trace.Stop()
 			if err := traceFile.Close(); err != nil {

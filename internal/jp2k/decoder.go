@@ -88,11 +88,19 @@ type Decoder struct {
 	walkFn  func(worker, si int)
 	blockFn func(worker, i int)
 	asmFn   func(worker, u int)
+	views   []raster.Strided // pooled dst views for the allocate-own path
 	cur     struct {
-		p        t2.Params
-		modes    t1.Modes // tier-1 coder modes signalled in COD
+		p     t2.Params
+		modes t1.Modes // tier-1 coder modes signalled in COD
+		// The codestream travels as either resident spans or materialized
+		// tile bodies: strict decodes carry src + spans (mem set when the
+		// source is resident bytes, so bodies alias instead of copy);
+		// resilient decodes carry the salvaged tiles slices.
+		src      *t2.Source
+		mem      []byte
+		spans    []t2.TileSpan
 		tiles    [][]byte
-		out      *raster.Planar
+		dst      []raster.Strided // one destination view per component
 		win      Rect
 		ncomp    int
 		nlayers  int
@@ -145,7 +153,8 @@ type compDec struct {
 // tileDec is the pooled per-tile decode state: geometry shared across
 // components plus one compDec per component.
 type tileDec struct {
-	data     []byte // tile-part body (aliases the codestream)
+	data     []byte // tile-part body (aliases the codestream or body below)
+	body     []byte // pooled read buffer for non-resident sources
 	w, h     int    // full-resolution tile dims
 	rtw, rth int    // reduced dims
 	ox, oy   int    // origin in the reduced image
@@ -235,7 +244,7 @@ func (d *Decoder) ensureWorkers(outer, inner, block int) {
 // lower resolutions of the stream. The returned image is freshly allocated
 // and caller-owned. Multi-component streams are an error; use DecodePlanar.
 func (d *Decoder) Decode(data []byte, opts DecodeOptions) (*raster.Image, error) {
-	pl, err := d.decode(data, opts, nil, true)
+	pl, err := d.decode(t2.BytesSource(data), opts, nil, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +255,7 @@ func (d *Decoder) Decode(data []byte, opts DecodeOptions) (*raster.Image, error)
 // inter-component transform when the stream flags it. The returned planes are
 // freshly allocated and caller-owned.
 func (d *Decoder) DecodePlanar(data []byte, opts DecodeOptions) (*raster.Planar, error) {
-	return d.decode(data, opts, nil, false)
+	return d.decode(t2.BytesSource(data), opts, nil, false, nil)
 }
 
 // DecodeRegion reconstructs only the requested window of a single-component
@@ -256,7 +265,7 @@ func (d *Decoder) DecodePlanar(data []byte, opts DecodeOptions) (*raster.Planar,
 // opts.DiscardLevels and is clamped to the image; the result is bit-identical
 // to cropping a full Decode for any worker count.
 func (d *Decoder) DecodeRegion(data []byte, region Rect, opts DecodeOptions) (*raster.Image, error) {
-	pl, err := d.decode(data, opts, &region, true)
+	pl, err := d.decode(t2.BytesSource(data), opts, &region, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +276,7 @@ func (d *Decoder) DecodeRegion(data []byte, region Rect, opts DecodeOptions) (*r
 // of the window is reconstructed (the inverse inter-component transform is
 // per-pixel, so it applies cleanly to windows).
 func (d *Decoder) DecodeRegionPlanar(data []byte, region Rect, opts DecodeOptions) (*raster.Planar, error) {
-	return d.decode(data, opts, &region, false)
+	return d.decode(t2.BytesSource(data), opts, &region, false, nil)
 }
 
 // walkTask parses one selected tile's packet headers and accumulates its
@@ -279,7 +288,25 @@ func (d *Decoder) walkTask(_, si int) {
 	ti := d.sel[si]
 	tx, ty := ti%ntx, ti/ntx
 	te := d.tiles[si]
-	te.data = d.cur.tiles[ti]
+	// Fetch the tile-part body: resilient decodes carry materialized tiles,
+	// strict decodes carry spans — aliased for resident bytes, read into the
+	// pooled per-tile buffer for a ReaderAt source (only selected tiles are
+	// ever read, which is what bounds a window decode's IO to its tiles).
+	if d.cur.tiles != nil {
+		te.data = d.cur.tiles[ti]
+	} else {
+		sp := d.cur.spans[ti]
+		if d.cur.mem != nil {
+			te.data = d.cur.mem[sp.Off:sp.End()]
+		} else {
+			te.body = grow(te.body, int(sp.Len))
+			if _, err := d.cur.src.ReadAt(te.body, sp.Off); err != nil {
+				d.tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
+				return
+			}
+			te.data = te.body
+		}
+	}
 	x0, y0 := tx*p.TileW, ty*p.TileH
 	te.w = min(x0+p.TileW, p.Width) - x0
 	te.h = min(y0+p.TileH, p.Height) - y0
@@ -395,7 +422,7 @@ func (d *Decoder) asmTask(worker, u int) {
 	lx0, ly0 := max(win.X0-te.ox, 0), max(win.Y0-te.oy, 0)
 	lx1, ly1 := min(win.X1-te.ox, te.rtw), min(win.Y1-te.oy, te.rth)
 	ox, oy := te.ox+lx0-win.X0, te.oy+ly0-win.Y0
-	dst := d.cur.out.Comps[ci]
+	dst := &d.cur.dst[ci]
 	outShift := d.cur.outShift
 	if p.Kernel == dwt.Rev53 {
 		cd.plane = reuseImage(cd.plane, te.rtw, te.rth)
@@ -410,7 +437,8 @@ func (d *Decoder) asmTask(worker, u int) {
 		dwt.Inverse53(cd.plane, d.cur.keep, st)
 		for y := ly0; y < ly1; y++ {
 			src := cd.plane.Row(y)[lx0:lx1]
-			drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
+			o := dst.Off + (oy+y-ly0)*dst.Stride + ox
+			drow := dst.Pix[o : o+lx1-lx0]
 			for x, v := range src {
 				drow[x] = v + outShift
 			}
@@ -427,7 +455,8 @@ func (d *Decoder) asmTask(worker, u int) {
 		dwt.Inverse97(fp, d.cur.keep, st)
 		for y := ly0; y < ly1; y++ {
 			src := fp.Data[y*fp.Stride+lx0 : y*fp.Stride+lx1]
-			drow := dst.Pix[(oy+y-ly0)*dst.Stride+ox : (oy+y-ly0)*dst.Stride+ox+lx1-lx0]
+			o := dst.Off + (oy+y-ly0)*dst.Stride + ox
+			drow := dst.Pix[o : o+lx1-lx0]
 			for x, v := range src {
 				if v >= 0 {
 					drow[x] = int32(v+0.5) + outShift
@@ -439,12 +468,15 @@ func (d *Decoder) asmTask(worker, u int) {
 	}
 }
 
-func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOnly bool) (*raster.Planar, error) {
+func (d *Decoder) decode(src *t2.Source, opts DecodeOptions, region *Rect, singleOnly bool, dst []raster.Strided) (*raster.Planar, error) {
 	// The task parameters and the pooled per-tile state alias the caller's
-	// codestream and the result; drop them on the way out so a pooled
-	// Decoder pins neither between calls.
+	// codestream, destination buffers and the result; drop them on the way
+	// out so a pooled Decoder pins none of them between calls.
 	defer func() {
-		d.cur.tiles, d.cur.out = nil, nil
+		d.cur.src, d.cur.mem, d.cur.spans, d.cur.tiles, d.cur.dst = nil, nil, nil, nil, nil
+		for i := range d.views {
+			d.views[i] = raster.Strided{}
+		}
 		for _, te := range d.tiles {
 			te.data = nil
 		}
@@ -453,13 +485,20 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	d.stats = DecodeStats{}
 	tParse := time.Now()
 	var p t2.Params
+	var spans []t2.TileSpan
 	var tiles [][]byte
 	var cdmg t2.ContainerDamage
 	var err error
 	if opts.Resilient {
-		p, tiles, cdmg, err = t2.ReadCodestreamResilient(data)
+		// Resilient salvage scans bytes the lazy walk never touches (Psot
+		// re-bounding, marker resync), so it materializes the stream once;
+		// for resident bytes that is a free alias.
+		var all []byte
+		if all, err = src.All(); err == nil {
+			p, tiles, cdmg, err = t2.ReadCodestreamResilient(all)
+		}
 	} else {
-		p, tiles, err = t2.ReadCodestream(data)
+		p, spans, err = t2.ScanCodestream(src)
 	}
 	if err != nil {
 		return nil, err
@@ -493,10 +532,11 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	keepLevels := p.Levels - discard
 
 	ntx, nty := p.NumTiles()
-	if len(tiles) != ntx*nty {
-		if !opts.Resilient {
-			return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
+	if !opts.Resilient {
+		if len(spans) != ntx*nty {
+			return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(spans), ntx, nty)
 		}
+	} else if len(tiles) != ntx*nty {
 		// Salvage: missing tile-parts decode as empty (gray) tiles, surplus
 		// ones are dropped.
 		if len(tiles) < ntx*nty {
@@ -539,7 +579,32 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	}
 	d.sel = sel
 	nsel := len(sel)
-	out := raster.NewPlanar(win.Dx(), win.Dy(), ncomp)
+
+	// Destination: caller-owned strided views (the Into entry points), or a
+	// freshly allocated planar wrapped in views so the assembly stage has one
+	// write path for both.
+	var out *raster.Planar
+	if dst == nil {
+		out = raster.NewPlanar(win.Dx(), win.Dy(), ncomp)
+		d.views = grow(d.views, ncomp)
+		for ci, c := range out.Comps {
+			d.views[ci] = raster.ViewOf(c)
+		}
+		dst = d.views[:ncomp]
+	} else {
+		if len(dst) != ncomp {
+			return nil, fmt.Errorf("jp2k: %d destination planes for a %d-component stream", len(dst), ncomp)
+		}
+		for ci := range dst {
+			if err := dst[ci].Check(); err != nil {
+				return nil, fmt.Errorf("jp2k: destination plane %d: %w", ci, err)
+			}
+			if dst[ci].Width != win.Dx() || dst[ci].Height != win.Dy() {
+				return nil, fmt.Errorf("jp2k: destination plane %d is %dx%d, decode window is %dx%d",
+					ci, dst[ci].Width, dst[ci].Height, win.Dx(), win.Dy())
+			}
+		}
+	}
 
 	// Worker split, as in Encoder: the tier-2 packet walk parallelizes over
 	// selected tiles; assembly + inverse transform over the tile x component
@@ -566,6 +631,9 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	// across tiles with pooled per-tile coding state.
 	d.cur.p = p
 	d.cur.modes = p.CoderModes()
+	d.cur.src = src
+	d.cur.mem = src.Mem()
+	d.cur.spans = spans
 	d.cur.tiles = tiles
 	d.cur.win = win
 	d.cur.ncomp = ncomp
@@ -659,7 +727,7 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	if mctActive {
 		outShift = 0
 	}
-	d.cur.out = out
+	d.cur.dst = dst
 	d.cur.outShift = outShift
 	tAsm := time.Now()
 	d.pool.TasksIDMax(outerA, nunits, d.asmFn)
@@ -668,27 +736,49 @@ func (d *Decoder) decode(data []byte, opts DecodeOptions, region *Rect, singleOn
 	// --- Inverse inter-component transform, when the stream flags MCT: the
 	// decoded planes hold Y/Cb/Cr (assembled without the level shift); rotate
 	// back to RGB with the legacy color container's arithmetic (the rotation
-	// operates on the rounded integer samples) and apply the shift once.
+	// operates on the rounded integer samples) and apply the shift once. The
+	// transforms are row-addressed, so caller-owned strided views transform
+	// in place without touching samples outside the view.
 	if mctActive {
 		tMCT := time.Now()
+		var comps []*raster.Image
+		if out != nil {
+			comps = out.Comps
+		} else {
+			comps = []*raster.Image{dst[0].Image(), dst[1].Image(), dst[2].Image()}
+		}
 		if p.Kernel == dwt.Rev53 {
-			if err := mct.InverseRCT(out.Comps[0], out.Comps[1], out.Comps[2], workers, d.pool); err != nil {
+			if err := mct.InverseRCT(comps[0], comps[1], comps[2], workers, d.pool); err != nil {
 				return nil, err
 			}
 		} else {
-			rotateICT(out.Comps, &d.mctFloats, workers, d.pool, mct.InverseICT)
+			rotateICT(comps, &d.mctFloats, workers, d.pool, mct.InverseICT)
 		}
-		for _, c := range out.Comps {
-			pix := c.Pix
-			d.pool.ForMax(workers, len(pix), func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					pix[i] += shift
+		for ci := range dst {
+			v := dst[ci]
+			if v.Compact() {
+				pix := v.Pix
+				d.pool.ForMax(workers, len(pix), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						pix[i] += shift
+					}
+				})
+				continue
+			}
+			// Strided view: shift row by row so samples outside the view —
+			// caller memory the decode does not own — are never touched.
+			d.pool.ForMax(workers, v.Height, func(lo, hi int) {
+				for y := lo; y < hi; y++ {
+					row := v.Row(y)
+					for x := range row {
+						row[x] += shift
+					}
 				}
 			})
 		}
 		d.stats.Timings.InterComp = time.Since(tMCT)
 	}
-	d.stats.BytesIn = len(data)
+	d.stats.BytesIn = int(src.Size())
 	d.stats.Tiles = nsel
 	d.stats.CodeBlocks = njobs
 	d.Metrics.recordDecode(&d.stats)

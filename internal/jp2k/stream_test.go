@@ -1,0 +1,412 @@
+package jp2k
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"pj2k/internal/dwt"
+	"pj2k/internal/faultinject"
+	"pj2k/internal/raster"
+	"pj2k/internal/t2"
+)
+
+// fileSource writes cs to a temp file and opens it as a t2.Source, so the
+// decode under test really goes through io.ReaderAt on the filesystem — the
+// acceptance path for the streaming decoder.
+func fileSource(t testing.TB, cs []byte) *t2.Source {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stream.j2k")
+	if err := os.WriteFile(path, cs, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := t2.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+func planarsEqual(t *testing.T, got, want *raster.Planar, label string) {
+	t.Helper()
+	if got.NComp() != want.NComp() || got.Width() != want.Width() || got.Height() != want.Height() {
+		t.Fatalf("%s: %dx%dx%d vs %dx%dx%d", label,
+			got.Width(), got.Height(), got.NComp(), want.Width(), want.Height(), want.NComp())
+	}
+	if !raster.PlanarEqual(got, want) {
+		t.Fatalf("%s: pixels differ", label)
+	}
+}
+
+// TestGoldenHashesFileSource is the streaming half of the bit-identity gate:
+// every golden and coder-modes stream, written to disk and decoded through a
+// file-backed Source, must come out pixel-identical to the in-memory []byte
+// decode (which TestGoldenHashes/TestCoderModesGoldenHashes pin to the
+// historical hashes). Together the two tests prove the ReaderAt path changes
+// nothing about WHAT is decoded, only where the bytes live.
+func TestGoldenHashesFileSource(t *testing.T) {
+	for _, gc := range append(goldenCases(), modeGoldenCases()...) {
+		t.Run(gc.name, func(t *testing.T) {
+			// gen output always begins with the codestream; the region-decode
+			// case appends raw pixels after EOC, which the parser never reads.
+			cs := gc.gen(t, 4)
+			want, err := DecodePlanar(cs, DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := NewDecoder()
+			defer dec.Close()
+			got, err := dec.DecodePlanarSource(fileSource(t, cs), DecodeOptions{})
+			if err != nil {
+				t.Fatalf("file-source decode: %v", err)
+			}
+			planarsEqual(t, got, want, "file source vs in-memory")
+		})
+	}
+}
+
+// TestDecodeRegionFileSource: windowed decodes through a file Source only
+// read the window's tiles, and must match the in-memory region decode for
+// every reduction.
+func TestDecodeRegionFileSource(t *testing.T) {
+	im := raster.Synthetic(256, 256, 41)
+	cs, _, err := Encode(im, Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, TileW: 64, TileH: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fileSource(t, cs)
+	dec := NewDecoder()
+	defer dec.Close()
+	for _, reg := range []Rect{
+		{X0: 50, Y0: 70, X1: 200, Y1: 130},
+		{X0: 0, Y0: 0, X1: 64, Y1: 64},
+		{X0: 63, Y0: 63, X1: 65, Y1: 65},
+	} {
+		for reduce := 0; reduce <= 2; reduce++ {
+			// Region coordinates live in the reduced grid.
+			rr := Rect{X0: reg.X0 >> reduce, Y0: reg.Y0 >> reduce, X1: reg.X1 >> reduce, Y1: reg.Y1 >> reduce}
+			opts := DecodeOptions{DiscardLevels: reduce}
+			want, err := DecodeRegion(cs, rr, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := dec.DecodeRegionSource(src, rr, opts)
+			if err != nil {
+				t.Fatalf("region %v reduce %d: %v", rr, reduce, err)
+			}
+			if !raster.Equal(got, want) {
+				t.Fatalf("region %v reduce %d: file-source decode differs", rr, reduce)
+			}
+		}
+	}
+}
+
+// strideGeometries returns the DecodeInto view shapes under test, each
+// building a view of the given size inside a deliberately awkward buffer:
+// compact, offset into a larger arena, padded rows, and a sub-rectangle of a
+// mosaic. The sentinel fill lets callers verify bytes outside the view are
+// never touched.
+func strideGeometries(w, h int) []struct {
+	name string
+	mk   func() raster.Strided
+} {
+	const sentinel = -77777
+	return []struct {
+		name string
+		mk   func() raster.Strided
+	}{
+		{"compact", func() raster.Strided {
+			v := raster.Strided{Pix: make([]int32, w*h), Stride: w, Width: w, Height: h}
+			v.Fill(sentinel)
+			return v
+		}},
+		{"offset", func() raster.Strided {
+			buf := make([]int32, 131+w*h+57)
+			for i := range buf {
+				buf[i] = sentinel
+			}
+			return raster.Strided{Pix: buf, Off: 131, Stride: w, Width: w, Height: h}
+		}},
+		{"padded-rows", func() raster.Strided {
+			stride := w + 29
+			buf := make([]int32, 5+stride*h)
+			for i := range buf {
+				buf[i] = sentinel
+			}
+			return raster.Strided{Pix: buf, Off: 5, Stride: stride, Width: w, Height: h}
+		}},
+		{"mosaic-subrect", func() raster.Strided {
+			parent := raster.Strided{
+				Pix: make([]int32, (w+100)*(h+80)), Stride: w + 100, Width: w + 100, Height: h + 80,
+			}
+			parent.Fill(sentinel)
+			sub, err := parent.Sub(60, 40, 60+w, 40+h)
+			if err != nil {
+				panic(err)
+			}
+			return sub
+		}},
+	}
+}
+
+// checkSentinels verifies every sample of v's backing buffer outside the view
+// still holds the sentinel — the decode wrote the view and nothing else.
+func checkSentinels(t *testing.T, v raster.Strided, label string) {
+	t.Helper()
+	const sentinel = -77777
+	inView := func(i int) bool {
+		rel := i - v.Off
+		if rel < 0 {
+			return false
+		}
+		y, x := rel/v.Stride, rel%v.Stride
+		return y < v.Height && x < v.Width
+	}
+	for i, s := range v.Pix {
+		if !inView(i) && s != sentinel {
+			t.Fatalf("%s: sample %d outside the view was overwritten (%d)", label, i, s)
+		}
+	}
+}
+
+// TestDecodeIntoMatchesDecode is the identity gate for caller-owned buffers:
+// for every golden stream and every view geometry, DecodeInto must produce
+// exactly Decode's pixels inside the view and must not touch a single sample
+// outside it.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	for _, gc := range append(goldenCases(), modeGoldenCases()...) {
+		t.Run(gc.name, func(t *testing.T) {
+			cs := gc.gen(t, 4)
+			want, err := DecodePlanar(cs, DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, h, nc := want.Width(), want.Height(), want.NComp()
+			src := fileSource(t, cs)
+			dec := NewDecoder()
+			defer dec.Close()
+			for _, g := range strideGeometries(w, h) {
+				views := make([]raster.Strided, nc)
+				for ci := range views {
+					views[ci] = g.mk()
+				}
+				var err error
+				if nc == 1 {
+					err = dec.DecodeInto(views[0], src, DecodeOptions{})
+				} else {
+					err = dec.DecodePlanarInto(views, src, DecodeOptions{})
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", g.name, err)
+				}
+				for ci := 0; ci < nc; ci++ {
+					wantC := want.Comps[ci]
+					for y := 0; y < h; y++ {
+						row := views[ci].Row(y)
+						wrow := wantC.Pix[y*wantC.Stride : y*wantC.Stride+w]
+						for x := range row {
+							if row[x] != wrow[x] {
+								t.Fatalf("%s: comp %d pixel (%d,%d) = %d, want %d",
+									g.name, ci, x, y, row[x], wrow[x])
+							}
+						}
+					}
+					checkSentinels(t, views[ci], g.name)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeRegionIntoMatchesCrop: a windowed DecodeRegionInto through a file
+// Source equals the windowed allocating decode for every geometry, including
+// decoding straight into the matching sub-rectangle of a full-size mosaic —
+// the tile-server assembly pattern.
+func TestDecodeRegionIntoMatchesCrop(t *testing.T) {
+	im := raster.Synthetic(256, 256, 41)
+	cs, _, err := Encode(im, Options{
+		Kernel: dwt.Irr97, LayerBPP: []float64{1.0}, TileW: 64, TileH: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fileSource(t, cs)
+	dec := NewDecoder()
+	defer dec.Close()
+	reg := Rect{X0: 50, Y0: 70, X1: 200, Y1: 130}
+	want, err := DecodeRegion(cs, reg, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := want.Width, want.Height
+	for _, g := range strideGeometries(w, h) {
+		v := g.mk()
+		if err := dec.DecodeRegionInto(v, src, reg, DecodeOptions{}); err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		for y := 0; y < h; y++ {
+			row := v.Row(y)
+			wrow := want.Pix[y*want.Stride : y*want.Stride+w]
+			for x := range row {
+				if row[x] != wrow[x] {
+					t.Fatalf("%s: pixel (%d,%d) = %d, want %d", g.name, x, y, row[x], wrow[x])
+				}
+			}
+		}
+		checkSentinels(t, v, g.name)
+	}
+}
+
+// TestDecodeIntoReuse drives one backing buffer through decodes of different
+// streams and geometries back to back — the recycling pattern DecodeInto
+// exists for. Every decode must match its allocating twin regardless of what
+// the buffer held before.
+func TestDecodeIntoReuse(t *testing.T) {
+	arena := make([]int32, 300*300)
+	dec := NewDecoder()
+	defer dec.Close()
+	for round := 0; round < 2; round++ {
+		for _, gc := range goldenCases()[:3] {
+			cs := gc.gen(t, 2)
+			want, err := Decode(cs, DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, h := want.Width, want.Height
+			// A different offset each case, over the same dirty arena.
+			v := raster.Strided{Pix: arena, Off: 17 * (round + 1), Stride: w + 13, Width: w, Height: h}
+			if err := v.Check(); err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.DecodeInto(v, t2.BytesSource(cs), DecodeOptions{}); err != nil {
+				t.Fatalf("%s round %d: %v", gc.name, round, err)
+			}
+			for y := 0; y < h; y++ {
+				row := v.Row(y)
+				wrow := want.Pix[y*want.Stride : y*want.Stride+w]
+				for x := range row {
+					if row[x] != wrow[x] {
+						t.Fatalf("%s round %d: pixel (%d,%d) differs", gc.name, round, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeIntoRejectsBadViews: geometry errors must surface before any
+// decoding work, with the caller's buffer untouched.
+func TestDecodeIntoRejectsBadViews(t *testing.T) {
+	cs, _, err := Encode(raster.Synthetic(64, 48, 3), Options{Kernel: dwt.Rev53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	defer dec.Close()
+	src := t2.BytesSource(cs)
+	bad := []raster.Strided{
+		{Pix: make([]int32, 64*48), Stride: 64, Width: 64, Height: 48, Off: 1}, // overruns
+		{Pix: make([]int32, 64*48), Stride: 63, Width: 64, Height: 48},         // stride < width
+		{Pix: make([]int32, 32*48), Stride: 32, Width: 32, Height: 48},         // wrong size
+		{Pix: make([]int32, 64*48), Stride: 64, Width: 64, Height: 40},         // wrong height
+	}
+	for i, v := range bad {
+		if err := dec.DecodeInto(v, src, DecodeOptions{}); err == nil {
+			t.Fatalf("bad view %d accepted", i)
+		}
+	}
+	// Wrong plane count for the stream.
+	if err := dec.DecodePlanarInto(make([]raster.Strided, 3), src, DecodeOptions{}); err == nil {
+		t.Fatal("3 planes accepted for a 1-component stream")
+	}
+}
+
+// TestResilientSourceKindsEqual runs the fault matrix over both source kinds:
+// resilient decode of a damaged stream must produce the same salvage whether
+// the bytes are resident or behind a file ReaderAt.
+func TestResilientSourceKindsEqual(t *testing.T) {
+	e := resilienceCorpus()[1] // lossy-tiled, plain
+	cs := encodeEntry(t, e)
+	for _, m := range faultinject.Mutations(cs, 99) {
+		t.Run(m.Name, func(t *testing.T) {
+			dm := NewDecoder()
+			memImg, memErr := dm.Decode(m.Data, DecodeOptions{Resilient: true})
+			df := NewDecoder()
+			fileImg, fileErr := df.DecodeSource(fileSource(t, m.Data), DecodeOptions{Resilient: true})
+			if (memErr == nil) != (fileErr == nil) {
+				t.Fatalf("outcome differs by source kind: mem err %v, file err %v", memErr, fileErr)
+			}
+			if memErr != nil {
+				return
+			}
+			if !raster.Equal(memImg, fileImg) {
+				t.Fatal("salvaged image differs between resident and file source")
+			}
+		})
+	}
+}
+
+// TestDecodeRegionIntoBoundedMemory is the peak-memory regression gate for
+// the streaming path: walking a many-tile image window by window through one
+// recycled DecodeRegionInto buffer must keep the heap bounded by the window's
+// tiles, far below the full image footprint. Gated off -short (CI runs the
+// full suite; `go test -short` skips it for quick local iteration).
+func TestDecodeRegionIntoBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("peak-memory walk skipped in -short mode")
+	}
+	const imgW, imgH, tile = 1536, 1536, 128 // 144 tiles, 9.4 MiB plane
+	cs, _, err := Encode(raster.Synthetic(imgW, imgH, 23), Options{
+		Kernel: dwt.Rev53, TileW: tile, TileH: tile, Levels: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fileSource(t, cs)
+	cs = nil // drop the resident copy; only the file remains
+
+	const win = 256 // 2x2 tiles per window
+	dec := NewDecoder()
+	defer dec.Close()
+	buf := make([]int32, win*win)
+	decodeWindow := func(x0, y0 int) {
+		x1, y1 := x0+win, y0+win
+		v := raster.Strided{Pix: buf, Stride: win, Width: x1 - x0, Height: y1 - y0}
+		if err := dec.DecodeRegionInto(v, src, Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}, DecodeOptions{}); err != nil {
+			t.Fatalf("window (%d,%d): %v", x0, y0, err)
+		}
+	}
+	// Warm the decoder's pools on one window, then baseline the heap: steady
+	// state is what the bound is about, not first-touch pool growth.
+	decodeWindow(0, 0)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	for y := 0; y < imgH; y += win {
+		for x := 0; x < imgW; x += win {
+			decodeWindow(x, y)
+		}
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	// The full image is imgW*imgH*4 ≈ 9.4 MiB per plane (and a resident
+	// decode holds several planes plus the codestream). Steady-state growth
+	// across a 36-window walk must stay far below one full plane; 2 MiB
+	// allows pool wobble while failing hard if anything starts accumulating
+	// whole-image state.
+	const capBytes = 2 << 20
+	full := uint64(imgW * imgH * 4)
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	t.Logf("heap growth %d bytes over the walk (full plane %d)", grew, full)
+	if grew > capBytes {
+		t.Fatalf("windowed walk grew the heap by %d bytes (cap %d, full plane %d) — "+
+			"region decode is no longer memory-bounded", grew, capBytes, full)
+	}
+}

@@ -1,0 +1,100 @@
+package raster
+
+import "fmt"
+
+// Strided is a view into caller-owned sample storage: the sample at (x, y) is
+// Pix[Off+y*Stride+x]. It is the destination type of the decoder's
+// DecodeInto entry points — a decode writes a window straight into a larger
+// raster (a mosaic, a reused arena, a sub-rectangle of a display buffer)
+// without an intermediate allocation. Unlike Image, the view carries an
+// explicit origin offset, so a sub-rectangle anywhere in a parent buffer is
+// expressible without reslicing Pix.
+//
+// A Strided is a value (three ints and a slice header); pass it by value.
+// Views of one buffer may be used concurrently as long as they do not
+// overlap.
+type Strided struct {
+	Pix           []int32
+	Off           int // index of sample (0, 0) in Pix
+	Stride        int // samples per row; Stride >= Width
+	Width, Height int
+}
+
+// ViewOf returns the Strided view covering im's visible rectangle.
+func ViewOf(im *Image) Strided {
+	return Strided{Pix: im.Pix, Stride: im.Stride, Width: im.Width, Height: im.Height}
+}
+
+// Check validates the view's geometry against its backing slice: every
+// addressable sample must fall inside Pix. Decode entry points call it before
+// writing so a mis-built view fails fast instead of scribbling or panicking
+// mid-decode.
+func (v Strided) Check() error {
+	if v.Width <= 0 || v.Height <= 0 {
+		return fmt.Errorf("raster: invalid view dimensions %dx%d", v.Width, v.Height)
+	}
+	if v.Stride < v.Width {
+		return fmt.Errorf("raster: view stride %d < width %d", v.Stride, v.Width)
+	}
+	if v.Off < 0 {
+		return fmt.Errorf("raster: negative view offset %d", v.Off)
+	}
+	if last := v.Off + (v.Height-1)*v.Stride + v.Width; last > len(v.Pix) {
+		return fmt.Errorf("raster: view needs %d samples, buffer holds %d", last, len(v.Pix))
+	}
+	return nil
+}
+
+// Row returns row y of the view as a slice aliasing the backing buffer.
+func (v Strided) Row(y int) []int32 {
+	o := v.Off + y*v.Stride
+	return v.Pix[o : o+v.Width]
+}
+
+// At returns the sample at (x, y).
+func (v Strided) At(x, y int) int32 { return v.Pix[v.Off+y*v.Stride+x] }
+
+// Sub returns the view of the rectangle (x0,y0)-(x1,y1) (exclusive) within v,
+// sharing storage.
+func (v Strided) Sub(x0, y0, x1, y1 int) (Strided, error) {
+	if x0 < 0 || y0 < 0 || x1 > v.Width || y1 > v.Height || x0 >= x1 || y0 >= y1 {
+		return Strided{}, fmt.Errorf("raster: invalid subview (%d,%d)-(%d,%d) of %dx%d",
+			x0, y0, x1, y1, v.Width, v.Height)
+	}
+	return Strided{
+		Pix:    v.Pix,
+		Off:    v.Off + y0*v.Stride + x0,
+		Stride: v.Stride,
+		Width:  x1 - x0,
+		Height: y1 - y0,
+	}, nil
+}
+
+// Compact reports whether the view is exactly a packed Width x Height buffer
+// (no offset, no row padding, no tail) — the shape whole-plane fast paths can
+// process as one flat slice.
+func (v Strided) Compact() bool {
+	return v.Off == 0 && v.Stride == v.Width && len(v.Pix) == v.Width*v.Height
+}
+
+// Image returns an Image header over the view's samples, sharing storage.
+// Row-based consumers (the inter-component transforms) address it correctly
+// for any offset and stride.
+func (v Strided) Image() *Image {
+	return &Image{
+		Width:  v.Width,
+		Height: v.Height,
+		Stride: v.Stride,
+		Pix:    v.Pix[v.Off : v.Off+(v.Height-1)*v.Stride+v.Width],
+	}
+}
+
+// Fill sets every sample of the view to val.
+func (v Strided) Fill(val int32) {
+	for y := 0; y < v.Height; y++ {
+		r := v.Row(y)
+		for x := range r {
+			r[x] = val
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package raster
+
+import "testing"
+
+func TestStridedCheck(t *testing.T) {
+	ok := Strided{Pix: make([]int32, 100), Stride: 10, Width: 10, Height: 10}
+	if err := ok.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The tightest legal buffer: the last row needs only Width samples, not a
+	// full stride.
+	tight := Strided{Pix: make([]int32, 5+3*12+7), Off: 5, Stride: 12, Width: 7, Height: 4}
+	if err := tight.Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Strided{
+		{Pix: make([]int32, 100), Stride: 10, Width: 0, Height: 10}, // zero width
+		{Pix: make([]int32, 100), Stride: 10, Width: 10, Height: 0}, // zero height
+		{Pix: make([]int32, 100), Stride: 9, Width: 10, Height: 10}, // stride < width
+		{Pix: make([]int32, 100), Off: -1, Stride: 10, Width: 10, Height: 10},
+		{Pix: make([]int32, 99), Stride: 10, Width: 10, Height: 10}, // one short
+		{Pix: make([]int32, 5+3*12+6), Off: 5, Stride: 12, Width: 7, Height: 4},
+	}
+	for i, v := range bad {
+		if err := v.Check(); err == nil {
+			t.Fatalf("bad view %d passed Check", i)
+		}
+	}
+}
+
+func TestStridedRowAtSub(t *testing.T) {
+	// A 4x3 view at offset 2 with stride 6; samples numbered by position.
+	pix := make([]int32, 2+2*6+4)
+	for i := range pix {
+		pix[i] = int32(i)
+	}
+	v := Strided{Pix: pix, Off: 2, Stride: 6, Width: 4, Height: 3}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 3; y++ {
+		row := v.Row(y)
+		if len(row) != 4 {
+			t.Fatalf("row %d length %d", y, len(row))
+		}
+		for x := 0; x < 4; x++ {
+			want := int32(2 + y*6 + x)
+			if row[x] != want || v.At(x, y) != want {
+				t.Fatalf("(%d,%d) = %d/%d, want %d", x, y, row[x], v.At(x, y), want)
+			}
+		}
+	}
+	sub, err := v.Sub(1, 1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Width != 2 || sub.Height != 2 || sub.Stride != 6 {
+		t.Fatalf("sub geometry %dx%d stride %d", sub.Width, sub.Height, sub.Stride)
+	}
+	if got, want := sub.At(0, 0), v.At(1, 1); got != want {
+		t.Fatalf("sub origin %d, parent (1,1) %d", got, want)
+	}
+	// Writes through the sub-view land in the parent's storage.
+	sub.Row(1)[1] = -9
+	if v.At(2, 2) != -9 {
+		t.Fatal("sub write did not alias parent storage")
+	}
+	for _, bad := range [][4]int{{-1, 0, 2, 2}, {0, 0, 5, 2}, {2, 2, 2, 3}, {3, 0, 1, 2}} {
+		if _, err := v.Sub(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Fatalf("Sub%v accepted", bad)
+		}
+	}
+}
+
+func TestStridedCompact(t *testing.T) {
+	if !(Strided{Pix: make([]int32, 12), Stride: 4, Width: 4, Height: 3}).Compact() {
+		t.Fatal("packed view not Compact")
+	}
+	loose := []Strided{
+		{Pix: make([]int32, 13), Stride: 4, Width: 4, Height: 3},         // tail sample
+		{Pix: make([]int32, 13), Off: 1, Stride: 4, Width: 4, Height: 3}, // offset
+		{Pix: make([]int32, 15), Stride: 5, Width: 4, Height: 3},         // padded rows
+	}
+	for i, v := range loose {
+		if v.Compact() {
+			t.Fatalf("view %d claims Compact", i)
+		}
+	}
+}
+
+func TestStridedImage(t *testing.T) {
+	v := Strided{Pix: make([]int32, 3+2*7+5), Off: 3, Stride: 7, Width: 5, Height: 3}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	v.Fill(0)
+	im := v.Image()
+	if im.Width != 5 || im.Height != 3 || im.Stride != 7 {
+		t.Fatalf("image geometry %dx%d stride %d", im.Width, im.Height, im.Stride)
+	}
+	// Row addressing through the Image must hit the same storage.
+	im.Row(2)[4] = 42
+	if v.At(4, 2) != 42 {
+		t.Fatal("Image row write did not land in the view")
+	}
+}
+
+func TestViewOfRoundTrip(t *testing.T) {
+	im := New(9, 4)
+	v := ViewOf(im)
+	if !v.Compact() && im.Stride == im.Width {
+		t.Fatal("ViewOf a packed image is not Compact")
+	}
+	v.Fill(7)
+	for _, p := range im.Pix {
+		if p != 7 {
+			t.Fatal("view fill missed image samples")
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"pj2k/internal/faultinject"
 	"pj2k/internal/jp2k"
 	"pj2k/internal/raster"
+	"pj2k/internal/t2"
 )
 
 // --- Failure-path tests: shedding, panics, deadlines, degraded decodes.
@@ -246,7 +247,7 @@ func TestServerResilientDamageCounters(t *testing.T) {
 	if len(spans) != 4 {
 		t.Fatalf("%d tile bodies, want 4", len(spans))
 	}
-	img.Data = faultinject.BitFlip(cs, spans[0], 16, 77)
+	img.src = t2.BytesSource(faultinject.BitFlip(cs, spans[0], 16, 77))
 
 	srv := New(store, Options{Resilient: true})
 	defer srv.Close()

@@ -376,7 +376,7 @@ func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, t
 	dec := s.decoders.Get().(*jp2k.Decoder)
 	defer s.decoders.Put(dec)
 	region := jp2k.Rect{X0: colW[tx], Y0: rowH[ty], X1: colW[tx+1], Y1: rowH[ty+1]}
-	pl, err = dec.DecodeRegionPlanar(img.Data, region, jp2k.DecodeOptions{
+	pl, err = dec.DecodeRegionPlanarSource(img.src, region, jp2k.DecodeOptions{
 		DiscardLevels: discard,
 		MaxLayers:     layers,
 		Workers:       s.opts.TileWorkers,
@@ -645,7 +645,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		TileW: p.TileW, TileH: p.TileH, Tiles: img.Index.NumTiles(),
 		Components: p.Components(), MCT: p.MCT,
 		Levels: p.Levels, Layers: p.Layers, BitDepth: p.BitDepth,
-		Kernel: kernel, Bytes: len(img.Data), PacketBytes: img.Index.TotalBytes(),
+		Kernel: kernel, Bytes: int(img.Size()), PacketBytes: img.Index.TotalBytes(),
 	}
 	for d := 0; d <= p.Levels; d++ {
 		colW, rowH := img.Grid(d)
@@ -673,10 +673,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	layers = img.ClampLayers(layers)
-	cs := img.Index.CodestreamPrefix(layers)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-PJ2K-Layers", strconv.Itoa(layers))
-	if _, err := w.Write(cs); err != nil {
+	// WritePrefix streams the truncated codestream straight to the response:
+	// no whole-prefix buffer, tile layer prefixes are written as they are
+	// indexed. Header and body errors alike land in the error counter — the
+	// status line is already gone, so counting is all that's left to do.
+	if _, err := img.Index.WritePrefix(w, layers); err != nil {
 		s.errors.Inc()
 	}
 }

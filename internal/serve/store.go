@@ -13,14 +13,22 @@ import (
 	"pj2k/internal/t2"
 )
 
-// Image is one served codestream: the raw bytes plus the packet index built
-// once at registration. Both are immutable after Add, so any number of
-// request goroutines share them without locking.
+// Image is one served codestream: the codestream Source (resident bytes or a
+// file/ReaderAt on disk) plus the packet index built over it. Both are
+// immutable after registration, so any number of request goroutines share
+// them without locking; the index's lazy per-tile packet maps are internally
+// synchronized.
 type Image struct {
 	ID    string
-	Data  []byte
+	src   *t2.Source
 	Index *t2.Index
 }
+
+// Source returns the codestream source the image is served from.
+func (im *Image) Source() *t2.Source { return im.src }
+
+// Size returns the codestream length in bytes.
+func (im *Image) Size() int64 { return im.src.Size() }
 
 // Params returns the codestream header parameters.
 func (im *Image) Params() t2.Params { return im.Index.Params }
@@ -54,8 +62,9 @@ func (im *Image) Grid(discard int) (colW, rowH []int) {
 	return jp2k.TileGrid(im.Index.Params, discard)
 }
 
-// Store is the registry of served images. Registration indexes the stream
-// (validating it end to end); lookups are lock-cheap and concurrent.
+// Store is the registry of served images. Registration validates the stream
+// container (eagerly for resident bytes, headers-only for lazy sources);
+// lookups are lock-cheap and concurrent.
 type Store struct {
 	mu   sync.RWMutex
 	imgs map[string]*Image
@@ -64,10 +73,10 @@ type Store struct {
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{imgs: make(map[string]*Image)} }
 
-// Add registers a codestream under id, building its packet index. A corrupt
-// or truncated stream is rejected here, at registration, so request handlers
-// never see an unindexable image. Re-adding an id replaces the image (the
-// caller should invalidate any tile cache).
+// Add registers a resident codestream under id, building its packet index
+// eagerly. A corrupt or truncated stream is rejected here, at registration,
+// so request handlers never see an unindexable image. Re-adding an id
+// replaces the image (the caller should invalidate any tile cache).
 func (s *Store) Add(id string, data []byte) (*Image, error) {
 	if id == "" {
 		return nil, fmt.Errorf("serve: empty image id")
@@ -76,11 +85,33 @@ func (s *Store) Add(id string, data []byte) (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: indexing %q: %w", id, err)
 	}
-	im := &Image{ID: id, Data: data, Index: ix}
+	return s.put(&Image{ID: id, src: ix.Source(), Index: ix}), nil
+}
+
+// AddSource registers a codestream source under id with lazy ingest: only
+// the main header and the tile-part chain are read at registration (no tile
+// bodies), so a directory of huge scenes registers in milliseconds and memory
+// scales with the tiles actually served, not the corpus. Container-level
+// damage (bad geometry, broken tile-part chain) is still rejected here;
+// packet-level damage inside a tile body surfaces on first touch of that
+// tile. The store takes ownership of src on success (Close releases it); on
+// error the caller still owns it.
+func (s *Store) AddSource(id string, src *t2.Source) (*Image, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: empty image id")
+	}
+	ix, err := t2.NewIndex(src)
+	if err != nil {
+		return nil, fmt.Errorf("serve: indexing %q: %w", id, err)
+	}
+	return s.put(&Image{ID: id, src: src, Index: ix}), nil
+}
+
+func (s *Store) put(im *Image) *Image {
 	s.mu.Lock()
-	s.imgs[id] = im
+	s.imgs[im.ID] = im
 	s.mu.Unlock()
-	return im, nil
+	return im
 }
 
 // Get returns the image registered under id.
@@ -121,9 +152,27 @@ func (s *Store) IDs() []string {
 	return ids
 }
 
+// Close releases every registered image's source (file-backed sources close
+// their files; byte sources are no-ops) and empties the store. Call it after
+// the server has drained; in-flight decodes reading a closed source fail
+// with a read error, they do not crash.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, im := range s.imgs {
+		if err := im.src.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.imgs, id)
+	}
+	return first
+}
+
 // LoadDir registers every *.j2k file in dir under its basename (without
-// extension). Returns the number of images added; the first indexing error
-// aborts the load.
+// extension), as lazy file-backed sources: registration reads each file's
+// headers and tile-part chain, never the tile bodies. Returns the number of
+// images added; the first indexing error aborts the load.
 func (s *Store) LoadDir(dir string) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -134,11 +183,12 @@ func (s *Store) LoadDir(dir string) (int, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".j2k") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		src, err := t2.OpenFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return n, err
 		}
-		if _, err := s.Add(strings.TrimSuffix(e.Name(), ".j2k"), data); err != nil {
+		if _, err := s.AddSource(strings.TrimSuffix(e.Name(), ".j2k"), src); err != nil {
+			src.Close()
 			return n, err
 		}
 		n++

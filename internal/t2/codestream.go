@@ -1,7 +1,6 @@
 package t2
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"pj2k/internal/dwt"
@@ -196,8 +195,21 @@ func appendQuant(out []byte, p Params, ci int) []byte {
 // in SIZ, the MCT flag in COD, component 0's quantization in QCD and one QCC
 // marker per further component.
 func WriteCodestream(p Params, tiles [][]byte) []byte {
+	out := appendMainHeader(nil, p)
+	for i, td := range tiles {
+		out = appendSOT(out, i, len(td))
+		out = append(out, td...)
+	}
+	out = put16(out, mEOC)
+	return out
+}
+
+// appendMainHeader serializes SOC plus the main-header markers (SIZ, COD,
+// QCD/QCC, RGN) — everything before the first tile-part. Shared between
+// WriteCodestream and Index.WritePrefix so a layer-truncated re-emission can
+// never drift from the canonical writer.
+func appendMainHeader(out []byte, p Params) []byte {
 	nc := p.Components()
-	var out []byte
 	out = put16(out, mSOC)
 
 	// SIZ
@@ -287,18 +299,18 @@ func WriteCodestream(p Params, tiles [][]byte) []byte {
 		}
 	}
 
-	// Tile-parts.
-	for i, td := range tiles {
-		out = put16(out, mSOT)
-		out = put16(out, 10)
-		out = put16(out, i)
-		out = put32(out, 12+2+len(td)) // Psot: SOT..end of data
-		out = append(out, 0, 1)        // TPsot, TNsot
-		out = put16(out, mSOD)
-		out = append(out, td...)
-	}
-	out = put16(out, mEOC)
 	return out
+}
+
+// appendSOT serializes one tile-part header: SOT through SOD, for a body of
+// bodyLen bytes.
+func appendSOT(out []byte, isot, bodyLen int) []byte {
+	out = put16(out, mSOT)
+	out = put16(out, 10)
+	out = put16(out, isot)
+	out = put32(out, 12+2+bodyLen) // Psot: SOT..end of data
+	out = append(out, 0, 1)        // TPsot, TNsot
+	return put16(out, mSOD)
 }
 
 func log2i(v int) int {
@@ -310,41 +322,9 @@ func log2i(v int) int {
 	return k
 }
 
-type reader struct {
-	data []byte
-	pos  int
-}
-
-func (r *reader) u16() (int, error) {
-	if r.pos+2 > len(r.data) {
-		return 0, fmt.Errorf("t2: truncated codestream at %d", r.pos)
-	}
-	v := int(binary.BigEndian.Uint16(r.data[r.pos:]))
-	r.pos += 2
-	return v, nil
-}
-
-func (r *reader) u32() (int, error) {
-	if r.pos+4 > len(r.data) {
-		return 0, fmt.Errorf("t2: truncated codestream at %d", r.pos)
-	}
-	v := int(binary.BigEndian.Uint32(r.data[r.pos:]))
-	r.pos += 4
-	return v, nil
-}
-
-func (r *reader) u8() (int, error) {
-	if r.pos >= len(r.data) {
-		return 0, fmt.Errorf("t2: truncated codestream at %d", r.pos)
-	}
-	v := int(r.data[r.pos])
-	r.pos++
-	return v, nil
-}
-
 // readQuant parses the shared tail of QCD/QCC (Sqcd/Sqcc byte plus per-band
 // values) given the byte count the marker length leaves for it.
-func (r *reader) readQuant(tail int) (guard int, mb []int, steps []quant.Step, err error) {
+func (r *sreader) readQuant(tail int) (guard int, mb []int, steps []quant.Step, err error) {
 	sq, err := r.u8()
 	if err != nil {
 		return 0, nil, nil, err
@@ -397,7 +377,8 @@ func (d ContainerDamage) Any() bool {
 // ReadCodestream parses a codestream produced by WriteCodestream, returning
 // the parameters and the per-tile packet data. Inconsistent per-component SIZ
 // fields (mismatched bit depths, subsampled components) are rejected with an
-// error, never a panic.
+// error, never a panic. It is the resident-bytes adapter over ScanCodestream;
+// the returned tile bodies alias data.
 func ReadCodestream(data []byte) (Params, [][]byte, error) {
 	p, tiles, _, err := readCodestream(data, false)
 	return p, tiles, err
@@ -415,65 +396,18 @@ func ReadCodestreamResilient(data []byte) (Params, [][]byte, ContainerDamage, er
 }
 
 func readCodestream(data []byte, resilient bool) (Params, [][]byte, ContainerDamage, error) {
-	var p Params
-	var dmg ContainerDamage
-	r := &reader{data: data}
-	if m, err := r.u16(); err != nil || m != mSOC {
-		return p, nil, dmg, fmt.Errorf("t2: missing SOC (got %#x, %v)", m, err)
+	p, spans, dmg, err := scanCodestream(BytesSource(data), resilient)
+	if err != nil {
+		return p, nil, dmg, err
 	}
 	var tiles [][]byte
-	var qccSeen []bool // per component: quantization pinned by a QCC marker
-	for {
-		m, err := r.u16()
-		if err != nil { // stream ends without EOC
-			if resilient {
-				dmg.Truncated = true
-				return p, tiles, dmg, nil
-			}
-			return p, nil, dmg, err
-		}
-		switch m {
-		case mSIZ:
-			if err = r.readSIZ(&p); err == nil {
-				qccSeen = make([]bool, p.NComp)
-			}
-		case mCOD:
-			err = r.readCOD(&p, resilient, &dmg)
-		case mQCD:
-			err = r.readQCD(&p, qccSeen)
-		case mQCC:
-			err = r.readQCC(&p, qccSeen)
-		case mRGN:
-			err = r.readRGN(&p)
-		case mSOT:
-			tiles, err = r.readTilePart(tiles, resilient, &dmg)
-		case mEOC:
-			return p, tiles, dmg, nil
-		default:
-			if !resilient {
-				return p, nil, dmg, fmt.Errorf("t2: unexpected marker %#x at %d", m, r.pos-2)
-			}
-			// Unknown or corrupt marker: skip it by its declared length, or
-			// give up on the remainder when that overruns the stream.
-			dmg.BadMarkers++
-			l, lerr := r.u16()
-			if lerr != nil || l < 2 || r.pos+l-2 > len(r.data) {
-				dmg.Truncated = true
-				return p, tiles, dmg, nil
-			}
-			r.pos += l - 2
-			continue
-		}
-		if err != nil {
-			if resilient {
-				// Mid-marker damage: keep what already parsed; the caller's
-				// CheckGeometry decides whether it is enough to decode.
-				dmg.Truncated = true
-				return p, tiles, dmg, nil
-			}
-			return p, nil, dmg, err
+	if len(spans) > 0 {
+		tiles = make([][]byte, len(spans))
+		for i, sp := range spans {
+			tiles[i] = data[sp.Off:sp.End()]
 		}
 	}
+	return p, tiles, dmg, nil
 }
 
 // readSIZ parses the SIZ segment into p, including the sanity limits that
@@ -482,7 +416,7 @@ func readCodestream(data []byte, resilient bool) (Params, [][]byte, ContainerDam
 // MaxImagePixels. The budget covers ALL components (decoders allocate one
 // plane per component), so a tiny header cannot multiply a legal per-plane
 // size by Csiz.
-func (r *reader) readSIZ(p *Params) error {
+func (r *sreader) readSIZ(p *Params) error {
 	if _, err := r.u16(); err != nil { // Lsiz
 		return err
 	}
@@ -571,7 +505,7 @@ const codBlockStyles = 0x2F
 // every code-block, so strict parsing rejects them; resilient parsing masks
 // them off — tier-1 concealment then bounds the damage per block — and counts
 // the salvage in dmg.BadStyles.
-func (r *reader) readCOD(p *Params, resilient bool, dmg *ContainerDamage) error {
+func (r *sreader) readCOD(p *Params, resilient bool, dmg *ContainerDamage) error {
 	if _, err := r.u16(); err != nil { // Lcod
 		return err
 	}
@@ -636,7 +570,7 @@ func (r *reader) readCOD(p *Params, resilient bool, dmg *ContainerDamage) error 
 	return nil
 }
 
-func (r *reader) readQCD(p *Params, qccSeen []bool) error {
+func (r *sreader) readQCD(p *Params, qccSeen []bool) error {
 	if p.NComp == 0 {
 		return fmt.Errorf("t2: QCD before SIZ")
 	}
@@ -659,7 +593,7 @@ func (r *reader) readQCD(p *Params, qccSeen []bool) error {
 	return nil
 }
 
-func (r *reader) readQCC(p *Params, qccSeen []bool) error {
+func (r *sreader) readQCC(p *Params, qccSeen []bool) error {
 	if p.NComp == 0 {
 		return fmt.Errorf("t2: QCC before SIZ")
 	}
@@ -684,7 +618,7 @@ func (r *reader) readQCC(p *Params, qccSeen []bool) error {
 	return nil
 }
 
-func (r *reader) readRGN(p *Params) error {
+func (r *sreader) readRGN(p *Params) error {
 	if _, err := r.u16(); err != nil { // Lrgn
 		return err
 	}
@@ -699,41 +633,6 @@ func (r *reader) readRGN(p *Params) error {
 		return err
 	}
 	return nil
-}
-
-// readTilePart parses one SOT..SOD tile-part header and appends the body to
-// tiles. In resilient mode an implausible Psot does not abort: the body is
-// re-bounded by scanning for the next tile-part boundary instead.
-func (r *reader) readTilePart(tiles [][]byte, resilient bool, dmg *ContainerDamage) ([][]byte, error) {
-	if _, err := r.u16(); err != nil { // Lsot
-		return tiles, err
-	}
-	if _, err := r.u16(); err != nil { // Isot
-		return tiles, err
-	}
-	psot, err := r.u32()
-	if err != nil {
-		return tiles, err
-	}
-	for i := 0; i < 2; i++ { // TPsot, TNsot
-		if _, err = r.u8(); err != nil {
-			return tiles, err
-		}
-	}
-	if m, err := r.u16(); err != nil || m != mSOD {
-		return tiles, fmt.Errorf("t2: missing SOD (got %#x, %v)", m, err)
-	}
-	dataLen := psot - 12 - 2
-	if dataLen < 0 || r.pos+dataLen > len(r.data) {
-		if !resilient {
-			return tiles, fmt.Errorf("t2: bad Psot %d", psot)
-		}
-		dmg.BadTileParts++
-		dataLen = findTilePartEnd(r.data, r.pos) - r.pos
-	}
-	tiles = append(tiles, r.data[r.pos:r.pos+dataLen])
-	r.pos += dataLen
-	return tiles, nil
 }
 
 // findTilePartEnd scans for the next tile-part boundary — an SOT or EOC

@@ -1,7 +1,10 @@
 package t2
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"sync"
 
 	"pj2k/internal/dwt"
 )
@@ -15,8 +18,9 @@ type Span struct {
 func (s Span) End() int { return s.Off + s.Len }
 
 // TileIndex locates every packet of one tile. Body aliases the parsed
-// codestream; Packets[component][layer][resolution] is the packet's byte
-// range within Body. Packets are contiguous in LRCP order (layer outer,
+// codestream for a resident-bytes Source (and is a private copy for a
+// reader-backed one); Packets[component][layer][resolution] is the packet's
+// byte range within Body. Packets are contiguous in LRCP order (layer outer,
 // resolution middle, component inner), so the body prefix through any layer
 // is a single range starting at offset 0.
 type TileIndex struct {
@@ -24,111 +28,10 @@ type TileIndex struct {
 	Packets [][][]Span
 }
 
-// Index is a parsed-once map of a codestream: the header parameters plus the
-// byte range of every packet (per tile x component x layer x resolution),
-// located by walking packet headers without entropy-decoding any code-block.
-// It is the substrate of the serving subsystem: a region/resolution/layer
-// request can be costed (RegionBytes) or sliced (CodestreamPrefix,
-// LayerPrefixLen) per request while the Index itself is built once and shared
-// read-only between any number of goroutines.
-type Index struct {
-	Params Params
-	Tiles  []TileIndex
-}
-
-// BuildIndex parses a codestream and locates every packet boundary. The walk
-// decodes only packet headers (tag trees, pass counts, length signalling);
-// block payloads are skipped, so indexing is cheap compared to decoding.
-// Corrupt or truncated streams yield an error, never a panic.
-func BuildIndex(data []byte) (*Index, error) {
-	p, tiles, err := ReadCodestream(data)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.CheckGeometry(); err != nil {
-		return nil, err
-	}
-	ntx, nty := p.NumTiles()
-	if len(tiles) != ntx*nty {
-		return nil, fmt.Errorf("t2: %d tile-parts for a %dx%d tile grid", len(tiles), ntx, nty)
-	}
-	nc := p.Components()
-	ix := &Index{Params: p, Tiles: make([]TileIndex, len(tiles))}
-	nbands := 1 + 3*p.Levels
-	comps := make([][]BandBlocks, nc)
-	for ci := range comps {
-		comps[ci] = make([]BandBlocks, nbands)
-	}
-	dec := make([][]DecodedBlock, nc)
-	var tc *TileCoder
-	for ti, body := range tiles {
-		tx, ty := ti%ntx, ti/ntx
-		x0, y0 := tx*p.TileW, ty*p.TileH
-		tw := min(x0+p.TileW, p.Width) - x0
-		th := min(y0+p.TileH, p.Height) - y0
-		for bi, b := range dwt.Subbands(tw, th, p.Levels) {
-			g := MakeGrid(b, p.CBW, p.CBH)
-			for ci := 0; ci < nc; ci++ {
-				comps[ci][bi] = BandBlocks{Grid: g, Mb: p.Mb[ci][bi]}
-			}
-		}
-		if tc == nil {
-			tc = NewTileCoderComps(comps)
-			tc.SOP, tc.EPH = p.UseSOP, p.UseEPH
-			tc.Modes = p.CoderModes()
-		} else {
-			tc.ResetComps(comps)
-		}
-		for ci := 0; ci < nc; ci++ {
-			dec[ci] = resetDec(dec[ci], tc.comps[ci].nblocks)
-		}
-		// Every packet costs at least one body byte (the empty-bit header),
-		// so the declared layer/level/component counts bound the body size.
-		// Checking before allocating keeps a tiny corrupt stream from
-		// demanding gigabytes of span bookkeeping.
-		if npackets := nc * p.Layers * (p.Levels + 1); npackets > len(body) {
-			return nil, fmt.Errorf("t2: tile %d declares %d packets but carries %d bytes",
-				ti, npackets, len(body))
-		}
-		packets := make([][][]Span, nc)
-		for ci := range packets {
-			packets[ci] = make([][]Span, p.Layers)
-			for li := range packets[ci] {
-				packets[ci][li] = make([]Span, p.Levels+1)
-			}
-		}
-		pos := 0
-		for li := 0; li < p.Layers; li++ {
-			for r := 0; r <= p.Levels; r++ {
-				bandIdx := dwt.BandsOfResolution(p.Levels, r)
-				for ci := 0; ci < nc; ci++ {
-					n, err := tc.decodePacket(ci, comps[ci], bandIdx, li, body[pos:], dec[ci], false)
-					if err != nil {
-						return nil, fmt.Errorf("t2: tile %d layer %d resolution %d component %d: %w",
-							ti, li, r, ci, err)
-					}
-					packets[ci][li][r] = Span{Off: pos, Len: n}
-					pos += n
-				}
-			}
-		}
-		ix.Tiles[ti] = TileIndex{Body: body, Packets: packets}
-	}
-	return ix, nil
-}
-
-// NumTiles returns the number of tiles in the indexed stream.
-func (ix *Index) NumTiles() int { return len(ix.Tiles) }
-
-// LayerPrefixLen returns the length of tile ti's body prefix that carries its
-// first `layers` quality layers (every resolution, every component). layers
-// outside [0, Params.Layers] is clamped. This is the embedded-stream property
-// LRCP ordering guarantees: fewer layers are always a contiguous prefix.
-func (ix *Index) LayerPrefixLen(ti, layers int) int {
-	t := &ix.Tiles[ti]
-	if layers > ix.Params.Layers {
-		layers = ix.Params.Layers
-	}
+// layerPrefixLen returns the length of the body prefix carrying the first
+// `layers` quality layers — the embedded-stream property LRCP ordering
+// guarantees: fewer layers are always a contiguous prefix.
+func (t *TileIndex) layerPrefixLen(layers int) int {
 	if layers <= 0 {
 		return 0
 	}
@@ -138,10 +41,186 @@ func (ix *Index) LayerPrefixLen(ti, layers int) int {
 	return last[len(last)-1].End()
 }
 
+// lazyTile is one tile's once-built packet map.
+type lazyTile struct {
+	once sync.Once
+	ti   TileIndex
+	err  error
+}
+
+// Index is a map of a codestream: the header parameters plus the byte range
+// of every packet (per tile x component x layer x resolution), located by
+// walking packet headers without entropy-decoding any code-block.
+//
+// Construction (NewIndex) is incremental: the main header and the SOT/Psot
+// tile-part chain are parsed eagerly — seeking tile to tile without reading
+// any body bytes — and each tile's packet-boundary map is built lazily on
+// first touch (Tile), guarded for concurrent use. It is the substrate of the
+// serving subsystem: a region/resolution/layer request can be costed
+// (RegionBytes) or sliced (WritePrefix, LayerPrefixLen) per request while the
+// Index itself is built once and shared between any number of goroutines.
+type Index struct {
+	Params Params
+	src    *Source
+	spans  []TileSpan
+	tiles  []lazyTile
+}
+
+// NewIndex scans a codestream's main header and tile-part chain and returns
+// the lazy index over it. Geometry and tile-grid consistency are validated
+// here; per-tile packet walks happen on first Tile touch. The Index retains
+// src (and reads from it lazily); the caller keeps ownership and must keep it
+// open for the Index's lifetime.
+func NewIndex(src *Source) (*Index, error) {
+	p, spans, err := ScanCodestream(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.CheckGeometry(); err != nil {
+		return nil, err
+	}
+	ntx, nty := p.NumTiles()
+	if len(spans) != ntx*nty {
+		return nil, fmt.Errorf("t2: %d tile-parts for a %dx%d tile grid", len(spans), ntx, nty)
+	}
+	return &Index{Params: p, src: src, spans: spans, tiles: make([]lazyTile, len(spans))}, nil
+}
+
+// BuildIndex parses a resident codestream and locates every packet boundary
+// eagerly — NewIndex over a BytesSource with every tile forced, so a corrupt
+// stream is fully rejected here rather than on first touch. The walk decodes
+// only packet headers (tag trees, pass counts, length signalling); block
+// payloads are skipped, so indexing is cheap compared to decoding. Corrupt or
+// truncated streams yield an error, never a panic.
+func BuildIndex(data []byte) (*Index, error) {
+	ix, err := NewIndex(BytesSource(data))
+	if err != nil {
+		return nil, err
+	}
+	for ti := range ix.tiles {
+		if _, err := ix.Tile(ti); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Source returns the Source the index reads from.
+func (ix *Index) Source() *Source { return ix.src }
+
+// NumTiles returns the number of tiles in the indexed stream.
+func (ix *Index) NumTiles() int { return len(ix.spans) }
+
+// Tile returns tile ti's packet map, building it on first touch. Concurrent
+// calls for the same tile coalesce on a per-tile once; calls for different
+// tiles build independently (each walk uses its own coder state), so disjoint
+// tiles of one Index can be forced from many goroutines at once. The build
+// result — spans or a per-tile parse error — is memoized for the life of the
+// Index.
+func (ix *Index) Tile(ti int) (*TileIndex, error) {
+	if ti < 0 || ti >= len(ix.tiles) {
+		return nil, fmt.Errorf("t2: tile %d of %d", ti, len(ix.tiles))
+	}
+	lt := &ix.tiles[ti]
+	lt.once.Do(func() { lt.ti, lt.err = ix.buildTile(ti) })
+	if lt.err != nil {
+		return nil, lt.err
+	}
+	return &lt.ti, nil
+}
+
+// buildTile reads one tile-part body and walks its packet headers into a
+// TileIndex. All state is local, so concurrent builds of different tiles
+// never share coder scratch.
+func (ix *Index) buildTile(ti int) (TileIndex, error) {
+	p := ix.Params
+	sp := ix.spans[ti]
+	var body []byte
+	if m := ix.src.Mem(); m != nil {
+		body = m[sp.Off:sp.End()]
+	} else {
+		body = make([]byte, sp.Len)
+		if _, err := ix.src.ReadAt(body, sp.Off); err != nil {
+			return TileIndex{}, fmt.Errorf("t2: tile %d body: %w", ti, err)
+		}
+	}
+	nc := p.Components()
+	nbands := 1 + 3*p.Levels
+	ntx, _ := p.NumTiles()
+	tx, ty := ti%ntx, ti/ntx
+	x0, y0 := tx*p.TileW, ty*p.TileH
+	tw := min(x0+p.TileW, p.Width) - x0
+	th := min(y0+p.TileH, p.Height) - y0
+	comps := make([][]BandBlocks, nc)
+	for ci := range comps {
+		comps[ci] = make([]BandBlocks, nbands)
+	}
+	for bi, b := range dwt.Subbands(tw, th, p.Levels) {
+		g := MakeGrid(b, p.CBW, p.CBH)
+		for ci := 0; ci < nc; ci++ {
+			comps[ci][bi] = BandBlocks{Grid: g, Mb: p.Mb[ci][bi]}
+		}
+	}
+	tc := NewTileCoderComps(comps)
+	tc.SOP, tc.EPH = p.UseSOP, p.UseEPH
+	tc.Modes = p.CoderModes()
+	dec := make([][]DecodedBlock, nc)
+	for ci := 0; ci < nc; ci++ {
+		dec[ci] = resetDec(dec[ci], tc.comps[ci].nblocks)
+	}
+	// Every packet costs at least one body byte (the empty-bit header), so
+	// the declared layer/level/component counts bound the body size. Checking
+	// before allocating keeps a tiny corrupt stream from demanding gigabytes
+	// of span bookkeeping.
+	if npackets := nc * p.Layers * (p.Levels + 1); npackets > len(body) {
+		return TileIndex{}, fmt.Errorf("t2: tile %d declares %d packets but carries %d bytes",
+			ti, npackets, len(body))
+	}
+	packets := make([][][]Span, nc)
+	for ci := range packets {
+		packets[ci] = make([][]Span, p.Layers)
+		for li := range packets[ci] {
+			packets[ci][li] = make([]Span, p.Levels+1)
+		}
+	}
+	pos := 0
+	for li := 0; li < p.Layers; li++ {
+		for r := 0; r <= p.Levels; r++ {
+			bandIdx := dwt.BandsOfResolution(p.Levels, r)
+			for ci := 0; ci < nc; ci++ {
+				n, err := tc.decodePacket(ci, comps[ci], bandIdx, li, body[pos:], dec[ci], false)
+				if err != nil {
+					return TileIndex{}, fmt.Errorf("t2: tile %d layer %d resolution %d component %d: %w",
+						ti, li, r, ci, err)
+				}
+				packets[ci][li][r] = Span{Off: pos, Len: n}
+				pos += n
+			}
+		}
+	}
+	return TileIndex{Body: body, Packets: packets}, nil
+}
+
+// LayerPrefixLen returns the length of tile ti's body prefix that carries its
+// first `layers` quality layers (every resolution, every component). layers
+// outside [0, Params.Layers] is clamped. Forces the tile's packet map.
+func (ix *Index) LayerPrefixLen(ti, layers int) (int, error) {
+	t, err := ix.Tile(ti)
+	if err != nil {
+		return 0, err
+	}
+	if layers > ix.Params.Layers {
+		layers = ix.Params.Layers
+	}
+	return t.layerPrefixLen(layers), nil
+}
+
 // RegionBytes sums the packet bytes a decode of the given tiles at the given
 // discard-levels/layer limit must touch, across every component — the payload
 // cost of a window request, before any caching. discard and layers are
-// clamped to the stream.
+// clamped to the stream. Only the listed tiles are forced; a tile whose
+// packet walk fails contributes zero (the serving path surfaces the error
+// when the tile is actually decoded).
 func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
 	p := ix.Params
 	if discard < 0 {
@@ -156,10 +235,11 @@ func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
 	maxRes := p.Levels - discard
 	total := 0
 	for _, ti := range tiles {
-		if ti < 0 || ti >= len(ix.Tiles) {
+		t, err := ix.Tile(ti)
+		if err != nil {
 			continue
 		}
-		for _, comp := range ix.Tiles[ti].Packets {
+		for _, comp := range t.Packets {
 			for li := 0; li < layers; li++ {
 				for r := 0; r <= maxRes; r++ {
 					total += comp[li][r].Len
@@ -171,10 +251,14 @@ func (ix *Index) RegionBytes(tiles []int, discard, layers int) int {
 }
 
 // TotalBytes returns the packet bytes of the whole stream (all tiles, all
-// components, all layers, all resolutions).
+// components, all layers, all resolutions), forcing every tile's packet map.
 func (ix *Index) TotalBytes() int {
 	total := 0
-	for _, t := range ix.Tiles {
+	for ti := range ix.tiles {
+		t, err := ix.Tile(ti)
+		if err != nil {
+			continue
+		}
 		for _, comp := range t.Packets {
 			for _, spans := range comp {
 				for _, s := range spans {
@@ -186,13 +270,14 @@ func (ix *Index) TotalBytes() int {
 	return total
 }
 
-// CodestreamPrefix re-emits a valid standalone codestream carrying only the
-// first maxLayers quality layers of every tile: the progressive-refinement
+// WritePrefix streams a valid standalone codestream carrying only the first
+// maxLayers quality layers of every tile to w: the progressive-refinement
 // primitive a server sends to a client that asked for a coarse image now and
-// will fetch more layers later. maxLayers is clamped to [1, Params.Layers];
-// with maxLayers >= Params.Layers the result is equivalent to the original
-// stream (modulo any bytes outside the indexed packets).
-func (ix *Index) CodestreamPrefix(maxLayers int) []byte {
+// will fetch more layers later — without buffering the re-emitted stream.
+// maxLayers is clamped to [1, Params.Layers]; with maxLayers >= Params.Layers
+// the result is equivalent to the original stream (modulo any bytes outside
+// the indexed packets). Returns the bytes written.
+func (ix *Index) WritePrefix(w io.Writer, maxLayers int) (int64, error) {
 	p := ix.Params
 	if maxLayers < 1 {
 		maxLayers = 1
@@ -200,10 +285,44 @@ func (ix *Index) CodestreamPrefix(maxLayers int) []byte {
 	if maxLayers > p.Layers {
 		maxLayers = p.Layers
 	}
-	p.Layers = maxLayers
-	bodies := make([][]byte, len(ix.Tiles))
-	for ti := range ix.Tiles {
-		bodies[ti] = ix.Tiles[ti].Body[:ix.LayerPrefixLen(ti, maxLayers)]
+	hp := p
+	hp.Layers = maxLayers
+	var written int64
+	scratch := appendMainHeader(nil, hp)
+	n, err := w.Write(scratch)
+	written += int64(n)
+	if err != nil {
+		return written, err
 	}
-	return WriteCodestream(p, bodies)
+	for ti := range ix.spans {
+		t, err := ix.Tile(ti)
+		if err != nil {
+			return written, err
+		}
+		pl := t.layerPrefixLen(maxLayers)
+		n, err = w.Write(appendSOT(scratch[:0], ti, pl))
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		n, err = w.Write(t.Body[:pl])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	n, err = w.Write(put16(scratch[:0], mEOC))
+	written += int64(n)
+	return written, err
+}
+
+// CodestreamPrefix is WritePrefix materialized into a fresh slice, for
+// callers that need the truncated stream as bytes (tests, re-encoding).
+// Serving paths should prefer WritePrefix, which does not buffer.
+func (ix *Index) CodestreamPrefix(maxLayers int) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := ix.WritePrefix(&buf, maxLayers); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

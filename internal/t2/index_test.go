@@ -47,7 +47,11 @@ func TestIndexSpansPartitionTileBodies(t *testing.T) {
 			t.Fatalf("case %d: %d tiles indexed, grid %dx%d", ci, ix.NumTiles(), ntx, nty)
 		}
 		nc := p.Components()
-		for ti, tile := range ix.Tiles {
+		for ti := 0; ti < ix.NumTiles(); ti++ {
+			tile, err := ix.Tile(ti)
+			if err != nil {
+				t.Fatalf("case %d tile %d: %v", ci, ti, err)
+			}
 			if len(tile.Packets) != nc {
 				t.Fatalf("case %d tile %d: %d components indexed, want %d", ci, ti, len(tile.Packets), nc)
 			}
@@ -100,7 +104,10 @@ func TestIndexCodestreamPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	for n := 1; n <= ix.Params.Layers; n++ {
-		pre := ix.CodestreamPrefix(n)
+		pre, err := ix.CodestreamPrefix(n)
+		if err != nil {
+			t.Fatalf("layers=%d: %v", n, err)
+		}
 		if n < ix.Params.Layers && len(pre) >= len(cs) {
 			t.Fatalf("layers=%d: prefix (%d bytes) not smaller than original (%d)", n, len(pre), len(cs))
 		}
@@ -152,8 +159,16 @@ func TestIndexByteAccounting(t *testing.T) {
 		}
 		prev = n
 	}
-	for ti := range ix.Tiles {
-		if got, want := ix.LayerPrefixLen(ti, ix.Params.Layers), len(ix.Tiles[ti].Body); got != want {
+	for ti := 0; ti < ix.NumTiles(); ti++ {
+		tile, err := ix.Tile(ti)
+		if err != nil {
+			t.Fatalf("tile %d: %v", ti, err)
+		}
+		full, err := ix.LayerPrefixLen(ti, ix.Params.Layers)
+		if err != nil {
+			t.Fatalf("tile %d: %v", ti, err)
+		}
+		if got, want := full, len(tile.Body); got != want {
 			t.Fatalf("tile %d: full layer prefix %d != body %d", ti, got, want)
 		}
 	}
@@ -181,7 +196,11 @@ func TestIndexColorStream(t *testing.T) {
 		t.Fatalf("indexed params: %d components, MCT %v", p.Components(), p.MCT)
 	}
 	// Spans partition each body in LRCP order across the three components.
-	for ti, tile := range ix.Tiles {
+	for ti := 0; ti < ix.NumTiles(); ti++ {
+		tile, err := ix.Tile(ti)
+		if err != nil {
+			t.Fatalf("tile %d: %v", ti, err)
+		}
 		pos := 0
 		for li := 0; li < p.Layers; li++ {
 			for r := 0; r <= p.Levels; r++ {
@@ -207,7 +226,10 @@ func TestIndexColorStream(t *testing.T) {
 	}
 	// Layer truncation: the re-emitted 1-layer color stream decodes exactly
 	// as MaxLayers=1.
-	pre := ix.CodestreamPrefix(1)
+	pre, err := ix.CodestreamPrefix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := jp2k.DecodePlanar(pre, jp2k.DecodeOptions{})
 	if err != nil {
 		t.Fatalf("decoding prefix: %v", err)
