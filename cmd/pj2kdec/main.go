@@ -82,10 +82,17 @@ func main() {
 		if dmg := dec.Damage(); dmg.Damaged() {
 			fmt.Fprintf(os.Stderr, "pj2kdec: %s: %s\n", *in, dmg)
 			for _, td := range dmg.Tiles {
+				// IO damage is a different operational problem than corrupt
+				// bits (fix the storage, not the file), so it gets its own
+				// marker on the tile line.
+				io := ""
+				if td.IOUnreadable > 0 {
+					io = "; body UNREADABLE (IO) — tile concealed"
+				}
 				fmt.Fprintf(os.Stderr, "  tile %d: %d bad packets, %d resynced, %d lost, "+
-					"%d blocks concealed, %d passes dropped\n",
+					"%d blocks concealed, %d passes dropped%s\n",
 					td.Tile, td.BadPackets, td.PacketsResynced, td.PacketsLost,
-					td.BlocksConcealed, td.PassesDropped)
+					td.BlocksConcealed, td.PassesDropped, io)
 			}
 		}
 	}

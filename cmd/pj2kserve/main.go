@@ -8,13 +8,18 @@
 //
 //	pj2kserve -dir images/ [-addr :8732] [-cache-mb 256] [-tile-workers 1] \
 //	          [-timeout 0] [-max-inflight 64] [-resilient] \
+//	          [-io-retries 2] [-io-read-timeout 0] \
 //	          [-pprof] [-trace-out trace.out]
 //
 // The hardening knobs: -timeout bounds each decode-bearing request (504 past
 // the deadline), -max-inflight sheds excess load with 503 + Retry-After
 // instead of queueing without bound, and -resilient serves damaged
 // codestreams degraded (concealed tiles + damage counters in /stats) instead
-// of failing them.
+// of failing them. The IO fault-tolerance knobs: -io-retries retries
+// transient source-read failures with exponential backoff, and
+// -io-read-timeout abandons (and retries) reads a stalled disk or mount
+// never answers; an image whose source keeps failing is quarantined
+// (503 + Retry-After) and re-probed in the background until it reads again.
 //
 // The observability knobs: -pprof mounts net/http/pprof under /debug/pprof/
 // (off by default — profiles expose internals and cost CPU), and -trace-out
@@ -60,6 +65,10 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight,
 		"max concurrently admitted decode requests before shedding with 503 (-1 = unbounded)")
 	resilient := flag.Bool("resilient", false, "serve damaged codestreams degraded instead of failing them")
+	ioRetries := flag.Int("io-retries", serve.DefaultIORetries,
+		"retries per source read after a transient IO failure (0 disables retries)")
+	ioReadTimeout := flag.Duration("io-read-timeout", 0,
+		"per-read deadline on source IO; a stalled read is abandoned and retried (0 = unbounded)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceOut := flag.String("trace-out", "", "record a runtime execution trace to this file until shutdown")
 	flag.Parse()
@@ -68,13 +77,13 @@ func main() {
 	n := 0
 	if *dir != "" {
 		var err error
-		if n, err = store.LoadDir(*dir); err != nil {
-			// In resilient mode one unindexable file degrades to a warning
-			// instead of taking the whole instance down with it.
-			if !*resilient {
-				log.Fatalf("loading %s: %v", *dir, err)
-			}
-			log.Printf("warning: loading %s stopped early: %v", *dir, err)
+		n, err = store.LoadDir(*dir)
+		if err != nil {
+			// LoadDir skips unloadable files and keeps going; what arrives
+			// here is the joined per-file errors. One corrupt file is a
+			// warning, not a reason to take the whole instance down — unless
+			// nothing at all loaded, which the n == 0 exit below catches.
+			log.Printf("warning: loading %s: %v", *dir, err)
 		}
 	}
 	// Positional arguments are individual codestream files, registered as
@@ -111,14 +120,20 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // explicit off, not the package default
 	}
+	retries := *ioRetries
+	if retries <= 0 {
+		retries = -1 // explicit off, not the package default
+	}
 	srv := serve.New(store, serve.Options{
-		CacheBytes:  cacheBytes,
-		TileWorkers: *tileWorkers,
-		MaxPixels:   *maxMPix << 20,
-		Timeout:     *timeout,
-		MaxInFlight: *maxInFlight,
-		Resilient:   *resilient,
-		Pprof:       *pprofOn,
+		CacheBytes:    cacheBytes,
+		TileWorkers:   *tileWorkers,
+		MaxPixels:     *maxMPix << 20,
+		Timeout:       *timeout,
+		MaxInFlight:   *maxInFlight,
+		Resilient:     *resilient,
+		IORetries:     retries,
+		IOReadTimeout: *ioReadTimeout,
+		Pprof:         *pprofOn,
 	})
 
 	// The execution trace runs until shutdown, so -trace-out needs the server

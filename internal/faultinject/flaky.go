@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// FlakyConfig shapes the IO faults a FlakyReaderAt injects. Which reads are
+// hit is selected by FailNth and/or FailSpan (when both are set, both must
+// match); what happens to a matching read is selected by Stall / ShortRead /
+// Transient. With neither selector set no read ever faults. Everything is
+// deterministic given the sequence of ReadAt calls, so a failing test
+// reproduces from its config and call order alone.
+type FlakyConfig struct {
+	// FailNth makes the Nth ReadAt call (1-based) and every later one match.
+	// Zero disables call-ordinal matching.
+	FailNth int
+	// FailSpan makes reads lying entirely inside the span match — the shape
+	// that targets tile-body reads (which fetch exactly the damaged range)
+	// without also killing the coarse chunked header scans that merely pass
+	// over it. Zero Len disables range matching.
+	FailSpan Span
+	// Recover heals the fault after this many injected failures — the
+	// fail-then-recover shape a retry layer must absorb. Zero never heals.
+	Recover int
+	// Stall makes matching reads sleep this long and then succeed, instead
+	// of failing — the shape a per-read deadline must catch.
+	Stall time.Duration
+	// ShortRead makes matching reads return half the requested bytes with a
+	// nil error — the io.ReaderAt contract violation a wrapper must detect.
+	ShortRead bool
+	// Transient makes injected errors advertise Temporary() == true, so a
+	// classifier sees them as retryable.
+	Transient bool
+}
+
+// FlakyReaderAt wraps an io.ReaderAt and injects the configured faults. It
+// is safe for concurrent use (decode workers read tiles in parallel): the
+// call ordinal, failure count and healed flag are all atomic.
+type FlakyReaderAt struct {
+	r   io.ReaderAt
+	cfg FlakyConfig
+
+	calls    atomic.Int64
+	failures atomic.Int64
+	healed   atomic.Bool
+}
+
+// NewFlaky returns a FlakyReaderAt over r with the given fault shape.
+func NewFlaky(r io.ReaderAt, cfg FlakyConfig) *FlakyReaderAt {
+	return &FlakyReaderAt{r: r, cfg: cfg}
+}
+
+// Heal switches every fault off: subsequent reads pass straight through.
+// Tests use it to model a source that recovered (quarantine re-probe).
+func (f *FlakyReaderAt) Heal() { f.healed.Store(true) }
+
+// Break re-arms the fault shape after a Heal.
+func (f *FlakyReaderAt) Break() { f.healed.Store(false) }
+
+// Calls returns the number of ReadAt calls observed.
+func (f *FlakyReaderAt) Calls() int64 { return f.calls.Load() }
+
+// Failures returns the number of faults injected so far.
+func (f *FlakyReaderAt) Failures() int64 { return f.failures.Load() }
+
+func (f *FlakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	call := f.calls.Add(1)
+	if f.healed.Load() || !f.matches(call, off, len(p)) {
+		return f.r.ReadAt(p, off)
+	}
+	n := f.failures.Add(1)
+	if f.cfg.Recover > 0 && n > int64(f.cfg.Recover) {
+		f.healed.Store(true)
+		return f.r.ReadAt(p, off)
+	}
+	switch {
+	case f.cfg.Stall > 0:
+		time.Sleep(f.cfg.Stall)
+		return f.r.ReadAt(p, off)
+	case f.cfg.ShortRead:
+		half := len(p) / 2
+		n, _ := f.r.ReadAt(p[:half], off)
+		return n, nil
+	default:
+		return 0, flakyError{transient: f.cfg.Transient}
+	}
+}
+
+func (f *FlakyReaderAt) matches(call, off int64, n int) bool {
+	nth, span := f.cfg.FailNth > 0, f.cfg.FailSpan.Len > 0
+	if !nth && !span {
+		return false
+	}
+	if nth && call < int64(f.cfg.FailNth) {
+		return false
+	}
+	if span && (off < int64(f.cfg.FailSpan.Off) || off+int64(n) > int64(f.cfg.FailSpan.End())) {
+		return false
+	}
+	return true
+}
+
+// flakyError is the injected read failure; Temporary reports the configured
+// transience so error classifiers exercise both branches.
+type flakyError struct{ transient bool }
+
+func (e flakyError) Error() string {
+	if e.transient {
+		return "faultinject: transient read failure"
+	}
+	return "faultinject: permanent read failure"
+}
+
+func (e flakyError) Temporary() bool { return e.transient }

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func flakyOver(data []byte, cfg FlakyConfig) *FlakyReaderAt {
+	return NewFlaky(bytes.NewReader(data), cfg)
+}
+
+func seq(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	return data
+}
+
+func TestFlakyFailNth(t *testing.T) {
+	f := flakyOver(seq(64), FlakyConfig{FailNth: 3})
+	p := make([]byte, 8)
+	for call := 1; call <= 5; call++ {
+		_, err := f.ReadAt(p, 0)
+		if wantErr := call >= 3; (err != nil) != wantErr {
+			t.Fatalf("call %d: err = %v; want error %v", call, err, wantErr)
+		}
+	}
+	if f.Calls() != 5 || f.Failures() != 3 {
+		t.Fatalf("calls=%d failures=%d; want 5, 3", f.Calls(), f.Failures())
+	}
+}
+
+func TestFlakyFailSpanContainment(t *testing.T) {
+	// Only reads lying entirely inside [16, 32) fault: a chunked header scan
+	// whose window merely overlaps the span must pass through untouched.
+	f := flakyOver(seq(64), FlakyConfig{FailSpan: Span{Off: 16, Len: 16}})
+	cases := []struct {
+		off, n int64
+		fault  bool
+	}{
+		{16, 16, true},  // exactly the span
+		{20, 8, true},   // strictly inside
+		{8, 16, false},  // starts before
+		{24, 16, false}, // ends after
+		{0, 8, false},   // disjoint
+		{40, 8, false},  // disjoint after
+	}
+	for _, c := range cases {
+		_, err := f.ReadAt(make([]byte, c.n), c.off)
+		if (err != nil) != c.fault {
+			t.Errorf("read [%d, %d): err = %v; want fault %v", c.off, c.off+c.n, err, c.fault)
+		}
+	}
+}
+
+func TestFlakyRecover(t *testing.T) {
+	f := flakyOver(seq(32), FlakyConfig{FailNth: 1, Recover: 2})
+	p := make([]byte, 4)
+	for call := 1; call <= 4; call++ {
+		_, err := f.ReadAt(p, 8)
+		if wantErr := call <= 2; (err != nil) != wantErr {
+			t.Fatalf("call %d: err = %v; want error %v", call, err, wantErr)
+		}
+	}
+	if p[0] != 8 {
+		t.Fatalf("healed read returned %d; want the underlying byte 8", p[0])
+	}
+}
+
+func TestFlakyShortRead(t *testing.T) {
+	f := flakyOver(seq(32), FlakyConfig{FailNth: 1, ShortRead: true})
+	p := make([]byte, 8)
+	n, err := f.ReadAt(p, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("short read = %d, %v; want half the request (4) with nil error", n, err)
+	}
+	for i := 0; i < 4; i++ {
+		if p[i] != byte(4+i) {
+			t.Fatalf("short read byte %d = %d; want %d", i, p[i], 4+i)
+		}
+	}
+}
+
+func TestFlakyStall(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	f := flakyOver(seq(32), FlakyConfig{FailNth: 1, Stall: stall})
+	start := time.Now()
+	p := make([]byte, 4)
+	n, err := f.ReadAt(p, 0)
+	if err != nil || n != 4 {
+		t.Fatalf("stalled read = %d, %v; want success after the stall", n, err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("read returned in %v; want at least the %v stall", elapsed, stall)
+	}
+}
+
+func TestFlakyTransientFlag(t *testing.T) {
+	for _, transient := range []bool{true, false} {
+		f := flakyOver(seq(32), FlakyConfig{FailNth: 1, Transient: transient})
+		_, err := f.ReadAt(make([]byte, 4), 0)
+		if err == nil {
+			t.Fatal("no injected error")
+		}
+		tmp, ok := err.(interface{ Temporary() bool })
+		if !ok || tmp.Temporary() != transient {
+			t.Fatalf("Transient=%v: injected error %v advertises Temporary()=%v", transient, err, ok && tmp.Temporary())
+		}
+	}
+}
+
+func TestFlakyHealBreak(t *testing.T) {
+	f := flakyOver(seq(32), FlakyConfig{FailNth: 1})
+	p := make([]byte, 4)
+	if _, err := f.ReadAt(p, 0); err == nil {
+		t.Fatal("armed fault did not fire")
+	}
+	f.Heal()
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatalf("healed read failed: %v", err)
+	}
+	f.Break()
+	if _, err := f.ReadAt(p, 0); err == nil {
+		t.Fatal("re-armed fault did not fire")
+	}
+}
+
+func TestFlakyNoSelectorNeverFaults(t *testing.T) {
+	f := flakyOver(seq(64), FlakyConfig{Transient: true, Recover: 1})
+	for i := 0; i < 50; i++ {
+		if _, err := f.ReadAt(make([]byte, 4), int64(i)); err != nil {
+			t.Fatalf("read %d faulted with no selector configured: %v", i, err)
+		}
+	}
+	if f.Failures() != 0 {
+		t.Fatalf("failures = %d; want 0", f.Failures())
+	}
+}
+
+func TestFlakyBothSelectorsMustMatch(t *testing.T) {
+	f := flakyOver(seq(64), FlakyConfig{FailNth: 2, FailSpan: Span{Off: 16, Len: 16}})
+	p := make([]byte, 8)
+	if _, err := f.ReadAt(p, 20); err != nil {
+		t.Fatalf("call 1 inside span: %v; FailNth 2 should spare it", err)
+	}
+	if _, err := f.ReadAt(p, 20); err == nil {
+		t.Fatal("call 2 inside span did not fault")
+	}
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatalf("call 3 outside span: %v; FailSpan should spare it", err)
+	}
+}

@@ -16,11 +16,17 @@ type TileDamage struct {
 	PacketsLost     int // packets skipped (bad + swallowed by resync or abort)
 	BlocksConcealed int // code-blocks truncated or zeroed by tier-1 concealment
 	PassesDropped   int // coding passes those concealments discarded
+	// IOUnreadable is the IO damage class: 1 when the tile's body could not
+	// be read from the source (after whatever retries the source performed)
+	// and the whole tile was concealed — damaged bytes vs unreadable bytes
+	// are different operational problems and are reported distinctly.
+	IOUnreadable int
 }
 
 // Any reports whether the tile recorded any damage.
 func (d TileDamage) Any() bool {
-	return d.BadPackets > 0 || d.PacketsLost > 0 || d.BlocksConcealed > 0 || d.PassesDropped > 0
+	return d.BadPackets > 0 || d.PacketsLost > 0 || d.BlocksConcealed > 0 ||
+		d.PassesDropped > 0 || d.IOUnreadable > 0
 }
 
 // DamageReport is what a resilient decode had to work around, aggregated per
@@ -59,6 +65,7 @@ func (r *DamageReport) Totals() TileDamage {
 		sum.PacketsLost += t.PacketsLost
 		sum.BlocksConcealed += t.BlocksConcealed
 		sum.PassesDropped += t.PassesDropped
+		sum.IOUnreadable += t.IOUnreadable
 	}
 	return sum
 }
@@ -88,6 +95,24 @@ func (r *DamageReport) String() string {
 		}
 		fmt.Fprintf(&b, "%d packets lost (%d bad, %d resyncs), %d blocks concealed (%d passes dropped)",
 			t.PacketsLost, t.BadPackets, t.PacketsResynced, t.BlocksConcealed, t.PassesDropped)
+		if t.IOUnreadable > 0 {
+			fmt.Fprintf(&b, ", %d tile bodies unreadable (IO)", t.IOUnreadable)
+		}
 	}
 	return b.String()
 }
+
+// TileIOError is a strict decode's typed failure to read a tile body from
+// its source: the tile index and the byte span that could not be read. It
+// wraps the source's *t2.ReadError, so errors.As reaches both layers.
+type TileIOError struct {
+	Tile     int   // tile index (row-major in the tile grid)
+	Off, Len int64 // the unreadable body span within the codestream
+	Err      error // the underlying source read failure
+}
+
+func (e *TileIOError) Error() string {
+	return fmt.Sprintf("jp2k: tile %d body [%d, %d) unreadable: %v", e.Tile, e.Off, e.Off+e.Len, e.Err)
+}
+
+func (e *TileIOError) Unwrap() error { return e.Err }

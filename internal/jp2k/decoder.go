@@ -75,6 +75,7 @@ type Decoder struct {
 	jobs         []decJob
 	tileErrs     []error
 	blockErrs    []error
+	tileIOFail   []bool            // per selected tile: body unreadable (resilient decodes)
 	tileDmg      []t2.DecodeDamage // per selected tile (resilient decodes)
 	blockStats   []t1.SegStats     // per tier-1 job (resilient decodes)
 	damage       *DamageReport     // of the last resilient decode
@@ -296,13 +297,26 @@ func (d *Decoder) walkTask(_, si int) {
 		te.data = d.cur.tiles[ti]
 	} else {
 		sp := d.cur.spans[ti]
-		if d.cur.mem != nil {
+		switch {
+		case sp.Off < 0:
+			// Sentinel for a tile-part the resilient scan could not locate
+			// (truncated chain): decode as an empty (gray) tile.
+			te.data = nil
+		case d.cur.mem != nil:
 			te.data = d.cur.mem[sp.Off:sp.End()]
-		} else {
+		default:
 			te.body = grow(te.body, int(sp.Len))
 			if _, err := d.cur.src.ReadAt(te.body, sp.Off); err != nil {
-				d.tileErrs[si] = fmt.Errorf("jp2k: tile %d: %w", ti, err)
-				return
+				if !d.cur.opts.Resilient {
+					d.tileErrs[si] = &TileIOError{Tile: ti, Off: sp.Off, Len: sp.Len, Err: err}
+					return
+				}
+				// The body is unreadable after whatever retries the source
+				// performed: conceal the whole tile and record the IO damage
+				// class — unreadable bytes degrade, they do not abort.
+				d.tileIOFail[si] = true
+				te.data = nil
+				break
 			}
 			te.data = te.body
 		}
@@ -489,13 +503,19 @@ func (d *Decoder) decode(src *t2.Source, opts DecodeOptions, region *Rect, singl
 	var tiles [][]byte
 	var cdmg t2.ContainerDamage
 	var err error
+	salvagedTiles := false
 	if opts.Resilient {
-		// Resilient salvage scans bytes the lazy walk never touches (Psot
-		// re-bounding, marker resync), so it materializes the stream once;
-		// for resident bytes that is a free alias.
-		var all []byte
-		if all, err = src.All(); err == nil {
-			p, tiles, cdmg, err = t2.ReadCodestreamResilient(all)
+		if mem := src.Mem(); mem != nil {
+			// Resident bytes: full salvage (Psot re-bounding, marker resync)
+			// over the slice is a free alias, exactly as before streaming.
+			p, tiles, cdmg, err = t2.ReadCodestreamResilient(mem)
+			salvagedTiles = true
+		} else {
+			// Reader-backed: salvage the tile-part chain without materializing
+			// the stream — bodies are read per selected tile in walkTask, so
+			// an unreadable body degrades that one tile instead of failing the
+			// whole decode up front.
+			p, spans, cdmg, err = t2.ScanCodestreamResilient(src)
 		}
 	} else {
 		p, spans, err = t2.ScanCodestream(src)
@@ -536,17 +556,31 @@ func (d *Decoder) decode(src *t2.Source, opts DecodeOptions, region *Rect, singl
 		if len(spans) != ntx*nty {
 			return nil, fmt.Errorf("jp2k: %d tile-parts for a %dx%d tile grid", len(spans), ntx, nty)
 		}
-	} else if len(tiles) != ntx*nty {
-		// Salvage: missing tile-parts decode as empty (gray) tiles, surplus
-		// ones are dropped.
-		if len(tiles) < ntx*nty {
+	} else if salvagedTiles {
+		if len(tiles) != ntx*nty {
+			// Salvage: missing tile-parts decode as empty (gray) tiles,
+			// surplus ones are dropped.
+			if len(tiles) < ntx*nty {
+				cdmg.Truncated = true
+				for len(tiles) < ntx*nty {
+					tiles = append(tiles, nil)
+				}
+			} else {
+				cdmg.BadTileParts += len(tiles) - ntx*nty
+				tiles = tiles[:ntx*nty]
+			}
+		}
+	} else if len(spans) != ntx*nty {
+		// Reader-backed salvage: same reconciliation over spans, with a
+		// negative-offset sentinel standing in for each missing tile-part.
+		if len(spans) < ntx*nty {
 			cdmg.Truncated = true
-			for len(tiles) < ntx*nty {
-				tiles = append(tiles, nil)
+			for len(spans) < ntx*nty {
+				spans = append(spans, t2.TileSpan{Off: -1})
 			}
 		} else {
-			cdmg.BadTileParts += len(tiles) - ntx*nty
-			tiles = tiles[:ntx*nty]
+			cdmg.BadTileParts += len(spans) - ntx*nty
+			spans = spans[:ntx*nty]
 		}
 	}
 
@@ -625,6 +659,8 @@ func (d *Decoder) decode(src *t2.Source, opts DecodeOptions, region *Rect, singl
 	clear(tileErrs)
 	d.tileDmg = grow(d.tileDmg, nsel)
 	clear(d.tileDmg)
+	d.tileIOFail = grow(d.tileIOFail, nsel)
+	clear(d.tileIOFail)
 
 	// --- Tier-2: walk each selected tile's packet headers (all components,
 	// LRCP-interleaved) and accumulate the code-block segments, in parallel
@@ -697,6 +733,9 @@ func (d *Decoder) decode(src *t2.Source, opts DecodeOptions, region *Rect, singl
 			perTile[si] = TileDamage{
 				Tile: sel[si], BadPackets: dm.BadPackets,
 				PacketsResynced: dm.PacketsResynced, PacketsLost: dm.PacketsLost,
+			}
+			if d.tileIOFail[si] {
+				perTile[si].IOUnreadable = 1
 			}
 		}
 		for i, st := range d.blockStats[:njobs] {

@@ -11,12 +11,14 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pj2k/internal/core"
 	"pj2k/internal/dwt"
 	"pj2k/internal/jp2k"
 	"pj2k/internal/raster"
+	"pj2k/internal/t2"
 	"pj2k/internal/telemetry"
 )
 
@@ -51,13 +53,38 @@ type Options struct {
 	// server can be CPU/heap/goroutine-profiled under load. Off by default:
 	// profiles expose internals and cost CPU while running.
 	Pprof bool
+	// IORetries is the per-read retry count for reader-backed sources: a
+	// transient ReadAt failure (timeout, Temporary error, short read) retries
+	// with exponential backoff before the tile decode sees it. 0 uses
+	// DefaultIORetries, negative disables retries.
+	IORetries int
+	// IOReadTimeout bounds each source read; a stalled ReaderAt is abandoned
+	// past it (and the attempt counts as transient, so retries apply).
+	// 0 disables the per-read deadline.
+	IOReadTimeout time.Duration
+	// IORetryBudget caps the total retries one request may spend across all
+	// of its tile reads, so a degraded image cannot multiply request latency
+	// by retries x tiles. 0 uses DefaultIORetryBudget, negative is unlimited.
+	IORetryBudget int
+	// QuarantineAfter takes an image out of service (503 + Retry-After, with
+	// background re-probe until its source reads again) after this many
+	// consecutive IO-failed decodes. 0 uses DefaultQuarantineAfter, negative
+	// disables quarantine.
+	QuarantineAfter int
+	// ProbeInterval is the quarantine re-probe cadence (and the Retry-After
+	// hint quarantined requests carry). 0 uses DefaultProbeInterval.
+	ProbeInterval time.Duration
 }
 
 // Defaults for Options zero values.
 const (
-	DefaultCacheBytes  = 256 << 20
-	DefaultMaxPixels   = 64 << 20
-	DefaultMaxInFlight = 64
+	DefaultCacheBytes      = 256 << 20
+	DefaultMaxPixels       = 64 << 20
+	DefaultMaxInFlight     = 64
+	DefaultIORetries       = 2
+	DefaultIORetryBudget   = 32
+	DefaultQuarantineAfter = 3
+	DefaultProbeInterval   = time.Second
 )
 
 // Server answers progressive image requests over HTTP:
@@ -90,6 +117,15 @@ type Server struct {
 	decoders sync.Pool     // *jp2k.Decoder, pooled across requests
 	inflight chan struct{} // admission semaphore; nil disables shedding
 
+	// IO fault tolerance: the resolved retry count, the shared source-read
+	// counters, and the quarantine machinery's lifecycle plumbing.
+	ioRetries  int
+	ioc        *t2.IOCounters
+	done       chan struct{} // closed by Close; stops quarantine probes
+	closeOnce  sync.Once
+	probeWG    sync.WaitGroup // running probeLoop goroutines
+	quarActive atomic.Int64   // images currently quarantined (gauge)
+
 	// panicHook, when set (tests), observes the recovered value of every
 	// handler panic after the 500 has been written.
 	panicHook func(any)
@@ -112,7 +148,12 @@ type Server struct {
 	damagedTiles    *telemetry.Counter
 	packetsLost     *telemetry.Counter
 	blocksConcealed *telemetry.Counter
-	latency         [numOutcomes]*telemetry.Histogram
+	// IO fault and quarantine counters.
+	ioUnreadableTiles    *telemetry.Counter
+	quarantines          *telemetry.Counter
+	quarantineRecoveries *telemetry.Counter
+	quarantinedReqs      *telemetry.Counter
+	latency              [numOutcomes]*telemetry.Histogram
 }
 
 // reqOutcome classifies one region request for the latency histograms. The
@@ -122,19 +163,20 @@ type Server struct {
 type reqOutcome int
 
 const (
-	outcomeHit       reqOutcome = iota // every tile served from cache
-	outcomeCoalesced                   // waited on another request's decode
-	outcomeMiss                        // at least one tile decoded here
-	outcomeDamaged                     // a decode concealed damage (resilient mode)
-	outcomeShed                        // rejected at the admission gate (503)
-	outcomeTimeout                     // server-side deadline expired (504)
-	outcomeError                       // any other failure
+	outcomeHit         reqOutcome = iota // every tile served from cache
+	outcomeCoalesced                     // waited on another request's decode
+	outcomeMiss                          // at least one tile decoded here
+	outcomeDamaged                       // a decode concealed damage (resilient mode)
+	outcomeShed                          // rejected at the admission gate (503)
+	outcomeQuarantined                   // rejected because the image is quarantined (503)
+	outcomeTimeout                       // server-side deadline expired (504)
+	outcomeError                         // any other failure
 	numOutcomes
 )
 
 // outcomeNames are the /metrics label values, index-aligned with reqOutcome.
 var outcomeNames = [numOutcomes]string{
-	"hit", "coalesced", "miss", "damaged", "shed", "timeout", "error",
+	"hit", "coalesced", "miss", "damaged", "shed", "quarantined", "timeout", "error",
 }
 
 // New returns a Server over the given store. The server owns one persistent
@@ -158,6 +200,8 @@ func New(store *Store, opts Options) *Server {
 		mux:     http.NewServeMux(),
 		pool:    core.NewPool(0),
 		started: time.Now(),
+		ioc:     &t2.IOCounters{},
+		done:    make(chan struct{}),
 	}
 	if opts.MaxInFlight == 0 {
 		opts.MaxInFlight = DefaultMaxInFlight
@@ -166,6 +210,14 @@ func New(store *Store, opts Options) *Server {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	s.opts = opts
+	switch {
+	case opts.IORetries < 0:
+		s.ioRetries = 0
+	case opts.IORetries == 0:
+		s.ioRetries = DefaultIORetries
+	default:
+		s.ioRetries = opts.IORetries
+	}
 	s.initTelemetry()
 	s.decoders.New = func() any {
 		d := jp2k.NewDecoderWithPool(s.pool)
@@ -208,6 +260,19 @@ func (s *Server) initTelemetry() {
 	s.damagedTiles = r.Counter("pj2k_damaged_tiles_total", "Tiles decoded with concealed damage (resilient mode).")
 	s.packetsLost = r.Counter("pj2k_packets_lost_total", "Packets lost to damage across resilient tile decodes.")
 	s.blocksConcealed = r.Counter("pj2k_blocks_concealed_total", "Code-blocks concealed across resilient tile decodes.")
+	s.ioUnreadableTiles = r.Counter("pj2k_io_unreadable_tiles_total", "Tiles concealed because their bodies could not be read (resilient mode).")
+	s.quarantines = r.Counter("pj2k_quarantines_total", "Images quarantined after consecutive IO-failed decodes.")
+	s.quarantineRecoveries = r.Counter("pj2k_quarantine_recoveries_total", "Quarantined images whose source probe succeeded again.")
+	s.quarantinedReqs = r.Counter("pj2k_quarantined_requests_total", "Requests rejected because their image was quarantined (503).")
+	r.GaugeFunc("pj2k_quarantined_images", "Images currently quarantined.", func() int64 { return s.quarActive.Load() })
+	r.CounterFunc("pj2k_io_read_attempts_total", "Source read attempts issued through the resilient IO layer.",
+		func() int64 { return s.ioc.Reads.Load() })
+	r.CounterFunc("pj2k_io_read_retries_total", "Source reads retried after a transient IO failure.",
+		func() int64 { return s.ioc.Retries.Load() })
+	r.CounterFunc("pj2k_io_read_failures_total", "Source reads that failed permanently or exhausted their retries.",
+		func() int64 { return s.ioc.Failures.Load() })
+	r.CounterFunc("pj2k_io_read_timeouts_total", "Source reads abandoned at the per-read deadline.",
+		func() int64 { return s.ioc.Timeouts.Load() })
 	for i := range s.latency {
 		s.latency[i] = r.HistogramWithLabels("pj2k_request_seconds",
 			telemetry.Labels("outcome", outcomeNames[i]),
@@ -261,9 +326,17 @@ func buildRevision() string {
 	return "unknown"
 }
 
-// Close releases the server's worker pool. It must only be called once no
-// request is in flight (after the HTTP server has shut down).
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the quarantine probe loops, waits for them to exit, and
+// releases the server's worker pool. It must only be called once no request
+// is in flight (after the HTTP server has shut down) — and before
+// Store.Close, so no probe ever reads a closed source.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.probeWG.Wait()
+		s.pool.Close()
+	})
+}
 
 // Cache exposes the tile cache (for tests and ops tooling).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -371,12 +444,12 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 // reports it so the request can be classified. The pooled decoder carries the
 // server's codec metrics, so every tile decode also lands in the per-stage
 // pipeline histograms.
-func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, tx, ty, discard, layers int) (pl *raster.Planar, damaged bool, err error) {
+func (s *Server) decodeTile(ctx context.Context, img *Image, budget *t2.RetryBudget, colW, rowH []int, tx, ty, discard, layers int) (pl *raster.Planar, damaged bool, err error) {
 	s.tileDecodes.Inc()
 	dec := s.decoders.Get().(*jp2k.Decoder)
 	defer s.decoders.Put(dec)
 	region := jp2k.Rect{X0: colW[tx], Y0: rowH[ty], X1: colW[tx+1], Y1: rowH[ty+1]}
-	pl, err = dec.DecodeRegionPlanarSource(img.src, region, jp2k.DecodeOptions{
+	pl, err = dec.DecodeRegionPlanarSource(s.requestSource(img, budget), region, jp2k.DecodeOptions{
 		DiscardLevels: discard,
 		MaxLayers:     layers,
 		Workers:       s.opts.TileWorkers,
@@ -384,6 +457,11 @@ func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, t
 		Resilient:     s.opts.Resilient,
 		Ctx:           ctx,
 	})
+	// Per-image IO health: a decode that failed on (or concealed) unreadable
+	// source bytes counts against the image; a decode that read cleanly
+	// resets the streak. Context cancellations are the client's, not the
+	// source's, and move nothing.
+	ioFailed := err != nil && t2.IsIOError(err)
 	if err == nil && s.opts.Resilient {
 		if dmg := dec.Damage(); dmg.Damaged() {
 			t := dmg.Totals()
@@ -391,7 +469,16 @@ func (s *Server) decodeTile(ctx context.Context, img *Image, colW, rowH []int, t
 			s.damagedTiles.Inc()
 			s.packetsLost.Add(int64(t.PacketsLost))
 			s.blocksConcealed.Add(int64(t.BlocksConcealed))
+			if t.IOUnreadable > 0 {
+				s.ioUnreadableTiles.Add(int64(t.IOUnreadable))
+				ioFailed = true
+			}
 		}
+	}
+	if ioFailed {
+		s.noteIOFailure(img, err)
+	} else if err == nil {
+		s.noteIOSuccess(img)
 	}
 	return pl, damaged, err
 }
@@ -418,6 +505,11 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
+		return
+	}
+	if s.isQuarantined(img) {
+		outcome = outcomeQuarantined
+		s.rejectQuarantined(w, img.ID)
 		return
 	}
 	discard, err1 := queryInt(r, "reduce", 0)
@@ -464,6 +556,7 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	out := raster.NewPlanar(win.Dx(), win.Dy(), ncomp)
 	agg := outcomeHit
 	damaged := false
+	budget := s.newRequestBudget()
 	var tiles []int
 	for ty := 0; ty < nty; ty++ {
 		if rowH[ty+1] <= win.Y0 || rowH[ty] >= win.Y1 {
@@ -476,7 +569,7 @@ func (s *Server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			tiles = append(tiles, ty*ntx+tx)
 			key := TileKey{Image: img.ID, TX: tx, TY: ty, Discard: discard, Layers: layers}
 			tile, co, err := s.cache.GetOrDecode(ctx, key, func() (*raster.Planar, error) {
-				pl, dmg, err := s.decodeTile(ctx, img, colW, rowH, tx, ty, discard, layers)
+				pl, dmg, err := s.decodeTile(ctx, img, budget, colW, rowH, tx, ty, discard, layers)
 				if dmg {
 					damaged = true
 				}
@@ -635,6 +728,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
 		return
 	}
+	// Info forces every tile's packet map (TotalBytes) — reads the whole
+	// tile-part chain — so a quarantined source is rejected here too.
+	if s.isQuarantined(img) {
+		s.rejectQuarantined(w, img.ID)
+		return
+	}
 	p := img.Params()
 	kernel := "9x7"
 	if p.Kernel == dwt.Rev53 {
@@ -665,6 +764,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	img, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown image %q", r.PathValue("id"))
+		return
+	}
+	if s.isQuarantined(img) {
+		s.rejectQuarantined(w, img.ID)
 		return
 	}
 	layers, err := queryInt(r, "layers", 0)
@@ -720,6 +823,8 @@ type statsResponse struct {
 	MaxInFlight   int          `json:"max_in_flight"`
 	Resilient     bool         `json:"resilient"`
 	Damage        damageCounts `json:"damage"`
+	IO            ioCounts     `json:"io"`
+	Quarantine    quarCounts   `json:"quarantine"`
 	Cache         CacheStats   `json:"cache"`
 
 	// RequestLatency digests the per-outcome end-to-end region-request
@@ -743,9 +848,26 @@ type poolStatsJSON struct {
 
 // damageCounts aggregates what resilient tile decodes had to conceal.
 type damageCounts struct {
-	DamagedTiles    int64 `json:"damaged_tiles"`
-	PacketsLost     int64 `json:"packets_lost"`
-	BlocksConcealed int64 `json:"blocks_concealed"`
+	DamagedTiles      int64 `json:"damaged_tiles"`
+	PacketsLost       int64 `json:"packets_lost"`
+	BlocksConcealed   int64 `json:"blocks_concealed"`
+	IOUnreadableTiles int64 `json:"io_unreadable_tiles"`
+}
+
+// ioCounts is the /stats view of the resilient source-read layer.
+type ioCounts struct {
+	ReadAttempts int64 `json:"read_attempts"`
+	ReadRetries  int64 `json:"read_retries"`
+	ReadFailures int64 `json:"read_failures"`
+	ReadTimeouts int64 `json:"read_timeouts"`
+}
+
+// quarCounts is the /stats view of the image quarantine lifecycle.
+type quarCounts struct {
+	Active           int64 `json:"active"`
+	Total            int64 `json:"total"`
+	Recoveries       int64 `json:"recoveries"`
+	RejectedRequests int64 `json:"rejected_requests"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -781,9 +903,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxInFlight:   maxInflight,
 		Resilient:     s.opts.Resilient,
 		Damage: damageCounts{
-			DamagedTiles:    s.damagedTiles.Value(),
-			PacketsLost:     s.packetsLost.Value(),
-			BlocksConcealed: s.blocksConcealed.Value(),
+			DamagedTiles:      s.damagedTiles.Value(),
+			PacketsLost:       s.packetsLost.Value(),
+			BlocksConcealed:   s.blocksConcealed.Value(),
+			IOUnreadableTiles: s.ioUnreadableTiles.Value(),
+		},
+		IO: ioCounts{
+			ReadAttempts: s.ioc.Reads.Load(),
+			ReadRetries:  s.ioc.Retries.Load(),
+			ReadFailures: s.ioc.Failures.Load(),
+			ReadTimeouts: s.ioc.Timeouts.Load(),
+		},
+		Quarantine: quarCounts{
+			Active:           s.quarActive.Load(),
+			Total:            s.quarantines.Value(),
+			Recoveries:       s.quarantineRecoveries.Value(),
+			RejectedRequests: s.quarantinedReqs.Value(),
 		},
 		Cache:          s.cache.Stats(),
 		RequestLatency: lat,

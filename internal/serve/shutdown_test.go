@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShutdownOrderingUnderLoad drives long region decodes while the server
+// shuts down in production order — http.Server.Shutdown (drain), Server.Close
+// (stop probes, release the pool), Store.Close (close the files) — and
+// verifies the ordering holds: every admitted request completes with a full
+// body, no in-flight decode ever reads a closed file, and nothing panics.
+// Run under -race this also exercises the close paths against concurrent
+// decodes.
+func TestShutdownOrderingUnderLoad(t *testing.T) {
+	cs := encodeTest(t, testImage())
+	dir := t.TempDir()
+	for _, name := range []string{"a.j2k", "b.j2k"} {
+		if err := os.WriteFile(filepath.Join(dir, name), cs, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := NewStore()
+	if n, err := store.LoadDir(dir); n != 2 || err != nil {
+		t.Fatalf("LoadDir = %d, %v", n, err)
+	}
+	srv := New(store, Options{CacheBytes: -1}) // every request decodes from disk
+	ts := httptest.NewServer(srv)
+
+	var (
+		shuttingDown atomic.Bool
+		early        atomic.Int64 // transport errors before shutdown began
+		badStatus    atomic.Int64 // non-200 responses
+		badBody      atomic.Int64 // 200s whose body did not arrive whole
+		closedReads  atomic.Int64 // any response reporting a closed file
+		wg           sync.WaitGroup
+	)
+	paths := []string{
+		"/img/a?x0=0&y0=0&x1=96&y1=80&format=raw",
+		"/img/b?x0=40&y0=30&x1=200&y1=170&format=raw",
+	}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := ts.Client()
+			for n := 0; ; n++ {
+				resp, err := client.Get(ts.URL + paths[(i+n)%len(paths)])
+				if err != nil {
+					// The listener is gone: expected once shutdown started,
+					// a failure before that.
+					if !shuttingDown.Load() {
+						early.Add(1)
+					}
+					return
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if strings.Contains(string(body), "file already closed") {
+					closedReads.Add(1)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					badStatus.Add(1)
+					return
+				}
+				if rerr != nil || (resp.ContentLength >= 0 && int64(len(body)) != resp.ContentLength) {
+					badBody.Add(1)
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(150 * time.Millisecond) // serve real load first
+	shuttingDown.Store(true)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	srv.Close()
+	if err := store.Close(); err != nil {
+		t.Fatalf("Store.Close: %v", err)
+	}
+	wg.Wait()
+	ts.Close()
+
+	if v := early.Load(); v != 0 {
+		t.Errorf("%d transport errors before shutdown began", v)
+	}
+	if v := badStatus.Load(); v != 0 {
+		t.Errorf("%d non-200 responses under clean load", v)
+	}
+	if v := badBody.Load(); v != 0 {
+		t.Errorf("%d 200 responses with incomplete bodies", v)
+	}
+	if v := closedReads.Load(); v != 0 {
+		t.Errorf("%d responses read a closed file: shutdown ordering is broken", v)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,6 +23,11 @@ type Image struct {
 	ID    string
 	src   *t2.Source
 	Index *t2.Index
+
+	// health is the server's per-image IO-failure tracking (quarantine
+	// state); it is the one mutable part of an Image and is internally
+	// locked.
+	health imageHealth
 }
 
 // Source returns the codestream source the image is served from.
@@ -153,45 +159,52 @@ func (s *Store) IDs() []string {
 }
 
 // Close releases every registered image's source (file-backed sources close
-// their files; byte sources are no-ops) and empties the store. Call it after
-// the server has drained; in-flight decodes reading a closed source fail
-// with a read error, they do not crash.
+// their files; byte sources are no-ops) and empties the store. Every close
+// failure is reported (joined), not just the first — leaked file handles are
+// an ops problem and each one deserves a line in the log. Call it after the
+// server has drained; in-flight decodes reading a closed source fail with a
+// read error, they do not crash.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var first error
+	var errs []error
 	for id, im := range s.imgs {
-		if err := im.src.Close(); err != nil && first == nil {
-			first = err
+		if err := im.src.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("serve: closing %q: %w", id, err))
 		}
 		delete(s.imgs, id)
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // LoadDir registers every *.j2k file in dir under its basename (without
 // extension), as lazy file-backed sources: registration reads each file's
-// headers and tile-part chain, never the tile bodies. Returns the number of
-// images added; the first indexing error aborts the load.
+// headers and tile-part chain, never the tile bodies. A file that cannot be
+// opened or indexed is skipped, not fatal — one corrupt file must not take
+// down startup for the whole corpus. Returns the number of images added plus
+// the joined per-file errors (n > 0 with err != nil means a partial load).
 func (s *Store) LoadDir(dir string) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return 0, err
 	}
 	n := 0
+	var errs []error
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".j2k") {
 			continue
 		}
 		src, err := t2.OpenFile(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return n, err
+			errs = append(errs, err)
+			continue
 		}
 		if _, err := s.AddSource(strings.TrimSuffix(e.Name(), ".j2k"), src); err != nil {
 			src.Close()
-			return n, err
+			errs = append(errs, err)
+			continue
 		}
 		n++
 	}
-	return n, nil
+	return n, errors.Join(errs...)
 }

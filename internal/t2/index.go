@@ -41,11 +41,15 @@ func (t *TileIndex) layerPrefixLen(layers int) int {
 	return last[len(last)-1].End()
 }
 
-// lazyTile is one tile's once-built packet map.
+// lazyTile is one tile's once-built packet map. A successful build and a
+// permanent parse failure are memoized; an IO failure is not, so a tile whose
+// source was unreadable (and later healed — quarantine recovery) rebuilds on
+// the next touch instead of being poisoned for the life of the Index.
 type lazyTile struct {
-	once sync.Once
-	ti   TileIndex
-	err  error
+	mu    sync.Mutex
+	built bool
+	ti    TileIndex
+	err   error
 }
 
 // Index is a map of a codestream: the header parameters plus the byte range
@@ -112,20 +116,34 @@ func (ix *Index) Source() *Source { return ix.src }
 func (ix *Index) NumTiles() int { return len(ix.spans) }
 
 // Tile returns tile ti's packet map, building it on first touch. Concurrent
-// calls for the same tile coalesce on a per-tile once; calls for different
+// calls for the same tile coalesce on a per-tile lock; calls for different
 // tiles build independently (each walk uses its own coder state), so disjoint
-// tiles of one Index can be forced from many goroutines at once. The build
-// result — spans or a per-tile parse error — is memoized for the life of the
-// Index.
+// tiles of one Index can be forced from many goroutines at once. Successful
+// builds and permanent parse errors are memoized for the life of the Index;
+// IO failures are returned but not memoized, so the tile is retried once its
+// source reads again.
 func (ix *Index) Tile(ti int) (*TileIndex, error) {
 	if ti < 0 || ti >= len(ix.tiles) {
 		return nil, fmt.Errorf("t2: tile %d of %d", ti, len(ix.tiles))
 	}
 	lt := &ix.tiles[ti]
-	lt.once.Do(func() { lt.ti, lt.err = ix.buildTile(ti) })
-	if lt.err != nil {
-		return nil, lt.err
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.built {
+		if lt.err != nil {
+			return nil, lt.err
+		}
+		return &lt.ti, nil
 	}
+	t, err := ix.buildTile(ti)
+	if err != nil {
+		if IsIOError(err) {
+			return nil, err
+		}
+		lt.built, lt.err = true, err
+		return nil, err
+	}
+	lt.built, lt.ti = true, t
 	return &lt.ti, nil
 }
 

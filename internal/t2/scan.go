@@ -135,7 +135,12 @@ func scanCodestream(src *Source, resilient bool) (Params, []TileSpan, ContainerD
 	var dmg ContainerDamage
 	r := newSreader(src)
 	if m, err := r.u16(); err != nil || m != mSOC {
-		return p, nil, dmg, fmt.Errorf("t2: missing SOC (got %#x, %v)", m, err)
+		if err != nil {
+			// Keep the read error in the chain: an unreadable first chunk is
+			// an IO fault (errors.As-able), not a malformed stream.
+			return p, nil, dmg, fmt.Errorf("t2: missing SOC: %w", err)
+		}
+		return p, nil, dmg, fmt.Errorf("t2: missing SOC (got %#x)", m)
 	}
 	var spans []TileSpan
 	var qccSeen []bool // per component: quantization pinned by a QCC marker

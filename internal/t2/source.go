@@ -1,11 +1,18 @@
 package t2
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 )
+
+// MaxResidentBytes bounds how much of a reader-backed source All may
+// materialize at once — the same scale as MaxImagePixels, so a resilient
+// decode of a huge file cannot silently pin gigabytes of stream bytes.
+// Resident (BytesSource) streams are exempt: the caller already holds them.
+var MaxResidentBytes int64 = 1 << 28
 
 // Source is a random-access codestream: an io.ReaderAt plus its total size.
 // It is the streaming substrate of the container layer — the scanner, the
@@ -75,16 +82,30 @@ func (s *Source) ReadAt(b []byte, off int64) (int, error) {
 	if err == io.EOF && n == len(b) {
 		err = nil
 	}
+	if err != nil {
+		// Every read failure escaping a Source is a typed *ReadError, so the
+		// codec and serving tiers classify IO faults uniformly whether or not
+		// the source is wrapped in a ResilientSource (which returns them
+		// already wrapped, with its attempt accounting).
+		var re *ReadError
+		if !errors.As(err, &re) {
+			err = &ReadError{Off: off, Len: len(b), Attempts: 1, Transient: Transient(err), Err: err}
+		}
+	}
 	return n, err
 }
 
 // All returns the whole codestream as one slice: the resident bytes for a
-// BytesSource, otherwise a single full read memoized on the Source (resilient
-// decoding materializes the stream once — damage salvage scans bytes the lazy
-// walk would otherwise never touch).
+// BytesSource, otherwise a single full read memoized on the Source (dropped
+// by Close). Reader-backed sources larger than MaxResidentBytes are refused —
+// full materialization is a convenience for modest streams, not a license to
+// pin an arbitrarily large file in memory.
 func (s *Source) All() ([]byte, error) {
 	if s.data != nil {
 		return s.data, nil
+	}
+	if s.size > MaxResidentBytes {
+		return nil, fmt.Errorf("t2: refusing to materialize %d-byte source (limit %d bytes)", s.size, MaxResidentBytes)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -99,9 +120,13 @@ func (s *Source) All() ([]byte, error) {
 	return buf, nil
 }
 
-// Close releases the underlying reader when the Source owns one (OpenFile);
-// for byte- and caller-owned-reader sources it is a no-op.
+// Close releases the underlying reader when the Source owns one (OpenFile)
+// and drops the memoized All materialization; for byte- and
+// caller-owned-reader sources releasing the memo is all it does.
 func (s *Source) Close() error {
+	s.mu.Lock()
+	s.all = nil
+	s.mu.Unlock()
 	if s.closer != nil {
 		return s.closer.Close()
 	}
